@@ -1,0 +1,261 @@
+// Command daasctl runs the DaaS measurement pipeline: it builds the
+// dataset by snowball sampling, validates it, clusters families, and
+// prints the paper's tables.
+//
+// It can consume a remote chain served by chainsim, or generate a
+// local world:
+//
+//	daasctl -rpc http://localhost:8545 study
+//	daasctl -seed 1910 -scale 0.02 study
+//	daasctl -scale 0.02 dataset -o dataset.json
+//	daasctl -scale 0.02 validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/daas"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/rpc"
+	"repro/internal/worldgen"
+)
+
+func main() {
+	var (
+		rpcURL  = flag.String("rpc", "", "chainsim JSON-RPC endpoint (empty = generate a local world)")
+		seed    = flag.Uint64("seed", 1910, "local world seed")
+		scale   = flag.Float64("scale", 0.02, "local world scale")
+		outPath = flag.String("o", "", "output path for dataset export (dataset subcommand)")
+		asCSV   = flag.Bool("csv", false, "export the dataset as CSV instead of JSON")
+		verbose = flag.Bool("v", false, "trace pipeline progress")
+	)
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "study"
+	}
+
+	// inspect works offline from an exported file; everything else
+	// needs a chain.
+	var client *daas.Client
+	var primaryTxs int
+	if cmd != "inspect" && cmd != "diff" {
+		var err error
+		client, primaryTxs, err = buildClient(*rpcURL, *seed, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *verbose {
+			client.Trace = func(format string, args ...any) { log.Printf(format, args...) }
+		}
+	}
+
+	switch cmd {
+	case "dataset":
+		ds, err := client.BuildDataset()
+		if err != nil {
+			log.Fatalf("building dataset: %v", err)
+		}
+		report.Table1(os.Stdout, ds.SeedStats, ds.Stats())
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if *asCSV {
+				err = ds.WriteCSV(f)
+			} else {
+				err = ds.WriteJSON(f)
+			}
+			if err != nil {
+				log.Fatalf("exporting dataset: %v", err)
+			}
+			fmt.Printf("dataset written to %s\n", *outPath)
+		}
+
+	case "validate":
+		ds, err := client.BuildDataset()
+		if err != nil {
+			log.Fatalf("building dataset: %v", err)
+		}
+		rep, err := client.Validate(ds)
+		if err != nil {
+			log.Fatalf("validating: %v", err)
+		}
+		report.Validation(os.Stdout, rep)
+		if len(rep.FalsePositives) > 0 {
+			os.Exit(1)
+		}
+
+	case "study":
+		study, err := client.StudyWith(daas.StudyOptions{PrimaryContractTxs: primaryTxs})
+		if err != nil {
+			log.Fatalf("study: %v", err)
+		}
+		printStudy(study)
+
+	case "inspect":
+		// Offline inspection of a previously exported dataset.
+		if *outPath == "" {
+			log.Fatal("inspect needs -o <dataset.json> (the file to read)")
+		}
+		ds, err := readDataset(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Table1(os.Stdout, ds.SeedStats, ds.Stats())
+		ratios := make(map[int64]int)
+		for _, splits := range ds.Splits {
+			seen := map[int64]bool{}
+			for _, sp := range splits {
+				if !seen[sp.RatioPM] {
+					seen[sp.RatioPM] = true
+					ratios[sp.RatioPM]++
+				}
+			}
+		}
+		fmt.Println()
+		fmt.Println("operator-share ratios across profit-sharing transactions:")
+		for _, pm := range core.DefaultRatiosPM {
+			if n := ratios[pm]; n > 0 {
+				fmt.Printf("  %5.1f%%  %6d txs (%.1f%%)\n",
+					float64(pm)/10, n, 100*float64(n)/float64(len(ds.Splits)))
+			}
+		}
+
+	case "diff":
+		// Compare two exported dataset snapshots (monitoring workflow:
+		// operators keep deploying new contracts, §8.1).
+		oldPath, newPath := flag.Arg(1), flag.Arg(2)
+		if oldPath == "" || newPath == "" {
+			log.Fatal("diff needs two dataset.json paths: daasctl diff old.json new.json")
+		}
+		older, err := readDataset(oldPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		newer, err := readDataset(newPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		core.Diff(older, newer).Render(os.Stdout)
+
+	case "disasm":
+		// Decompile and disassemble a profit-sharing contract.
+		addrHex := flag.Arg(1)
+		if addrHex == "" {
+			log.Fatal("disasm needs a contract address argument")
+		}
+		addr, err := ethtypes.HexToAddress(addrHex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		code, read, err := contractCode(client, *rpcURL, addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(code) == 0 {
+			log.Fatalf("no code at %s", addr)
+		}
+		an := contracts.Decompile(code, addr, read)
+		fmt.Printf("contract %s\n  ETH theft: %s\n  token theft: %s\n  operator share: %.1f%%\n\n",
+			addr, an.ETHFunction, an.TokenFunction, float64(an.OperatorPerMille)/10)
+		fmt.Print(contracts.FormatDisassembly(code))
+
+	default:
+		log.Fatalf("unknown subcommand %q (want dataset, validate, study, inspect, diff, or disasm)", cmd)
+	}
+}
+
+// readDataset loads an exported dataset snapshot.
+func readDataset(path string) (*core.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadJSON(f)
+}
+
+// contractCode fetches bytecode and a storage reader, locally or over
+// RPC.
+func contractCode(client *daas.Client, rpcURL string, addr ethtypes.Address) ([]byte, contracts.StorageReader, error) {
+	if rpcURL != "" {
+		rc := rpc.NewClient(rpcURL)
+		code, err := rc.Code(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		read := func(a ethtypes.Address, k ethtypes.Hash) ethtypes.Hash {
+			v, err := rc.StorageAt(a, k)
+			if err != nil {
+				return ethtypes.Hash{}
+			}
+			return v
+		}
+		return code, read, nil
+	}
+	local, ok := client.Source().(core.LocalSource)
+	if !ok {
+		return nil, nil, fmt.Errorf("disasm: no local chain available")
+	}
+	read := func(a ethtypes.Address, k ethtypes.Hash) ethtypes.Hash {
+		return local.Chain.StorageAt(a, k)
+	}
+	return local.Chain.CodeAt(addr), read, nil
+}
+
+// buildClient returns a remote client or generates a local world.
+func buildClient(rpcURL string, seed uint64, scale float64) (*daas.Client, int, error) {
+	primary := int(float64(measure.MinPrimaryTxs)*scale) + 1
+	if rpcURL != "" {
+		client, err := daas.Dial(rpcURL)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Remote worlds carry their own token set; USD valuation of
+		// ERC-20/NFT thefts then requires quote registration, which the
+		// operator does via the oracle. ETH valuations work out of the
+		// box.
+		return client, measure.MinPrimaryTxs, nil
+	}
+	cfg := worldgen.DefaultConfig(seed)
+	cfg.Scale = scale
+	world, err := worldgen.Generate(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return daas.New(core.LocalSource{Chain: world.Chain}, world.Labels, world.Oracle), primary, nil
+}
+
+func printStudy(study *daas.Study) {
+	w := os.Stdout
+	report.Table1(w, study.Dataset.SeedStats, study.Dataset.Stats())
+	fmt.Fprintln(w)
+	report.Totals(w, study.Totals)
+	if study.Validation != nil {
+		report.Validation(w, study.Validation)
+	}
+	fmt.Fprintln(w)
+	report.Figure6(w, study.Victims)
+	report.VictimFindings(w, study.Victims)
+	fmt.Fprintln(w)
+	report.OperatorFindings(w, study.Operators)
+	fmt.Fprintln(w)
+	report.Figure7(w, study.Affiliates)
+	report.AffiliateFindings(w, study.Affiliates)
+	fmt.Fprintln(w)
+	report.RatioTable(w, study.Ratios)
+	fmt.Fprintln(w)
+	report.Table2(w, study.FamilyRows)
+	fmt.Fprintf(w, "\nEtherscan label coverage of DaaS accounts: %.1f%% (§8.1)\n",
+		study.EtherscanCoverage*100)
+}

@@ -1,0 +1,208 @@
+// Package daas is the public API of the Drainer-as-a-Service
+// measurement library — a reproduction of "Unmasking the Shadow
+// Economy: A Deep Dive into Drainer-as-a-Service Phishing on Ethereum"
+// (IMC 2025).
+//
+// A Client wraps a chain data source (in-process simulator or JSON-RPC
+// endpoint), a public label directory, and a price oracle, and exposes
+// the paper's pipeline: profit-sharing classification and snowball
+// dataset construction (§5), sampling validation (§5.2), family
+// clustering (§7), and the §6 measurement suite.
+//
+//	client := daas.New(source, labelDir, oracle)
+//	study, err := client.Study()
+//	// study.Dataset, study.Families, study.Victims, ...
+package daas
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/labels"
+	"repro/internal/measure"
+	"repro/internal/prices"
+	"repro/internal/rpc"
+)
+
+// Re-exported core types, so downstream users import only this
+// package.
+type (
+	// Dataset is the recovered DaaS dataset (paper Table 1).
+	Dataset = core.Dataset
+	// Stats summarizes dataset sizes.
+	Stats = core.Stats
+	// Split is one detected profit-sharing event.
+	Split = core.Split
+	// Classifier is the §5.1 Step 2 profit-sharing transaction
+	// classifier.
+	Classifier = core.Classifier
+	// ValidationReport is the §5.2 sampling validation result.
+	ValidationReport = core.ValidationReport
+	// Family is one clustered DaaS family (§7.1).
+	Family = cluster.Family
+	// ChainSource abstracts chain access.
+	ChainSource = core.ChainSource
+	// VictimReport, OperatorReport, AffiliateReport and FamilyRow carry
+	// the §6 measurement results.
+	VictimReport    = measure.VictimReport
+	OperatorReport  = measure.OperatorReport
+	AffiliateReport = measure.AffiliateReport
+	FamilyRow       = measure.FamilyRow
+	// Totals is the §5.2 headline (operator/affiliate USD, victims).
+	Totals = measure.Totals
+	// RatioShare is one §4.3 ratio-distribution row.
+	RatioShare = measure.RatioShare
+)
+
+// Client bundles the inputs of the measurement pipeline.
+type Client struct {
+	source core.ChainSource
+	labels *labels.Directory
+	oracle *prices.Oracle
+
+	// Classifier lets callers tune ratio set and tolerance before
+	// calling BuildDataset.
+	Classifier Classifier
+	// Trace, when set, receives pipeline progress lines.
+	Trace func(format string, args ...any)
+}
+
+// New builds a client from explicit components.
+func New(source core.ChainSource, dir *labels.Directory, oracle *prices.Oracle) *Client {
+	return &Client{source: source, labels: dir, oracle: oracle}
+}
+
+// Dial connects to a JSON-RPC chain endpoint (see cmd/chainsim),
+// downloading the public label directory from the same server.
+func Dial(url string) (*Client, error) {
+	rc := rpc.NewClient(url)
+	if _, err := rc.BlockNumber(); err != nil {
+		return nil, fmt.Errorf("daas: connecting to %s: %w", url, err)
+	}
+	dir, err := rc.FetchLabels()
+	if err != nil {
+		return nil, fmt.Errorf("daas: fetching labels: %w", err)
+	}
+	return New(rc, dir, prices.New()), nil
+}
+
+// Oracle returns the client's price oracle for registration of token
+// quotes.
+func (c *Client) Oracle() *prices.Oracle { return c.oracle }
+
+// Source returns the underlying chain source.
+func (c *Client) Source() core.ChainSource { return c.source }
+
+// Labels returns the public label directory.
+func (c *Client) Labels() *labels.Directory { return c.labels }
+
+// BuildDataset runs seed collection and snowball expansion (§5.1).
+func (c *Client) BuildDataset() (*Dataset, error) {
+	p := &core.Pipeline{
+		Source:     c.source,
+		Labels:     c.labels,
+		Classifier: c.Classifier,
+		Trace:      c.Trace,
+	}
+	return p.Build()
+}
+
+// Validate runs the §5.2 sampling validation over a dataset.
+func (c *Client) Validate(ds *Dataset) (*ValidationReport, error) {
+	v := core.Validator{Source: c.source, SamplePerAccount: 10}
+	return v.Validate(ds)
+}
+
+// Cluster groups the dataset into DaaS families (§7.1).
+func (c *Client) Cluster(ds *Dataset) ([]*Family, error) {
+	cl := cluster.Clusterer{Source: c.source, Labels: c.labels}
+	return cl.Cluster(ds)
+}
+
+// Study is the complete measurement result for one dataset build.
+type Study struct {
+	Dataset    *Dataset
+	Validation *ValidationReport
+	Families   []*Family
+	FamilyRows []FamilyRow
+	Totals     Totals
+	Victims    VictimReport
+	Operators  OperatorReport
+	Affiliates AffiliateReport
+	Ratios     []RatioShare
+	// EtherscanCoverage is the §8.1 label-coverage fraction.
+	EtherscanCoverage float64
+}
+
+// StudyOptions tune a full run.
+type StudyOptions struct {
+	// DatasetEnd is the inactivity cutoff for operator lifecycles;
+	// defaults to the newest split timestamp.
+	DatasetEnd time.Time
+	// PrimaryContractTxs is the Table-2 primary-contract threshold
+	// (default measure.MinPrimaryTxs).
+	PrimaryContractTxs int
+	// SkipValidation skips the §5.2 re-review (it rescans a large
+	// sample; benchmarks of other stages may skip it).
+	SkipValidation bool
+}
+
+// Study runs the full pipeline: dataset, validation, clustering, and
+// every §6 analysis.
+func (c *Client) Study() (*Study, error) {
+	return c.StudyWith(StudyOptions{})
+}
+
+// StudyWith runs the full pipeline with options.
+func (c *Client) StudyWith(opts StudyOptions) (*Study, error) {
+	if c.oracle == nil {
+		return nil, fmt.Errorf("daas: client has no price oracle")
+	}
+	ds, err := c.BuildDataset()
+	if err != nil {
+		return nil, fmt.Errorf("daas: building dataset: %w", err)
+	}
+	out := &Study{Dataset: ds}
+	if !opts.SkipValidation {
+		if out.Validation, err = c.Validate(ds); err != nil {
+			return nil, fmt.Errorf("daas: validating: %w", err)
+		}
+	}
+	if out.Families, err = c.Cluster(ds); err != nil {
+		return nil, fmt.Errorf("daas: clustering: %w", err)
+	}
+	an := &measure.Analyzer{Source: c.source, Oracle: c.oracle, Labels: c.labels}
+	corpus, err := an.BuildCorpus(ds)
+	if err != nil {
+		return nil, fmt.Errorf("daas: measuring: %w", err)
+	}
+	end := opts.DatasetEnd
+	if end.IsZero() {
+		for _, splits := range ds.Splits {
+			for _, sp := range splits {
+				if sp.Time.After(end) {
+					end = sp.Time
+				}
+			}
+		}
+	}
+	threshold := opts.PrimaryContractTxs
+	if threshold <= 0 {
+		threshold = measure.MinPrimaryTxs
+	}
+	out.Totals = corpus.Totals()
+	out.Victims = corpus.Victims()
+	out.Operators = corpus.Operators(end)
+	out.Affiliates = corpus.Affiliates()
+	out.Ratios = corpus.RatioDistribution()
+	out.FamilyRows = corpus.FamilyTable(out.Families, threshold)
+	if c.labels != nil {
+		out.EtherscanCoverage = corpus.LabelCoverage(func(a ethtypes.Address) bool {
+			return c.labels.Has(a, labels.SourceEtherscan)
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"repro/daas"
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/ct"
+	"repro/internal/ethtypes"
+	"repro/internal/rpc"
+	"repro/internal/sitehunt"
+	"repro/internal/toolkit"
+	"repro/internal/walletguard"
+	"repro/internal/website"
+	"repro/internal/worldgen"
+)
+
+// TestIntegrationFullLoop drives the complete system the way an
+// operator would: simulate a chain, serve it over JSON-RPC, run the
+// measurement study remotely, export and re-import the dataset, feed
+// it to the wallet guard, and block a live phishing transaction.
+func TestIntegrationFullLoop(t *testing.T) {
+	world, ds, _, _ := fixture(&testing.B{})
+
+	// Serve over RPC; study remotely.
+	srv := httptest.NewServer(rpc.NewServer(world.Chain, world.Labels))
+	defer srv.Close()
+	client, err := daas.Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteDS, err := client.BuildDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteDS.Stats() != ds.Stats() {
+		t.Fatalf("remote dataset %+v != local %+v", remoteDS.Stats(), ds.Stats())
+	}
+
+	// Export / import round trip feeds downstream tooling.
+	var buf bytes.Buffer
+	if err := remoteDS.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := core.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.AccountCount() != remoteDS.AccountCount() {
+		t.Fatal("dataset account count changed in export round trip")
+	}
+
+	// The imported dataset arms a wallet guard, which must block a
+	// replay of every planted victim-signed phishing transaction it
+	// screens.
+	guard := walletguard.New(world.Chain)
+	guard.LoadDataset(imported)
+	blocked, screened := 0, 0
+	for h := range world.Truth.ProfitTxs {
+		tx, err := world.Chain.Transaction(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, isVictim := world.Truth.VictimLossUSD[tx.From]; !isVictim {
+			continue
+		}
+		screened++
+		if guard.Screen(tx, "").Block {
+			blocked++
+		}
+		if screened >= 40 {
+			break
+		}
+	}
+	if screened == 0 || blocked != screened {
+		t.Fatalf("guard blocked %d of %d screened phishing txs", blocked, screened)
+	}
+}
+
+// TestIntegrationSiteHuntFeedsGuard connects the §8.2 detector's output
+// to the §9 guard's domain blacklist.
+func TestIntegrationSiteHuntFeedsGuard(t *testing.T) {
+	world, _, _, _ := fixture(&testing.B{})
+
+	fleet := website.GenerateFleet(website.FleetConfig{Seed: 3, Phishing: 40, Benign: 20, Bait: 8})
+	hostSrv := httptest.NewServer(website.NewHost(fleet))
+	defer hostSrv.Close()
+	log, err := ct.NewLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fleet {
+		if s.HTTPS {
+			if _, err := log.Issue([]string{s.Domain}, s.Issued); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ctSrv := httptest.NewServer(log.Handler())
+	defer ctSrv.Close()
+
+	det := &sitehunt.Detector{
+		CT:      ct.NewClient(ctSrv.URL),
+		Crawler: crawler.New(hostSrv.URL),
+		Corpus:  toolkit.BuildCorpus(3, 60),
+	}
+	rep, err := det.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected() == 0 {
+		t.Fatal("detector found nothing")
+	}
+
+	guard := walletguard.New(world.Chain)
+	for _, d := range rep.Detections {
+		guard.BlockDomain(d.Domain)
+	}
+	// A signature request originating from any detected domain is
+	// refused regardless of transaction content.
+	v := guard.Screen(benignTx(), rep.Detections[0].Domain)
+	if !v.Block {
+		t.Error("signature from detected phishing domain not blocked")
+	}
+	// Benign origins pass.
+	if v := guard.Screen(benignTx(), "gardenkitchen.com"); v.Block {
+		t.Error("benign origin blocked")
+	}
+}
+
+// benignTx builds a harmless pending transaction for domain-only
+// checks.
+func benignTx() *chain.Transaction {
+	from := ethtypes.MustAddress("0x0900000000000000000000000000000000000000")
+	to := ethtypes.MustAddress("0x0000000000000000000000000000000000000001")
+	return &chain.Transaction{From: from, To: &to}
+}
+
+var _ = worldgen.DatasetEnd

@@ -1,0 +1,122 @@
+package chain
+
+import (
+	"repro/internal/ethtypes"
+)
+
+// state holds account balances, nonces, code, and storage. States form
+// overlay chains: reads fall through to the parent, writes stay local
+// until Commit. Each message call runs in a child overlay so a failed
+// callee rolls back without disturbing the caller, and each transaction
+// runs in an overlay over the canonical state so failed transactions
+// leave no trace.
+type state struct {
+	parent   *state
+	balances map[ethtypes.Address]ethtypes.Wei
+	nonces   map[ethtypes.Address]uint64
+	code     map[ethtypes.Address][]byte
+	storage  map[storageKey]ethtypes.Hash
+}
+
+type storageKey struct {
+	addr ethtypes.Address
+	key  ethtypes.Hash
+}
+
+func newState(parent *state) *state {
+	return &state{
+		parent:   parent,
+		balances: make(map[ethtypes.Address]ethtypes.Wei),
+		nonces:   make(map[ethtypes.Address]uint64),
+		code:     make(map[ethtypes.Address][]byte),
+		storage:  make(map[storageKey]ethtypes.Hash),
+	}
+}
+
+func (s *state) balance(a ethtypes.Address) ethtypes.Wei {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.balances[a]; ok {
+			return v
+		}
+	}
+	return ethtypes.Wei{}
+}
+
+func (s *state) setBalance(a ethtypes.Address, v ethtypes.Wei) {
+	s.balances[a] = v
+}
+
+func (s *state) nonce(a ethtypes.Address) uint64 {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.nonces[a]; ok {
+			return v
+		}
+	}
+	return 0
+}
+
+func (s *state) setNonce(a ethtypes.Address, n uint64) {
+	s.nonces[a] = n
+}
+
+func (s *state) codeAt(a ethtypes.Address) []byte {
+	for cur := s; cur != nil; cur = cur.parent {
+		if c, ok := cur.code[a]; ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func (s *state) setCode(a ethtypes.Address, c []byte) {
+	s.code[a] = c
+}
+
+func (s *state) storageGet(a ethtypes.Address, k ethtypes.Hash) ethtypes.Hash {
+	sk := storageKey{a, k}
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.storage[sk]; ok {
+			return v
+		}
+	}
+	return ethtypes.Hash{}
+}
+
+func (s *state) storageSet(a ethtypes.Address, k, v ethtypes.Hash) {
+	s.storage[storageKey{a, k}] = v
+}
+
+// commit merges this overlay's writes into its parent. The overlay must
+// not be used afterwards.
+func (s *state) commit() {
+	p := s.parent
+	for a, v := range s.balances {
+		p.balances[a] = v
+	}
+	for a, n := range s.nonces {
+		p.nonces[a] = n
+	}
+	for a, c := range s.code {
+		p.code[a] = c
+	}
+	for k, v := range s.storage {
+		p.storage[k] = v
+	}
+}
+
+// transfer moves value between balances, failing on insufficient funds.
+func (s *state) transfer(from, to ethtypes.Address, v ethtypes.Wei) error {
+	if v.Sign() < 0 {
+		return errNegativeValue
+	}
+	if v.IsZero() {
+		return nil
+	}
+	fb := s.balance(from)
+	if fb.Cmp(v) < 0 {
+		return errInsufficientFunds
+	}
+	s.setBalance(from, fb.Sub(v))
+	s.setBalance(to, s.balance(to).Add(v))
+	return nil
+}

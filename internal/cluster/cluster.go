@@ -1,0 +1,294 @@
+// Package cluster implements the DaaS family clustering of the paper's
+// §7.1: operator accounts are unioned when they transact directly or
+// share an Etherscan-labeled phishing counterparty; profit-sharing
+// contracts and affiliate accounts then inherit the family of their
+// operators. Families are named from Etherscan operator labels, falling
+// back to the dominant operator's address prefix.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/labels"
+)
+
+// Family is one recovered DaaS family.
+type Family struct {
+	// Name is the Etherscan-derived family name, or the dominant
+	// operator's address prefix for unnamed clusters.
+	Name string
+	// Named reports whether the name came from a public label.
+	Named      bool
+	Operators  []ethtypes.Address
+	Contracts  []ethtypes.Address
+	Affiliates []ethtypes.Address
+	// SplitTxs counts the profit-sharing transactions attributed to the
+	// family.
+	SplitTxs int
+}
+
+// Clusterer groups a dataset into families.
+type Clusterer struct {
+	Source core.ChainSource
+	Labels *labels.Directory
+	// DisableSharedAccountEdges drops the second §7.1 edge type; used
+	// by the ablation bench.
+	DisableSharedAccountEdges bool
+	// DisableDirectEdges drops direct operator-to-operator transfers;
+	// used by the ablation bench.
+	DisableDirectEdges bool
+}
+
+// Cluster runs the two clustering steps and returns families sorted by
+// descending victim activity (split count).
+func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
+	if c.Source == nil {
+		return nil, fmt.Errorf("cluster: Source is required")
+	}
+	ops := make([]ethtypes.Address, 0, len(ds.Operators))
+	for _, rec := range ds.SortedOperators() {
+		ops = append(ops, rec.Address)
+	}
+	uf := newUnionFind(ops)
+
+	// Step 1: connect operators via their transaction histories.
+	sharedOwner := make(map[ethtypes.Address]ethtypes.Address)
+	for _, op := range ops {
+		hashes, err := c.Source.TransactionsOf(op)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: history of %s: %w", op.Short(), err)
+		}
+		for _, h := range hashes {
+			tx, err := c.Source.Transaction(h)
+			if err != nil {
+				return nil, err
+			}
+			if tx.To == nil {
+				continue
+			}
+			from, to := tx.From, *tx.To
+			// Direct transfer between two dataset operators.
+			if !c.DisableDirectEdges {
+				_, fromOp := ds.Operators[from]
+				_, toOp := ds.Operators[to]
+				if fromOp && toOp {
+					uf.union(from, to)
+					continue
+				}
+			}
+			// Shared Etherscan-labeled phishing counterparty (plain
+			// accounts only — dataset contracts belong to one operator
+			// by construction and would not witness collaboration).
+			if c.DisableSharedAccountEdges || c.Labels == nil {
+				continue
+			}
+			counterparty, ok := c.counterpartyOf(op, from, to)
+			if !ok {
+				continue
+			}
+			if _, isContract := ds.Contracts[counterparty]; isContract {
+				continue
+			}
+			if !c.isEtherscanPhishing(counterparty) {
+				continue
+			}
+			if first, seen := sharedOwner[counterparty]; seen {
+				uf.union(first, op)
+			} else {
+				sharedOwner[counterparty] = op
+			}
+		}
+	}
+
+	// Step 2: attribute contracts and affiliates through split records.
+	type attribution struct {
+		votes map[ethtypes.Address]int // operator root -> votes
+	}
+	newAttr := func() *attribution { return &attribution{votes: make(map[ethtypes.Address]int)} }
+	contractAttr := make(map[ethtypes.Address]*attribution)
+	affiliateAttr := make(map[ethtypes.Address]*attribution)
+	rootSplits := make(map[ethtypes.Address]int)
+
+	for _, splits := range ds.Splits {
+		for _, sp := range splits {
+			root, ok := uf.find(sp.Operator)
+			if !ok {
+				continue
+			}
+			if contractAttr[sp.Contract] == nil {
+				contractAttr[sp.Contract] = newAttr()
+			}
+			contractAttr[sp.Contract].votes[root]++
+			if affiliateAttr[sp.Affiliate] == nil {
+				affiliateAttr[sp.Affiliate] = newAttr()
+			}
+			affiliateAttr[sp.Affiliate].votes[root]++
+			rootSplits[root]++
+		}
+	}
+
+	// Materialize families.
+	byRoot := make(map[ethtypes.Address]*Family)
+	for _, op := range ops {
+		root, _ := uf.find(op)
+		fam := byRoot[root]
+		if fam == nil {
+			fam = &Family{}
+			byRoot[root] = fam
+		}
+		fam.Operators = append(fam.Operators, op)
+	}
+	assign := func(attrs map[ethtypes.Address]*attribution, into func(*Family, ethtypes.Address)) {
+		addrs := make([]ethtypes.Address, 0, len(attrs))
+		for a := range attrs {
+			addrs = append(addrs, a)
+		}
+		sortAddrs(addrs)
+		for _, a := range addrs {
+			attr := attrs[a]
+			var bestRoot ethtypes.Address
+			best := -1
+			for root, votes := range attr.votes {
+				if votes > best || (votes == best && addrLess(root, bestRoot)) {
+					best, bestRoot = votes, root
+				}
+			}
+			if fam := byRoot[bestRoot]; fam != nil {
+				into(fam, a)
+			}
+		}
+	}
+	assign(contractAttr, func(f *Family, a ethtypes.Address) { f.Contracts = append(f.Contracts, a) })
+	assign(affiliateAttr, func(f *Family, a ethtypes.Address) { f.Affiliates = append(f.Affiliates, a) })
+	for root, fam := range byRoot {
+		fam.SplitTxs = rootSplits[root]
+		c.nameFamily(fam, ds)
+	}
+
+	out := make([]*Family, 0, len(byRoot))
+	for _, fam := range byRoot {
+		out = append(out, fam)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SplitTxs != out[j].SplitTxs {
+			return out[i].SplitTxs > out[j].SplitTxs
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// counterpartyOf returns the other party of a transaction involving op.
+func (c *Clusterer) counterpartyOf(op, from, to ethtypes.Address) (ethtypes.Address, bool) {
+	switch {
+	case from == op:
+		return to, true
+	case to == op:
+		return from, true
+	default:
+		return ethtypes.Address{}, false
+	}
+}
+
+func (c *Clusterer) isEtherscanPhishing(a ethtypes.Address) bool {
+	for _, l := range c.Labels.Of(a) {
+		if l.Source == labels.SourceEtherscan && l.Category == labels.CategoryPhishing {
+			return true
+		}
+	}
+	return false
+}
+
+// nameFamily applies the §7.1 naming rule: an Etherscan family label on
+// any operator, else the dominant operator's six-hex-character prefix.
+func (c *Clusterer) nameFamily(fam *Family, ds *core.Dataset) {
+	sortAddrs(fam.Operators)
+	if c.Labels != nil {
+		for _, op := range fam.Operators {
+			if name, ok := c.Labels.EtherscanName(op); ok && !strings.HasPrefix(name, "Fake_Phishing") {
+				fam.Name = name
+				fam.Named = true
+				return
+			}
+		}
+	}
+	// Dominant operator: most splits received.
+	counts := make(map[ethtypes.Address]int)
+	for _, splits := range ds.Splits {
+		for _, sp := range splits {
+			counts[sp.Operator]++
+		}
+	}
+	var dom ethtypes.Address
+	best := -1
+	for _, op := range fam.Operators {
+		if counts[op] > best {
+			best, dom = counts[op], op
+		}
+	}
+	fam.Name = dom.Short()
+}
+
+// unionFind is a plain disjoint-set over addresses.
+type unionFind struct {
+	parent map[ethtypes.Address]ethtypes.Address
+	rank   map[ethtypes.Address]int
+}
+
+func newUnionFind(members []ethtypes.Address) *unionFind {
+	uf := &unionFind{
+		parent: make(map[ethtypes.Address]ethtypes.Address, len(members)),
+		rank:   make(map[ethtypes.Address]int, len(members)),
+	}
+	for _, m := range members {
+		uf.parent[m] = m
+	}
+	return uf
+}
+
+func (uf *unionFind) find(a ethtypes.Address) (ethtypes.Address, bool) {
+	p, ok := uf.parent[a]
+	if !ok {
+		return ethtypes.Address{}, false
+	}
+	if p == a {
+		return a, true
+	}
+	root, _ := uf.find(p)
+	uf.parent[a] = root
+	return root, true
+}
+
+// union merges the sets of a and b; unknown members are ignored unless
+// both are known.
+func (uf *unionFind) union(a, b ethtypes.Address) {
+	ra, okA := uf.find(a)
+	rb, okB := uf.find(b)
+	if !okA || !okB || ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+func sortAddrs(addrs []ethtypes.Address) {
+	sort.Slice(addrs, func(i, j int) bool { return addrLess(addrs[i], addrs[j]) })
+}
+
+func addrLess(a, b ethtypes.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

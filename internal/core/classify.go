@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/big"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+)
+
+// DefaultRatiosPM are the operator profit shares observed across
+// profit-sharing transactions, in per-mille (§4.3: 10%, 12.5%, 15%,
+// 17.5%, 20%, 25%, 30%, 33%, 40%).
+var DefaultRatiosPM = []int64{100, 125, 150, 175, 200, 250, 300, 330, 400}
+
+// Classifier decides whether a transaction is a profit-sharing
+// transaction per §5.1 Step 2: the fund flow contains exactly two
+// transfers of the same asset originating from one account, in one of
+// the known fixed proportions, with the smaller share going first to
+// the operator.
+type Classifier struct {
+	// RatiosPM is the accepted operator-share set; defaults to
+	// DefaultRatiosPM when empty.
+	RatiosPM []int64
+	// TolerancePM absorbs integer-division dust (default 1‰). The
+	// ablation bench sweeps this.
+	TolerancePM int64
+	// MaxGroupSize rejects payer/asset groups with more transfers than
+	// this (default 2, the paper's "consists of two transfers"). The
+	// flow-shape ablation relaxes it.
+	MaxGroupSize int
+}
+
+// Split is one detected profit share inside a transaction.
+type Split struct {
+	TxHash          ethtypes.Hash
+	Time            time.Time
+	Contract        ethtypes.Address // invoked contract
+	Payer           ethtypes.Address // account both transfers originate from
+	Operator        ethtypes.Address // recipient of the smaller share
+	Affiliate       ethtypes.Address // recipient of the larger share
+	Asset           chain.Asset
+	OperatorAmount  ethtypes.Wei
+	AffiliateAmount ethtypes.Wei
+	// RatioPM is the matched operator share in per-mille.
+	RatioPM int64
+}
+
+// Total returns the combined transferred amount.
+func (s Split) Total() ethtypes.Wei { return s.OperatorAmount.Add(s.AffiliateAmount) }
+
+func (c *Classifier) ratios() []int64 {
+	if len(c.RatiosPM) > 0 {
+		return c.RatiosPM
+	}
+	return DefaultRatiosPM
+}
+
+func (c *Classifier) tolerance() int64 {
+	if c.TolerancePM > 0 {
+		return c.TolerancePM
+	}
+	return 1
+}
+
+func (c *Classifier) maxGroup() int {
+	if c.MaxGroupSize > 0 {
+		return c.MaxGroupSize
+	}
+	return 2
+}
+
+type groupKey struct {
+	payer ethtypes.Address
+	asset chain.Asset
+}
+
+// Classify inspects a transaction's fund flow and returns every
+// detected split. A transaction with at least one split is a
+// profit-sharing transaction.
+func (c *Classifier) Classify(tx *chain.Transaction, r *chain.Receipt) []Split {
+	if r == nil || !r.Status || len(r.Transfers) < 2 || tx == nil || tx.To == nil {
+		return nil
+	}
+	groups := make(map[groupKey][]chain.Transfer)
+	var order []groupKey
+	for _, tr := range r.Transfers {
+		k := groupKey{tr.From, tr.Asset}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], tr)
+	}
+	var out []Split
+	for _, k := range order {
+		g := groups[k]
+		if len(g) != 2 {
+			if len(g) < 2 || len(g) > c.maxGroup() {
+				continue
+			}
+			// Flow-shape ablation: larger groups allowed; try every
+			// adjacent pair.
+			for i := 0; i+1 < len(g); i++ {
+				if sp, ok := c.matchPair(tx, r, k, g[i], g[i+1]); ok {
+					out = append(out, sp)
+				}
+			}
+			continue
+		}
+		if sp, ok := c.matchPair(tx, r, k, g[0], g[1]); ok {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// matchPair tests one candidate transfer pair against the ratio set.
+func (c *Classifier) matchPair(tx *chain.Transaction, r *chain.Receipt, k groupKey, a, b chain.Transfer) (Split, bool) {
+	// ERC-721 moves are indivisible and never ratio-split.
+	if k.asset.Kind == chain.AssetERC721 {
+		return Split{}, false
+	}
+	lo, hi := a, b
+	if lo.Amount.Cmp(hi.Amount) > 0 {
+		lo, hi = hi, lo
+	}
+	total := lo.Amount.Add(hi.Amount)
+	if total.IsZero() {
+		return Split{}, false
+	}
+	// Self-payments cannot be an operator/affiliate split.
+	if lo.To == hi.To {
+		return Split{}, false
+	}
+	ratioPM := ratioPerMille(lo.Amount, total)
+	tol := c.tolerance()
+	for _, want := range c.ratios() {
+		if ratioPM >= want-tol && ratioPM <= want+tol {
+			return Split{
+				TxHash:          r.TxHash,
+				Time:            r.Timestamp,
+				Contract:        *tx.To,
+				Payer:           k.payer,
+				Operator:        lo.To,
+				Affiliate:       hi.To,
+				Asset:           k.asset,
+				OperatorAmount:  lo.Amount,
+				AffiliateAmount: hi.Amount,
+				RatioPM:         want,
+			}, true
+		}
+	}
+	return Split{}, false
+}
+
+// ratioPerMille computes part/total in rounded per-mille.
+func ratioPerMille(part, total ethtypes.Wei) int64 {
+	n := new(big.Int).Mul(part.Big(), big.NewInt(1000))
+	// Round to nearest: (n + total/2) / total.
+	t := total.Big()
+	n.Add(n, new(big.Int).Div(t, big.NewInt(2)))
+	n.Div(n, t)
+	return n.Int64()
+}

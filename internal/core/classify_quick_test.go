@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+)
+
+// mkSplitReceipt builds a synthetic two-transfer split through a
+// contract with the given operator ratio applied to total.
+func mkSplitReceipt(total ethtypes.Wei, ratioPM int64) (*chain.Transaction, *chain.Receipt) {
+	contract := ethtypes.MustAddress("0xc000000000000000000000000000000000000001")
+	op := ethtypes.MustAddress("0x0e00000000000000000000000000000000000002")
+	aff := ethtypes.MustAddress("0xaf00000000000000000000000000000000000003")
+	victim := ethtypes.MustAddress("0x1c00000000000000000000000000000000000004")
+	opAmt := total.MulDiv(ratioPM, 1000)
+	affAmt := total.Sub(opAmt)
+	tx := &chain.Transaction{From: victim, To: &contract, Value: total}
+	r := &chain.Receipt{
+		Status: true, TxHash: ethtypes.Hash{1}, Timestamp: time.Unix(1700000000, 0),
+		Transfers: []chain.Transfer{
+			{Asset: chain.ETHAsset, From: victim, To: contract, Amount: total},
+			{Asset: chain.ETHAsset, From: contract, To: op, Amount: opAmt, Depth: 1},
+			{Asset: chain.ETHAsset, From: contract, To: aff, Amount: affAmt, Depth: 1},
+		},
+	}
+	return tx, r
+}
+
+// Property: every documented ratio applied to any amount ≥ 1000 wei is
+// classified, and the recovered ratio matches.
+func TestQuickClassifierRecognizesAllRatios(t *testing.T) {
+	cl := core.Classifier{}
+	f := func(amount uint32, pick uint8) bool {
+		total := ethtypes.NewWei(int64(amount)%1_000_000_000 + 1000)
+		ratio := core.DefaultRatiosPM[int(pick)%len(core.DefaultRatiosPM)]
+		tx, r := mkSplitReceipt(total, ratio)
+		splits := cl.Classify(tx, r)
+		if len(splits) != 1 {
+			return false
+		}
+		sp := splits[0]
+		return sp.RatioPM == ratio &&
+			sp.OperatorAmount.Cmp(sp.AffiliateAmount) <= 0 &&
+			sp.Total().Cmp(total) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ratios clearly outside the documented set never classify
+// (choose the midpoint between neighbouring documented ratios, which
+// is ≥ 9‰ away from both).
+func TestQuickClassifierRejectsForeignRatios(t *testing.T) {
+	cl := core.Classifier{}
+	foreign := []int64{60, 113, 138, 163, 188, 225, 275, 315, 365, 450, 480}
+	f := func(amount uint32, pick uint8) bool {
+		total := ethtypes.NewWei(int64(amount)%1_000_000_000 + 1_000_000)
+		ratio := foreign[int(pick)%len(foreign)]
+		tx, r := mkSplitReceipt(total, ratio)
+		return len(cl.Classify(tx, r)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: classification is invariant under transfer order within
+// the receipt (trace ordering is an implementation detail of the
+// node).
+func TestQuickClassifierOrderInvariance(t *testing.T) {
+	cl := core.Classifier{}
+	f := func(amount uint32) bool {
+		total := ethtypes.NewWei(int64(amount)%1_000_000_000 + 1000)
+		tx, r := mkSplitReceipt(total, 200)
+		// Reverse the transfer list.
+		rev := &chain.Receipt{Status: true, TxHash: r.TxHash, Timestamp: r.Timestamp}
+		for i := len(r.Transfers) - 1; i >= 0; i-- {
+			rev.Transfers = append(rev.Transfers, r.Transfers[i])
+		}
+		a := cl.Classify(tx, r)
+		b := cl.Classify(tx, rev)
+		if len(a) != 1 || len(b) != 1 {
+			return false
+		}
+		return a[0].Operator == b[0].Operator && a[0].RatioPM == b[0].RatioPM
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ethtypes"
+)
+
+// DatasetDiff describes how the DaaS ecosystem moved between two
+// dataset builds. Operators continuously deploy new profit-sharing
+// contracts (§8.1), so periodic re-runs of the pipeline plus a diff
+// are the operational monitoring loop.
+type DatasetDiff struct {
+	NewContracts  []ethtypes.Address
+	GoneContracts []ethtypes.Address // present before, absent now (re-org of seed labels, not expected in practice)
+	NewOperators  []ethtypes.Address
+	NewAffiliates []ethtypes.Address
+	// NewSplitTxs counts profit-sharing transactions present only in
+	// the newer dataset.
+	NewSplitTxs int
+	// ContractActivity lists contracts whose transaction count grew,
+	// with the delta.
+	ContractActivity []ContractDelta
+}
+
+// ContractDelta is one contract's activity change.
+type ContractDelta struct {
+	Address ethtypes.Address
+	Before  int
+	After   int
+}
+
+// Empty reports whether nothing changed.
+func (d *DatasetDiff) Empty() bool {
+	return len(d.NewContracts) == 0 && len(d.GoneContracts) == 0 &&
+		len(d.NewOperators) == 0 && len(d.NewAffiliates) == 0 &&
+		d.NewSplitTxs == 0 && len(d.ContractActivity) == 0
+}
+
+// Diff compares an older dataset build against a newer one.
+func Diff(older, newer *Dataset) *DatasetDiff {
+	d := &DatasetDiff{}
+	for _, rec := range newer.SortedContracts() {
+		old, ok := older.Contracts[rec.Address]
+		if !ok {
+			d.NewContracts = append(d.NewContracts, rec.Address)
+			continue
+		}
+		if rec.TxCount > old.TxCount {
+			d.ContractActivity = append(d.ContractActivity, ContractDelta{
+				Address: rec.Address, Before: old.TxCount, After: rec.TxCount,
+			})
+		}
+	}
+	for _, rec := range older.SortedContracts() {
+		if _, ok := newer.Contracts[rec.Address]; !ok {
+			d.GoneContracts = append(d.GoneContracts, rec.Address)
+		}
+	}
+	for _, rec := range newer.SortedOperators() {
+		if _, ok := older.Operators[rec.Address]; !ok {
+			d.NewOperators = append(d.NewOperators, rec.Address)
+		}
+	}
+	for _, rec := range newer.SortedAffiliates() {
+		if _, ok := older.Affiliates[rec.Address]; !ok {
+			d.NewAffiliates = append(d.NewAffiliates, rec.Address)
+		}
+	}
+	for h := range newer.Splits {
+		if _, ok := older.Splits[h]; !ok {
+			d.NewSplitTxs++
+		}
+	}
+	return d
+}
+
+// Render writes a human-readable diff summary.
+func (d *DatasetDiff) Render(w io.Writer) {
+	if d.Empty() {
+		fmt.Fprintln(w, "no changes between dataset builds")
+		return
+	}
+	fmt.Fprintf(w, "dataset changes: +%d contracts, +%d operators, +%d affiliates, +%d profit-sharing txs\n",
+		len(d.NewContracts), len(d.NewOperators), len(d.NewAffiliates), d.NewSplitTxs)
+	for i, a := range d.NewContracts {
+		if i >= 10 {
+			fmt.Fprintf(w, "  … and %d more new contracts\n", len(d.NewContracts)-10)
+			break
+		}
+		fmt.Fprintf(w, "  new contract %s\n", a.Hex())
+	}
+	for i, cd := range d.ContractActivity {
+		if i >= 10 {
+			fmt.Fprintf(w, "  … and %d more active contracts\n", len(d.ContractActivity)-10)
+			break
+		}
+		fmt.Fprintf(w, "  contract %s: %d -> %d txs\n", cd.Address.Short(), cd.Before, cd.After)
+	}
+	if len(d.GoneContracts) > 0 {
+		fmt.Fprintf(w, "  %d contracts from the older build are absent (check seed sources)\n", len(d.GoneContracts))
+	}
+}

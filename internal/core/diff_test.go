@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+)
+
+func mkDataset(contracts, operators, affiliates []string, txCounts map[string]int) *core.Dataset {
+	ds := core.NewDataset()
+	t0 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, c := range contracts {
+		a := ethtypes.MustAddress(c)
+		ds.Contracts[a] = &core.ContractRecord{Address: a, FirstSeen: t0, LastSeen: t0, TxCount: txCounts[c]}
+	}
+	for _, o := range operators {
+		a := ethtypes.MustAddress(o)
+		ds.Operators[a] = &core.AccountRecord{Address: a, FirstSeen: t0, LastSeen: t0}
+	}
+	for _, f := range affiliates {
+		a := ethtypes.MustAddress(f)
+		ds.Affiliates[a] = &core.AccountRecord{Address: a, FirstSeen: t0, LastSeen: t0}
+	}
+	return ds
+}
+
+const (
+	c1 = "0xc100000000000000000000000000000000000001"
+	c2 = "0xc200000000000000000000000000000000000002"
+	o1 = "0x0e00000000000000000000000000000000000001"
+	o2 = "0x0e00000000000000000000000000000000000002"
+	a1 = "0xaf00000000000000000000000000000000000001"
+)
+
+func TestDiffDetectsGrowth(t *testing.T) {
+	older := mkDataset([]string{c1}, []string{o1}, nil, map[string]int{c1: 5})
+	newer := mkDataset([]string{c1, c2}, []string{o1, o2}, []string{a1}, map[string]int{c1: 9, c2: 3})
+	newer.Splits[ethtypes.Hash{1}] = []core.Split{{}}
+
+	d := core.Diff(older, newer)
+	if d.Empty() {
+		t.Fatal("growth diff reported empty")
+	}
+	if len(d.NewContracts) != 1 || d.NewContracts[0] != ethtypes.MustAddress(c2) {
+		t.Errorf("new contracts = %v", d.NewContracts)
+	}
+	if len(d.NewOperators) != 1 || len(d.NewAffiliates) != 1 {
+		t.Errorf("new accounts = %v / %v", d.NewOperators, d.NewAffiliates)
+	}
+	if d.NewSplitTxs != 1 {
+		t.Errorf("new split txs = %d", d.NewSplitTxs)
+	}
+	if len(d.ContractActivity) != 1 || d.ContractActivity[0].After != 9 {
+		t.Errorf("activity = %+v", d.ContractActivity)
+	}
+	var sb strings.Builder
+	d.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "+1 contracts") || !strings.Contains(out, "5 -> 9") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := mkDataset([]string{c1}, []string{o1}, nil, map[string]int{c1: 5})
+	b := mkDataset([]string{c1}, []string{o1}, nil, map[string]int{c1: 5})
+	d := core.Diff(a, b)
+	if !d.Empty() {
+		t.Errorf("identical datasets diff: %+v", d)
+	}
+	var sb strings.Builder
+	d.Render(&sb)
+	if !strings.Contains(sb.String(), "no changes") {
+		t.Error("empty diff render missing message")
+	}
+}
+
+func TestDiffGoneContracts(t *testing.T) {
+	older := mkDataset([]string{c1, c2}, nil, nil, map[string]int{})
+	newer := mkDataset([]string{c1}, nil, nil, map[string]int{})
+	d := core.Diff(older, newer)
+	if len(d.GoneContracts) != 1 {
+		t.Errorf("gone contracts = %v", d.GoneContracts)
+	}
+}
+
+// TestDiffAcrossWorldGrowth diffs two builds of the same world at
+// different points in time — the monitoring workflow.
+func TestDiffAcrossWorldGrowth(t *testing.T) {
+	// The shared fixture dataset versus a seed-only dataset emulates
+	// "before expansion" vs "after expansion".
+	full := buildDataset(t, sharedWorld)
+	seedOnly := core.NewDataset()
+	for a, rec := range full.Contracts {
+		if rec.Found == core.DiscoverySeed {
+			seedOnly.Contracts[a] = rec
+		}
+	}
+	d := core.Diff(seedOnly, full)
+	if len(d.NewContracts) != full.Stats().Contracts-len(seedOnly.Contracts) {
+		t.Errorf("new contracts = %d", len(d.NewContracts))
+	}
+	if d.NewSplitTxs != len(full.Splits) {
+		t.Errorf("new split txs = %d, want %d", d.NewSplitTxs, len(full.Splits))
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+	"repro/internal/labels"
+)
+
+// Pipeline runs the four-step dataset construction of §5.1.
+type Pipeline struct {
+	Source     ChainSource
+	Labels     *labels.Directory
+	Classifier Classifier
+	// MaxIterations bounds the expansion loop as a safety valve; the
+	// loop normally reaches a fixpoint long before (default 50).
+	MaxIterations int
+	// DisableExpansionGate admits any contract whose transactions
+	// match the split pattern, even when reached from nowhere — used
+	// only by the ablation bench, where the pipeline additionally
+	// scans unconnected contracts.
+	DisableExpansionGate bool
+	// Concurrency sets the number of parallel transaction+receipt
+	// fetches per account scan. It matters when Source is a remote
+	// JSON-RPC endpoint (each fetch is a network round trip); 0 or 1
+	// keeps everything sequential. Classification itself stays
+	// deterministic regardless.
+	Concurrency int
+	// Trace, when set, receives progress lines.
+	Trace func(format string, args ...any)
+}
+
+// fetched pairs one transaction with its receipt.
+type fetched struct {
+	tx  *chain.Transaction
+	rec *chain.Receipt
+}
+
+// fetchAll retrieves transactions and receipts for the given hashes,
+// in order, using up to Concurrency parallel fetchers.
+func (p *Pipeline) fetchAll(hashes []ethtypes.Hash) ([]fetched, error) {
+	out := make([]fetched, len(hashes))
+	workers := p.Concurrency
+	if workers <= 1 || len(hashes) < 2 {
+		for i, h := range hashes {
+			tx, err := p.Source.Transaction(h)
+			if err != nil {
+				return nil, err
+			}
+			rec, err := p.Source.Receipt(h)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = fetched{tx, rec}
+		}
+		return out, nil
+	}
+	if workers > len(hashes) {
+		workers = len(hashes)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, len(hashes))
+	for i := range hashes {
+		idx <- i
+	}
+	close(idx)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range idx {
+				tx, err := p.Source.Transaction(hashes[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				rec, err := p.Source.Receipt(hashes[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = fetched{tx, rec}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Build runs seed collection, seed dataset construction, and iterative
+// expansion, returning the final dataset.
+func (p *Pipeline) Build() (*Dataset, error) {
+	if p.Source == nil || p.Labels == nil {
+		return nil, fmt.Errorf("core: pipeline needs a Source and Labels")
+	}
+	ds := NewDataset()
+	scannedAccounts := make(map[ethtypes.Address]bool)
+	classified := make(map[ethtypes.Hash]bool)
+
+	// Step 1: collect phishing reports from the public sources and keep
+	// the contracts.
+	var seedContracts []ethtypes.Address
+	for _, addr := range p.Labels.AllPhishing() {
+		isContract, err := p.Source.IsContract(addr)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 1: %w", err)
+		}
+		if isContract {
+			seedContracts = append(seedContracts, addr)
+		}
+	}
+	p.tracef("step 1: %d labeled phishing contracts", len(seedContracts))
+
+	// Step 2 + 3: identify profit-sharing contracts among the reports
+	// and extract operator/affiliate accounts — the seed dataset.
+	for _, addr := range seedContracts {
+		if err := p.absorbContract(ds, addr, DiscoverySeed, classified); err != nil {
+			return nil, fmt.Errorf("core: step 2: %w", err)
+		}
+	}
+	ds.SeedStats = ds.Stats()
+	p.tracef("step 3: seed dataset: %+v", ds.SeedStats)
+
+	// Step 4: snowball expansion until fixpoint.
+	for iter := 0; iter < p.maxIter(); iter++ {
+		before := ds.Stats()
+		// Scan the history of every not-yet-scanned operator and
+		// affiliate account for profit-sharing transactions invoking
+		// unknown contracts.
+		frontier := p.unscannedAccounts(ds, scannedAccounts)
+		if len(frontier) == 0 {
+			break
+		}
+		for _, acct := range frontier {
+			scannedAccounts[acct] = true
+			hashes, err := p.Source.TransactionsOf(acct)
+			if err != nil {
+				return nil, fmt.Errorf("core: step 4: %w", err)
+			}
+			fresh := hashes[:0:0]
+			for _, h := range hashes {
+				if !classified[h] {
+					fresh = append(fresh, h)
+				}
+			}
+			pairs, err := p.fetchAll(fresh)
+			if err != nil {
+				return nil, err
+			}
+			for pi, h := range fresh {
+				if classified[h] {
+					continue // classified by an earlier absorb this pass
+				}
+				tx, r := pairs[pi].tx, pairs[pi].rec
+				splits := p.Classifier.Classify(tx, r)
+				if len(splits) == 0 {
+					continue
+				}
+				contract := splits[0].Contract
+				if _, known := ds.Contracts[contract]; known {
+					// Known contract, possibly new counterparties.
+					p.recordSplits(ds, splits, DiscoveryExpansion)
+					classified[h] = true
+					continue
+				}
+				// Expansion gate: the invoked contract must have
+				// interacted with an account already in the dataset —
+				// here, the frontier account whose history surfaced it.
+				if !p.DisableExpansionGate {
+					if !p.interactsWithDataset(ds, splits, acct) {
+						continue
+					}
+				}
+				if err := p.absorbContract(ds, contract, DiscoveryExpansion, classified); err != nil {
+					return nil, err
+				}
+			}
+		}
+		after := ds.Stats()
+		p.tracef("step 4 iteration %d: %+v", iter+1, after)
+		if after == before {
+			break
+		}
+	}
+	return ds, nil
+}
+
+// unscannedAccounts returns dataset operators and affiliates whose
+// histories have not been walked yet, in deterministic order.
+func (p *Pipeline) unscannedAccounts(ds *Dataset, scanned map[ethtypes.Address]bool) []ethtypes.Address {
+	var out []ethtypes.Address
+	for _, rec := range ds.SortedOperators() {
+		if !scanned[rec.Address] {
+			out = append(out, rec.Address)
+		}
+	}
+	for _, rec := range ds.SortedAffiliates() {
+		if !scanned[rec.Address] {
+			out = append(out, rec.Address)
+		}
+	}
+	return out
+}
+
+// interactsWithDataset checks the expansion gate: some party of the
+// split transaction besides the invoked contract is already a DaaS
+// account (the frontier account itself qualifies by construction; the
+// check also accepts splits paying known accounts).
+func (p *Pipeline) interactsWithDataset(ds *Dataset, splits []Split, frontier ethtypes.Address) bool {
+	for _, sp := range splits {
+		if sp.Operator == frontier || sp.Affiliate == frontier || sp.Payer == frontier {
+			return true
+		}
+		if ds.IsDaaSAccount(sp.Operator) || ds.IsDaaSAccount(sp.Affiliate) {
+			return true
+		}
+	}
+	return false
+}
+
+// absorbContract classifies the full history of a candidate contract;
+// if any profit-sharing transaction is found the contract and its
+// split counterparties join the dataset.
+func (p *Pipeline) absorbContract(ds *Dataset, addr ethtypes.Address, found Discovery, classified map[ethtypes.Hash]bool) error {
+	if _, known := ds.Contracts[addr]; known {
+		return nil
+	}
+	hashes, err := p.Source.TransactionsOf(addr)
+	if err != nil {
+		return err
+	}
+	var rec *ContractRecord
+	pairs, err := p.fetchAll(hashes)
+	if err != nil {
+		return err
+	}
+	for pi, h := range hashes {
+		tx, r := pairs[pi].tx, pairs[pi].rec
+		splits := p.Classifier.Classify(tx, r)
+		// Only splits invoked through this contract count toward it.
+		var own []Split
+		for _, sp := range splits {
+			if sp.Contract == addr {
+				own = append(own, sp)
+			}
+		}
+		if len(own) == 0 {
+			continue
+		}
+		if rec == nil {
+			rec = &ContractRecord{Address: addr, Found: found, FirstSeen: r.Timestamp, LastSeen: r.Timestamp}
+			ds.Contracts[addr] = rec
+			if found == DiscoverySeed {
+				for _, l := range p.Labels.Of(addr) {
+					rec.Sources = append(rec.Sources, string(l.Source))
+				}
+			}
+		}
+		if r.Timestamp.Before(rec.FirstSeen) {
+			rec.FirstSeen = r.Timestamp
+		}
+		if r.Timestamp.After(rec.LastSeen) {
+			rec.LastSeen = r.Timestamp
+		}
+		rec.TxCount++
+		classified[h] = true
+		p.recordSplits(ds, own, found)
+	}
+	return nil
+}
+
+// recordSplits stores splits and registers their operator and
+// affiliate accounts.
+func (p *Pipeline) recordSplits(ds *Dataset, splits []Split, found Discovery) {
+	for _, sp := range splits {
+		ds.Splits[sp.TxHash] = append(ds.Splits[sp.TxHash], sp)
+		touchAccount(ds.Operators, sp.Operator, sp.Time, found)
+		touchAccount(ds.Affiliates, sp.Affiliate, sp.Time, found)
+	}
+}
+
+func (p *Pipeline) maxIter() int {
+	if p.MaxIterations > 0 {
+		return p.MaxIterations
+	}
+	return 50
+}
+
+func (p *Pipeline) tracef(format string, args ...any) {
+	if p.Trace != nil {
+		p.Trace(format, args...)
+	}
+}

@@ -1,0 +1,53 @@
+// Package core implements the paper's primary contribution: the
+// profit-sharing transaction classifier (§4.3, §5.1 Step 2), the
+// snowball-sampling dataset builder (§5.1), and the sampling-based
+// validation harness (§5.2). It consumes chain data through the
+// ChainSource interface, so the same pipeline runs in-process against
+// a simulated chain or remotely over JSON-RPC.
+package core
+
+import (
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+)
+
+// ChainSource is the read-only view of an Ethereum-like chain the
+// pipeline needs. internal/chain satisfies it via LocalSource;
+// internal/rpc's client satisfies it over HTTP.
+type ChainSource interface {
+	// TransactionsOf returns, in chronological order, the hashes of all
+	// transactions touching an account.
+	TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error)
+	// Transaction fetches a transaction by hash.
+	Transaction(h ethtypes.Hash) (*chain.Transaction, error)
+	// Receipt fetches the execution receipt (with fund-flow transfers)
+	// by transaction hash.
+	Receipt(h ethtypes.Hash) (*chain.Receipt, error)
+	// IsContract reports whether the address hosts code.
+	IsContract(addr ethtypes.Address) (bool, error)
+}
+
+// LocalSource adapts an in-process chain to ChainSource.
+type LocalSource struct {
+	Chain *chain.Chain
+}
+
+// TransactionsOf implements ChainSource.
+func (s LocalSource) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
+	return s.Chain.TransactionsOf(addr), nil
+}
+
+// Transaction implements ChainSource.
+func (s LocalSource) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	return s.Chain.Transaction(h)
+}
+
+// Receipt implements ChainSource.
+func (s LocalSource) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	return s.Chain.Receipt(h)
+}
+
+// IsContract implements ChainSource.
+func (s LocalSource) IsContract(addr ethtypes.Address) (bool, error) {
+	return s.Chain.IsContract(addr), nil
+}

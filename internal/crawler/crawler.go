@@ -1,0 +1,98 @@
+// Package crawler fetches candidate websites and extracts their local
+// script files — the urlscan-equivalent of the paper's §8.2 Step 2.
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Page is the crawl result for one domain.
+type Page struct {
+	Domain string
+	// Files maps script file name (base name) to content; index.html is
+	// included under "index.html".
+	Files map[string][]byte
+	// RemoteRefs lists external (CDN) script URLs that were not fetched.
+	RemoteRefs []string
+}
+
+// Crawler fetches sites hosted under a path-virtual-hosted base URL
+// (as served by website.Host): {base}/{domain}/{path}.
+type Crawler struct {
+	// BaseURL is the hosting endpoint.
+	BaseURL string
+	// HTTPClient defaults to a 15s-timeout client.
+	HTTPClient *http.Client
+	// MaxFileBytes caps each fetched file (default 1 MiB).
+	MaxFileBytes int64
+}
+
+// New returns a crawler for the hosting endpoint.
+func New(baseURL string) *Crawler {
+	return &Crawler{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 15 * time.Second}}
+}
+
+var scriptSrcRE = regexp.MustCompile(`(?i)<script[^>]+src=["']([^"']+)["']`)
+
+// Fetch crawls one domain: the index page plus every locally
+// referenced script.
+func (c *Crawler) Fetch(domain string) (*Page, error) {
+	index, err := c.get(domain, "index.html")
+	if err != nil {
+		return nil, fmt.Errorf("crawler: %s: %w", domain, err)
+	}
+	page := &Page{Domain: domain, Files: map[string][]byte{"index.html": index}}
+	for _, m := range scriptSrcRE.FindAllStringSubmatch(string(index), -1) {
+		src := m[1]
+		if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") || strings.HasPrefix(src, "//") {
+			page.RemoteRefs = append(page.RemoteRefs, src)
+			continue
+		}
+		path := strings.TrimPrefix(strings.TrimPrefix(src, "./"), "/")
+		body, err := c.get(domain, path)
+		if err != nil {
+			// Missing assets are common in the wild; record nothing and
+			// continue.
+			continue
+		}
+		page.Files[baseName(path)] = body
+	}
+	return page, nil
+}
+
+func (c *Crawler) get(domain, path string) ([]byte, error) {
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 15 * time.Second}
+	}
+	u, err := url.JoinPath(c.BaseURL, domain, path)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpClient.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("http %d for %s", resp.StatusCode, u)
+	}
+	limit := c.MaxFileBytes
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, limit))
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

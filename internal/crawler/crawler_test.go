@@ -1,0 +1,97 @@
+package crawler_test
+
+import (
+	"math/rand/v2"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/toolkit"
+	"repro/internal/website"
+)
+
+func newHostServer(t *testing.T, sites ...*website.Site) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(website.NewHost(sites))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFetchPhishingSite(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	site := website.BuildPhishing("opensea-reward.app", toolkit.FamilyAngel, 3, rng)
+	srv := newHostServer(t, site)
+
+	page, err := crawler.New(srv.URL).Fetch("opensea-reward.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := page.Files["index.html"]; !ok {
+		t.Error("index.html missing")
+	}
+	if _, ok := page.Files["settings.js"]; !ok {
+		t.Errorf("local script not fetched; files = %v", fileKeys(page.Files))
+	}
+	if !strings.Contains(string(page.Files["settings.js"]), "drainToken") {
+		t.Error("script content corrupted")
+	}
+	// CDN refs recorded but not fetched.
+	if len(page.RemoteRefs) == 0 {
+		t.Error("no remote refs recorded")
+	}
+	for _, ref := range page.RemoteRefs {
+		if !strings.HasPrefix(ref, "https://") {
+			t.Errorf("remote ref %q not external", ref)
+		}
+	}
+}
+
+func TestFetchToleratesMissingAssets(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	site := website.BuildBenign("gardenbooks.net", rng)
+	// Break a reference: index points at a script we delete.
+	site.Files["index.html"] = strings.Replace(site.Files["index.html"],
+		"./scripts/main.js", "./scripts/gone.js", 1)
+	srv := newHostServer(t, site)
+
+	page, err := crawler.New(srv.URL).Fetch("gardenbooks.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := page.Files["gone.js"]; ok {
+		t.Error("missing asset fabricated")
+	}
+}
+
+func TestFetchUnknownDomain(t *testing.T) {
+	srv := newHostServer(t)
+	if _, err := crawler.New(srv.URL).Fetch("nope.example"); err == nil {
+		t.Error("fetch of unhosted domain succeeded")
+	}
+}
+
+func TestFetchRespectsSizeLimit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	site := website.BuildBenign("coffeetravel.org", rng)
+	site.Files["scripts/main.js"] = strings.Repeat("x", 4096)
+	srv := newHostServer(t, site)
+
+	c := crawler.New(srv.URL)
+	c.MaxFileBytes = 100
+	page, err := c.Fetch("coffeetravel.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Files["main.js"]) > 100 {
+		t.Errorf("size limit ignored: %d bytes", len(page.Files["main.js"]))
+	}
+}
+
+func fileKeys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

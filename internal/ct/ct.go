@@ -1,0 +1,238 @@
+// Package ct implements an RFC 6962-style Certificate Transparency log
+// substrate: real self-signed X.509 certificates (ECDSA P-256) issued
+// for generated domains, an HTTP log server exposing get-sth and
+// get-entries, and a polling client. The paper's §8.2 Step 1 consumes
+// newly issued certificates exactly this way.
+package ct
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Entry is one log entry: a DER-encoded certificate and its index.
+type Entry struct {
+	Index  int64
+	DER    []byte
+	Issued time.Time
+}
+
+// Domains parses the certificate and returns its DNS names.
+func (e Entry) Domains() ([]string, error) {
+	cert, err := x509.ParseCertificate(e.DER)
+	if err != nil {
+		return nil, fmt.Errorf("ct: parsing entry %d: %w", e.Index, err)
+	}
+	return cert.DNSNames, nil
+}
+
+// Log is an append-only certificate log. The zero value is unusable;
+// call NewLog.
+type Log struct {
+	mu      sync.RWMutex
+	entries []Entry
+	signer  *ecdsa.PrivateKey
+	serial  int64
+}
+
+// NewLog creates an empty log with a fresh issuing key.
+func NewLog() (*Log, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ct: generating log key: %w", err)
+	}
+	return &Log{signer: key}, nil
+}
+
+// Issue creates a self-signed certificate covering the given domains
+// and appends it to the log, returning the entry.
+func (l *Log) Issue(domainNames []string, notBefore time.Time) (Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.serial++
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(l.serial),
+		Subject:               pkix.Name{CommonName: domainNames[0]},
+		DNSNames:              domainNames,
+		NotBefore:             notBefore,
+		NotAfter:              notBefore.Add(90 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &l.signer.PublicKey, l.signer)
+	if err != nil {
+		return Entry{}, fmt.Errorf("ct: issuing cert for %v: %w", domainNames, err)
+	}
+	entry := Entry{Index: int64(len(l.entries)), DER: der, Issued: notBefore}
+	l.entries = append(l.entries, entry)
+	return entry, nil
+}
+
+// Size returns the current tree size.
+func (l *Log) Size() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return int64(len(l.entries))
+}
+
+// Entries returns entries in [start, end] inclusive, clamped to the
+// log, mirroring the RFC 6962 get-entries window semantics.
+func (l *Log) Entries(start, end int64) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if start < 0 {
+		start = 0
+	}
+	if end >= int64(len(l.entries)) {
+		end = int64(len(l.entries)) - 1
+	}
+	if start > end {
+		return nil
+	}
+	out := make([]Entry, 0, end-start+1)
+	out = append(out, l.entries[start:end+1]...)
+	return out
+}
+
+// HTTP wire shapes (RFC 6962 §4.3 / §4.6 flavored).
+
+type sthJSON struct {
+	TreeSize  int64 `json:"tree_size"`
+	Timestamp int64 `json:"timestamp"`
+}
+
+type entriesJSON struct {
+	Entries []wireEntry `json:"entries"`
+}
+
+type wireEntry struct {
+	Index    int64  `json:"index"`
+	LeafCert string `json:"leaf_cert"` // base64 DER
+	Issued   int64  `json:"issued"`
+}
+
+// Handler serves the log over HTTP at /ct/v1/get-sth and
+// /ct/v1/get-entries?start=&end=.
+func (l *Log) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ct/v1/get-sth", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, sthJSON{TreeSize: l.Size(), Timestamp: time.Now().Unix()})
+	})
+	mux.HandleFunc("/ct/v1/get-entries", func(w http.ResponseWriter, r *http.Request) {
+		start, err1 := strconv.ParseInt(r.URL.Query().Get("start"), 10, 64)
+		end, err2 := strconv.ParseInt(r.URL.Query().Get("end"), 10, 64)
+		if err1 != nil || err2 != nil {
+			http.Error(w, "start and end required", http.StatusBadRequest)
+			return
+		}
+		var out entriesJSON
+		for _, e := range l.Entries(start, end) {
+			out.Entries = append(out.Entries, wireEntry{
+				Index:    e.Index,
+				LeafCert: base64.StdEncoding.EncodeToString(e.DER),
+				Issued:   e.Issued.Unix(),
+			})
+		}
+		writeJSON(w, out)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client polls a CT log server.
+type Client struct {
+	// BaseURL is the log endpoint (no trailing slash).
+	BaseURL string
+	// HTTPClient defaults to a 30s-timeout client.
+	HTTPClient *http.Client
+	// BatchSize bounds one get-entries window (default 256).
+	BatchSize int64
+
+	next int64
+}
+
+// NewClient returns a client starting at entry 0.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 30 * time.Second}, BatchSize: 256}
+}
+
+// TreeSize fetches the current signed tree head size.
+func (c *Client) TreeSize() (int64, error) {
+	var sth sthJSON
+	if err := c.get("/ct/v1/get-sth", &sth); err != nil {
+		return 0, err
+	}
+	return sth.TreeSize, nil
+}
+
+// Poll fetches entries the client has not seen yet, advancing its
+// cursor. It returns nil when caught up.
+func (c *Client) Poll() ([]Entry, error) {
+	size, err := c.TreeSize()
+	if err != nil {
+		return nil, err
+	}
+	if c.next >= size {
+		return nil, nil
+	}
+	end := c.next + c.batch() - 1
+	if end >= size {
+		end = size - 1
+	}
+	var out entriesJSON
+	path := fmt.Sprintf("/ct/v1/get-entries?start=%d&end=%d", c.next, end)
+	if err := c.get(path, &out); err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, len(out.Entries))
+	for _, we := range out.Entries {
+		der, err := base64.StdEncoding.DecodeString(we.LeafCert)
+		if err != nil {
+			return nil, fmt.Errorf("ct: bad leaf at %d: %w", we.Index, err)
+		}
+		entries = append(entries, Entry{Index: we.Index, DER: der, Issued: time.Unix(we.Issued, 0).UTC()})
+	}
+	if len(entries) > 0 {
+		c.next = entries[len(entries)-1].Index + 1
+	}
+	return entries, nil
+}
+
+func (c *Client) batch() int64 {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return 256
+}
+
+func (c *Client) get(path string, v any) error {
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("ct: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ct: GET %s: http %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,159 @@
+package evm
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/ethtypes"
+)
+
+// Assembler builds EVM bytecode with symbolic labels. Label references
+// are emitted as fixed-width PUSH2 placeholders and patched at Assemble
+// time, so forward jumps work naturally.
+type Assembler struct {
+	code   []byte
+	labels map[string]int
+	refs   []labelRef
+	err    error
+}
+
+type labelRef struct {
+	pos   int // offset of the 2-byte operand inside code
+	label string
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: make(map[string]int)}
+}
+
+// Op appends raw opcodes.
+func (a *Assembler) Op(ops ...byte) *Assembler {
+	a.code = append(a.code, ops...)
+	return a
+}
+
+// Push appends the shortest PUSH for v (PUSH0 for zero).
+func (a *Assembler) Push(v *big.Int) *Assembler {
+	if v.Sign() < 0 {
+		a.fail(fmt.Errorf("evm: push of negative value %v", v))
+		return a
+	}
+	if v.Sign() == 0 {
+		return a.Op(PUSH0)
+	}
+	b := v.Bytes()
+	if len(b) > 32 {
+		a.fail(fmt.Errorf("evm: push wider than 32 bytes"))
+		return a
+	}
+	a.code = append(a.code, PUSH1+byte(len(b)-1))
+	a.code = append(a.code, b...)
+	return a
+}
+
+// PushInt pushes a small constant.
+func (a *Assembler) PushInt(v int64) *Assembler { return a.Push(big.NewInt(v)) }
+
+// PushBytes appends a PUSHn of the literal bytes (1..32), preserving
+// leading zeros — used for 4-byte selectors.
+func (a *Assembler) PushBytes(b []byte) *Assembler {
+	if len(b) == 0 || len(b) > 32 {
+		a.fail(fmt.Errorf("evm: PushBytes length %d", len(b)))
+		return a
+	}
+	a.code = append(a.code, PUSH1+byte(len(b)-1))
+	a.code = append(a.code, b...)
+	return a
+}
+
+// PushAddr pushes a 20-byte address literal.
+func (a *Assembler) PushAddr(addr ethtypes.Address) *Assembler {
+	return a.PushBytes(addr[:])
+}
+
+// Label defines label name at the current position and emits a JUMPDEST.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.fail(fmt.Errorf("evm: duplicate label %q", name))
+		return a
+	}
+	a.labels[name] = len(a.code)
+	return a.Op(JUMPDEST)
+}
+
+// Mark defines label name at the current position without emitting a
+// JUMPDEST — for data references such as a constructor's embedded
+// runtime code.
+func (a *Assembler) Mark(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.fail(fmt.Errorf("evm: duplicate label %q", name))
+		return a
+	}
+	a.labels[name] = len(a.code)
+	return a
+}
+
+// PushLabel emits a PUSH2 placeholder that Assemble patches with the
+// label's offset.
+func (a *Assembler) PushLabel(name string) *Assembler {
+	a.code = append(a.code, PUSH1+1) // PUSH2
+	a.refs = append(a.refs, labelRef{pos: len(a.code), label: name})
+	a.code = append(a.code, 0, 0)
+	return a
+}
+
+// Jump emits an unconditional jump to the label.
+func (a *Assembler) Jump(name string) *Assembler {
+	return a.PushLabel(name).Op(JUMP)
+}
+
+// JumpIf emits a conditional jump consuming the condition already on
+// the stack.
+func (a *Assembler) JumpIf(name string) *Assembler {
+	return a.PushLabel(name).Op(JUMPI)
+}
+
+// Revert emits a zero-data revert.
+func (a *Assembler) Revert() *Assembler {
+	return a.Op(PUSH0, PUSH0, REVERT)
+}
+
+// Stop emits STOP.
+func (a *Assembler) Stop() *Assembler { return a.Op(STOP) }
+
+func (a *Assembler) fail(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// Assemble patches label references and returns the final bytecode.
+func (a *Assembler) Assemble() ([]byte, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	out := make([]byte, len(a.code))
+	copy(out, a.code)
+	for _, ref := range a.refs {
+		target, ok := a.labels[ref.label]
+		if !ok {
+			return nil, fmt.Errorf("evm: undefined label %q", ref.label)
+		}
+		if target > 0xffff {
+			return nil, fmt.Errorf("evm: label %q beyond PUSH2 range", ref.label)
+		}
+		out[ref.pos] = byte(target >> 8)
+		out[ref.pos+1] = byte(target)
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for templates known to be well-formed.
+func (a *Assembler) MustAssemble() []byte {
+	code, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

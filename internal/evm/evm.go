@@ -1,0 +1,753 @@
+// Package evm implements a compact Ethereum Virtual Machine interpreter.
+//
+// The subset covers everything the drainer substrate's profit-sharing
+// contracts need: the function-dispatch idiom (CALLDATALOAD / SHR / EQ /
+// JUMPI), 256-bit arithmetic, memory, contract storage, value-bearing
+// CALLs, and calldata loops — enough to deploy and execute real bytecode
+// whose fund flows the measurement pipeline then classifies, and whose
+// selectors the decompiler recovers (paper Table 3).
+package evm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/ethtypes"
+)
+
+// Opcode values implemented by the interpreter.
+const (
+	STOP           = 0x00
+	ADD            = 0x01
+	MUL            = 0x02
+	SUB            = 0x03
+	DIV            = 0x04
+	MOD            = 0x06
+	EXP            = 0x0a
+	LT             = 0x10
+	GT             = 0x11
+	EQ             = 0x14
+	ISZERO         = 0x15
+	AND            = 0x16
+	OR             = 0x17
+	XOR            = 0x18
+	NOT            = 0x19
+	SHL            = 0x1b
+	SHR            = 0x1c
+	ADDRESS        = 0x30
+	BALANCE        = 0x31
+	CALLER         = 0x33
+	CALLVALUE      = 0x34
+	CALLDATALOAD   = 0x35
+	CALLDATASIZE   = 0x36
+	CALLDATACOPY   = 0x37
+	CODESIZE       = 0x38
+	CODECOPY       = 0x39
+	RETURNDATASIZE = 0x3d
+	RETURNDATACOPY = 0x3e
+	TIMESTAMP      = 0x42
+	NUMBER         = 0x43
+	SELFBALANCE    = 0x47
+	POP            = 0x50
+	MLOAD          = 0x51
+	MSTORE         = 0x52
+	SLOAD          = 0x54
+	SSTORE         = 0x55
+	JUMP           = 0x56
+	JUMPI          = 0x57
+	PC             = 0x58
+	GAS            = 0x5a
+	JUMPDEST       = 0x5b
+	PUSH0          = 0x5f
+	PUSH1          = 0x60 // PUSH1..PUSH32 are 0x60..0x7f
+	DUP1           = 0x80 // DUP1..DUP16 are 0x80..0x8f
+	SWAP1          = 0x90 // SWAP1..SWAP16 are 0x90..0x9f
+	LOG0           = 0xa0 // LOG0..LOG4 are 0xa0..0xa4
+	CREATE         = 0xf0
+	CALL           = 0xf1
+	RETURN         = 0xf3
+	REVERT         = 0xfd
+)
+
+// Interpreter limits.
+const (
+	// StackLimit is the maximum stack depth, per the yellow paper.
+	StackLimit = 1024
+	// CallDepthLimit bounds nested calls.
+	CallDepthLimit = 1024
+	// MemoryLimit bounds memory expansion to keep hostile bytecode cheap.
+	MemoryLimit = 1 << 20
+)
+
+// Errors surfaced by execution. A REVERT is reported as ErrRevert with
+// the return data preserved in the Result.
+var (
+	ErrStackUnderflow = errors.New("evm: stack underflow")
+	ErrStackOverflow  = errors.New("evm: stack overflow")
+	ErrBadJump        = errors.New("evm: jump to non-JUMPDEST")
+	ErrOutOfGas       = errors.New("evm: out of gas")
+	ErrInvalidOpcode  = errors.New("evm: invalid opcode")
+	ErrMemoryLimit    = errors.New("evm: memory limit exceeded")
+	ErrCallDepth      = errors.New("evm: call depth exceeded")
+	ErrRevert         = errors.New("evm: execution reverted")
+	ErrWriteStatic    = errors.New("evm: state write in static context")
+)
+
+// Host is the chain-side interface the interpreter calls back into for
+// anything outside pure computation: balances, storage, nested calls,
+// and logs. internal/chain provides the production implementation.
+type Host interface {
+	// Balance returns the current balance of addr.
+	Balance(addr ethtypes.Address) ethtypes.Wei
+	// StorageGet reads a storage word of the executing contract.
+	StorageGet(addr ethtypes.Address, key ethtypes.Hash) ethtypes.Hash
+	// StorageSet writes a storage word of the executing contract.
+	StorageSet(addr ethtypes.Address, key, val ethtypes.Hash)
+	// Call performs a message call (value transfer plus execution of the
+	// callee, which may be a native contract, EVM bytecode, or an EOA).
+	Call(from, to ethtypes.Address, value ethtypes.Wei, input []byte, depth int) ([]byte, error)
+	// EmitLog records a log entry for the executing contract.
+	EmitLog(addr ethtypes.Address, topics []ethtypes.Hash, data []byte)
+}
+
+// Context carries the immutable parameters of one execution frame.
+type Context struct {
+	Code   []byte
+	Self   ethtypes.Address
+	Caller ethtypes.Address
+	Value  ethtypes.Wei
+	Input  []byte
+	Gas    uint64
+	Depth  int
+	Host   Host
+	// Time and BlockNumber populate TIMESTAMP and NUMBER; zero values
+	// are fine for code that does not read them.
+	Time        int64
+	BlockNumber uint64
+}
+
+// Result is the outcome of one execution frame.
+type Result struct {
+	ReturnData []byte
+	GasUsed    uint64
+	Reverted   bool
+}
+
+var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+// Run executes ctx.Code to completion and returns the result. A REVERT
+// yields (Result{Reverted: true, ...}, ErrRevert); other failures yield
+// their respective error with partial gas accounting.
+func Run(ctx *Context) (Result, error) {
+	if ctx.Depth > CallDepthLimit {
+		return Result{}, ErrCallDepth
+	}
+	in := interp{ctx: ctx, gas: ctx.Gas, jumpdests: analyzeJumpdests(ctx.Code)}
+	return in.run()
+}
+
+// analyzeJumpdests marks valid JUMPDEST positions, skipping PUSH data.
+func analyzeJumpdests(code []byte) map[int]bool {
+	dests := make(map[int]bool)
+	for pc := 0; pc < len(code); pc++ {
+		op := code[pc]
+		if op == JUMPDEST {
+			dests[pc] = true
+		} else if op >= PUSH1 && op <= PUSH1+31 {
+			pc += int(op-PUSH1) + 1
+		}
+	}
+	return dests
+}
+
+type interp struct {
+	ctx       *Context
+	stack     []*big.Int
+	mem       []byte
+	gas       uint64
+	jumpdests map[int]bool
+	// retData holds the return data of the most recent nested CALL.
+	retData []byte
+}
+
+func (in *interp) push(v *big.Int) error {
+	if len(in.stack) >= StackLimit {
+		return ErrStackOverflow
+	}
+	in.stack = append(in.stack, v)
+	return nil
+}
+
+func (in *interp) pop() (*big.Int, error) {
+	if len(in.stack) == 0 {
+		return nil, ErrStackUnderflow
+	}
+	v := in.stack[len(in.stack)-1]
+	in.stack = in.stack[:len(in.stack)-1]
+	return v, nil
+}
+
+func (in *interp) popN(n int) ([]*big.Int, error) {
+	if len(in.stack) < n {
+		return nil, ErrStackUnderflow
+	}
+	out := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		out[i] = in.stack[len(in.stack)-1-i]
+	}
+	in.stack = in.stack[:len(in.stack)-n]
+	return out, nil
+}
+
+// charge deducts a flat per-opcode cost; hostile unbounded loops exhaust
+// the frame's gas budget rather than hanging the simulator.
+func (in *interp) charge(cost uint64) error {
+	if in.gas < cost {
+		in.gas = 0
+		return ErrOutOfGas
+	}
+	in.gas -= cost
+	return nil
+}
+
+func (in *interp) expandMem(offset, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	end := offset + size
+	if end < offset || end > MemoryLimit {
+		return ErrMemoryLimit
+	}
+	if uint64(len(in.mem)) < end {
+		in.mem = append(in.mem, make([]byte, end-uint64(len(in.mem)))...)
+	}
+	return nil
+}
+
+func u64(v *big.Int) (uint64, bool) {
+	if !v.IsUint64() {
+		return 0, false
+	}
+	return v.Uint64(), true
+}
+
+func mod256(v *big.Int) *big.Int {
+	if v.Sign() < 0 || v.BitLen() > 256 {
+		v.Mod(v, two256)
+	}
+	return v
+}
+
+func boolWord(b bool) *big.Int {
+	if b {
+		return big.NewInt(1)
+	}
+	return new(big.Int)
+}
+
+func (in *interp) run() (Result, error) {
+	ctx := in.ctx
+	code := ctx.Code
+	pc := 0
+	for pc < len(code) {
+		op := code[pc]
+		if err := in.charge(opCost(op)); err != nil {
+			return Result{GasUsed: ctx.Gas}, err
+		}
+		switch {
+		case op == STOP:
+			return Result{GasUsed: ctx.Gas - in.gas}, nil
+
+		case op == ADD, op == MUL, op == SUB, op == DIV, op == MOD,
+			op == EXP, op == AND, op == OR, op == XOR, op == LT, op == GT,
+			op == EQ, op == SHL, op == SHR:
+			args, err := in.popN(2)
+			if err != nil {
+				return Result{}, err
+			}
+			out, err := binop(op, args[0], args[1])
+			if err != nil {
+				return Result{}, err
+			}
+			if err := in.push(out); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == ISZERO:
+			v, err := in.pop()
+			if err != nil {
+				return Result{}, err
+			}
+			if err := in.push(boolWord(v.Sign() == 0)); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == NOT:
+			v, err := in.pop()
+			if err != nil {
+				return Result{}, err
+			}
+			out := new(big.Int).Sub(two256, big.NewInt(1))
+			out.Xor(out, v)
+			if err := in.push(out); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == ADDRESS:
+			if err := in.push(new(big.Int).SetBytes(ctx.Self[:])); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == CALLER:
+			if err := in.push(new(big.Int).SetBytes(ctx.Caller[:])); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == CALLVALUE:
+			if err := in.push(ctx.Value.Big()); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == BALANCE:
+			v, err := in.pop()
+			if err != nil {
+				return Result{}, err
+			}
+			addr := ethtypes.BytesToAddress(v.Bytes())
+			if err := in.push(ctx.Host.Balance(addr).Big()); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == SELFBALANCE:
+			if err := in.push(ctx.Host.Balance(ctx.Self).Big()); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == CALLDATALOAD:
+			v, err := in.pop()
+			if err != nil {
+				return Result{}, err
+			}
+			var word [32]byte
+			if off, ok := u64(v); ok {
+				for i := uint64(0); i < 32; i++ {
+					if off+i < uint64(len(ctx.Input)) {
+						word[i] = ctx.Input[off+i]
+					}
+				}
+			}
+			if err := in.push(new(big.Int).SetBytes(word[:])); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == CALLDATASIZE:
+			if err := in.push(big.NewInt(int64(len(ctx.Input)))); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == CALLDATACOPY:
+			args, err := in.popN(3)
+			if err != nil {
+				return Result{}, err
+			}
+			memOff, ok1 := u64(args[0])
+			dataOff, ok2 := u64(args[1])
+			size, ok3 := u64(args[2])
+			if !ok1 || !ok3 {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(memOff, size); err != nil {
+				return Result{}, err
+			}
+			for i := uint64(0); i < size; i++ {
+				var b byte
+				if ok2 && dataOff+i < uint64(len(ctx.Input)) {
+					b = ctx.Input[dataOff+i]
+				}
+				in.mem[memOff+i] = b
+			}
+			pc++
+
+		case op == CODESIZE:
+			if err := in.push(big.NewInt(int64(len(code)))); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == CODECOPY:
+			args, err := in.popN(3)
+			if err != nil {
+				return Result{}, err
+			}
+			memOff, ok1 := u64(args[0])
+			codeOff, ok2 := u64(args[1])
+			size, ok3 := u64(args[2])
+			if !ok1 || !ok3 {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(memOff, size); err != nil {
+				return Result{}, err
+			}
+			for i := uint64(0); i < size; i++ {
+				var b byte
+				if ok2 && codeOff+i < uint64(len(code)) {
+					b = code[codeOff+i]
+				}
+				in.mem[memOff+i] = b
+			}
+			pc++
+
+		case op == TIMESTAMP:
+			if err := in.push(big.NewInt(ctx.Time)); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == NUMBER:
+			if err := in.push(new(big.Int).SetUint64(ctx.BlockNumber)); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == RETURNDATASIZE:
+			if err := in.push(big.NewInt(int64(len(in.retData)))); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == RETURNDATACOPY:
+			args, err := in.popN(3)
+			if err != nil {
+				return Result{}, err
+			}
+			memOff, ok1 := u64(args[0])
+			dataOff, ok2 := u64(args[1])
+			size, ok3 := u64(args[2])
+			if !ok1 || !ok2 || !ok3 {
+				return Result{}, ErrMemoryLimit
+			}
+			// Reading beyond the return data is a hard failure in the
+			// yellow paper, unlike CALLDATACOPY's zero padding.
+			if dataOff+size < dataOff || dataOff+size > uint64(len(in.retData)) {
+				return Result{}, fmt.Errorf("%w: returndata out of bounds", ErrMemoryLimit)
+			}
+			if err := in.expandMem(memOff, size); err != nil {
+				return Result{}, err
+			}
+			copy(in.mem[memOff:memOff+size], in.retData[dataOff:dataOff+size])
+			pc++
+
+		case op == POP:
+			if _, err := in.pop(); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == MLOAD:
+			v, err := in.pop()
+			if err != nil {
+				return Result{}, err
+			}
+			off, ok := u64(v)
+			if !ok {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(off, 32); err != nil {
+				return Result{}, err
+			}
+			if err := in.push(new(big.Int).SetBytes(in.mem[off : off+32])); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == MSTORE:
+			args, err := in.popN(2)
+			if err != nil {
+				return Result{}, err
+			}
+			off, ok := u64(args[0])
+			if !ok {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(off, 32); err != nil {
+				return Result{}, err
+			}
+			args[1].FillBytes(in.mem[off : off+32])
+			pc++
+
+		case op == SLOAD:
+			v, err := in.pop()
+			if err != nil {
+				return Result{}, err
+			}
+			var key ethtypes.Hash
+			v.FillBytes(key[:])
+			val := ctx.Host.StorageGet(ctx.Self, key)
+			if err := in.push(new(big.Int).SetBytes(val[:])); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == SSTORE:
+			args, err := in.popN(2)
+			if err != nil {
+				return Result{}, err
+			}
+			var key, val ethtypes.Hash
+			args[0].FillBytes(key[:])
+			args[1].FillBytes(val[:])
+			ctx.Host.StorageSet(ctx.Self, key, val)
+			pc++
+
+		case op == JUMP:
+			v, err := in.pop()
+			if err != nil {
+				return Result{}, err
+			}
+			dest, ok := u64(v)
+			if !ok || !in.jumpdests[int(dest)] {
+				return Result{}, fmt.Errorf("%w: pc %v", ErrBadJump, v)
+			}
+			pc = int(dest)
+
+		case op == JUMPI:
+			args, err := in.popN(2)
+			if err != nil {
+				return Result{}, err
+			}
+			if args[1].Sign() != 0 {
+				dest, ok := u64(args[0])
+				if !ok || !in.jumpdests[int(dest)] {
+					return Result{}, fmt.Errorf("%w: pc %v", ErrBadJump, args[0])
+				}
+				pc = int(dest)
+			} else {
+				pc++
+			}
+
+		case op == PC:
+			if err := in.push(big.NewInt(int64(pc))); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == GAS:
+			if err := in.push(new(big.Int).SetUint64(in.gas)); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == JUMPDEST:
+			pc++
+
+		case op == PUSH0:
+			if err := in.push(new(big.Int)); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op >= PUSH1 && op <= PUSH1+31:
+			n := int(op-PUSH1) + 1
+			end := pc + 1 + n
+			if end > len(code) {
+				end = len(code)
+			}
+			v := new(big.Int).SetBytes(code[pc+1 : end])
+			if err := in.push(v); err != nil {
+				return Result{}, err
+			}
+			pc += n + 1
+
+		case op >= DUP1 && op <= DUP1+15:
+			n := int(op-DUP1) + 1
+			if len(in.stack) < n {
+				return Result{}, ErrStackUnderflow
+			}
+			v := new(big.Int).Set(in.stack[len(in.stack)-n])
+			if err := in.push(v); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op >= SWAP1 && op <= SWAP1+15:
+			n := int(op-SWAP1) + 1
+			if len(in.stack) < n+1 {
+				return Result{}, ErrStackUnderflow
+			}
+			top := len(in.stack) - 1
+			in.stack[top], in.stack[top-n] = in.stack[top-n], in.stack[top]
+			pc++
+
+		case op >= LOG0 && op <= LOG0+4:
+			topicCount := int(op - LOG0)
+			args, err := in.popN(2 + topicCount)
+			if err != nil {
+				return Result{}, err
+			}
+			off, ok1 := u64(args[0])
+			size, ok2 := u64(args[1])
+			if !ok1 || !ok2 {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(off, size); err != nil {
+				return Result{}, err
+			}
+			topics := make([]ethtypes.Hash, topicCount)
+			for i := 0; i < topicCount; i++ {
+				args[2+i].FillBytes(topics[i][:])
+			}
+			data := make([]byte, size)
+			copy(data, in.mem[off:off+size])
+			ctx.Host.EmitLog(ctx.Self, topics, data)
+			pc++
+
+		case op == CALL:
+			args, err := in.popN(7)
+			if err != nil {
+				return Result{}, err
+			}
+			// args: gas, to, value, inOff, inSize, outOff, outSize
+			to := ethtypes.BytesToAddress(args[1].Bytes())
+			value := ethtypes.WeiFromBig(args[2])
+			inOff, ok1 := u64(args[3])
+			inSize, ok2 := u64(args[4])
+			outOff, ok3 := u64(args[5])
+			outSize, ok4 := u64(args[6])
+			if !ok1 || !ok2 || !ok3 || !ok4 {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(inOff, inSize); err != nil {
+				return Result{}, err
+			}
+			input := make([]byte, inSize)
+			copy(input, in.mem[inOff:inOff+inSize])
+			ret, callErr := ctx.Host.Call(ctx.Self, to, value, input, ctx.Depth+1)
+			if callErr == nil {
+				in.retData = ret
+			} else {
+				in.retData = nil
+			}
+			if callErr == nil && outSize > 0 {
+				if err := in.expandMem(outOff, outSize); err != nil {
+					return Result{}, err
+				}
+				n := uint64(len(ret))
+				if n > outSize {
+					n = outSize
+				}
+				copy(in.mem[outOff:outOff+n], ret[:n])
+			}
+			if err := in.push(boolWord(callErr == nil)); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == RETURN, op == REVERT:
+			args, err := in.popN(2)
+			if err != nil {
+				return Result{}, err
+			}
+			off, ok1 := u64(args[0])
+			size, ok2 := u64(args[1])
+			if !ok1 || !ok2 {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(off, size); err != nil {
+				return Result{}, err
+			}
+			ret := make([]byte, size)
+			copy(ret, in.mem[off:off+size])
+			res := Result{ReturnData: ret, GasUsed: ctx.Gas - in.gas}
+			if op == REVERT {
+				res.Reverted = true
+				return res, ErrRevert
+			}
+			return res, nil
+
+		default:
+			return Result{}, fmt.Errorf("%w: 0x%02x at pc %d", ErrInvalidOpcode, op, pc)
+		}
+	}
+	// Running off the end of code is an implicit STOP.
+	return Result{GasUsed: ctx.Gas - in.gas}, nil
+}
+
+func binop(op byte, a, b *big.Int) (*big.Int, error) {
+	out := new(big.Int)
+	switch op {
+	case ADD:
+		return mod256(out.Add(a, b)), nil
+	case MUL:
+		return mod256(out.Mul(a, b)), nil
+	case SUB:
+		return mod256(out.Sub(a, b)), nil
+	case DIV:
+		if b.Sign() == 0 {
+			return out, nil
+		}
+		return out.Div(a, b), nil
+	case MOD:
+		if b.Sign() == 0 {
+			return out, nil
+		}
+		return out.Mod(a, b), nil
+	case AND:
+		return out.And(a, b), nil
+	case OR:
+		return out.Or(a, b), nil
+	case XOR:
+		return out.Xor(a, b), nil
+	case LT:
+		return boolWord(a.Cmp(b) < 0), nil
+	case GT:
+		return boolWord(a.Cmp(b) > 0), nil
+	case EQ:
+		return boolWord(a.Cmp(b) == 0), nil
+	case SHL:
+		n, ok := u64(a)
+		if !ok || n > 255 {
+			return out, nil
+		}
+		return mod256(out.Lsh(b, uint(n))), nil
+	case SHR:
+		n, ok := u64(a)
+		if !ok || n > 255 {
+			return out, nil
+		}
+		return out.Rsh(b, uint(n)), nil
+	case EXP:
+		return out.Exp(a, b, two256), nil
+	}
+	return nil, fmt.Errorf("%w: 0x%02x", ErrInvalidOpcode, op)
+}
+
+// opCost assigns flat costs: expensive state ops cost more so gas limits
+// still bound work realistically.
+func opCost(op byte) uint64 {
+	switch op {
+	case SLOAD:
+		return 100
+	case SSTORE:
+		return 5000
+	case CALL:
+		return 700
+	case BALANCE, SELFBALANCE:
+		return 100
+	default:
+		if op >= LOG0 && op <= LOG0+4 {
+			return 375
+		}
+		return 3
+	}
+}

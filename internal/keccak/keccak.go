@@ -1,0 +1,167 @@
+// Package keccak implements the Keccak-256 hash function as used by
+// Ethereum (the original Keccak padding, not the FIPS-202 SHA3 padding).
+//
+// Keccak-256 is the workhorse of the Ethereum substrate in this repository:
+// it derives contract addresses, transaction hashes, 4-byte function
+// selectors, event topics, and EIP-55 checksummed address casing. The
+// implementation is a from-scratch sponge over Keccak-f[1600] with a
+// 1088-bit rate, written against the Keccak reference specification.
+package keccak
+
+import "hash"
+
+const (
+	// rate is the sponge rate in bytes for Keccak-256 (1088 bits).
+	rate = 136
+	// Size is the digest size in bytes.
+	Size = 32
+)
+
+// roundConstants are the iota-step constants for the 24 rounds of
+// Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotationOffsets holds the rho-step rotation amount for lane (x, y),
+// indexed as rotationOffsets[x+5*y].
+var rotationOffsets = [25]uint{
+	0, 1, 62, 28, 27,
+	36, 44, 6, 55, 20,
+	3, 10, 43, 25, 39,
+	41, 45, 15, 21, 8,
+	18, 2, 61, 56, 14,
+}
+
+// state is the 5x5 lane matrix of Keccak-f[1600], flattened with lane
+// (x, y) at index x+5*y.
+type state [25]uint64
+
+func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+
+// permute applies the full 24-round Keccak-f[1600] permutation in place.
+func (a *state) permute() {
+	var c, d [5]uint64
+	var b state
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ rotl(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// Rho and pi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = rotl(a[x+5*y], rotationOffsets[x+5*y])
+			}
+		}
+		// Chi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// digest is a streaming Keccak-256 state implementing hash.Hash.
+type digest struct {
+	a      state
+	buf    [rate]byte
+	buffed int
+}
+
+// New256 returns a new streaming Keccak-256 hash. The zero-cost way to
+// hash a single buffer is Sum256.
+func New256() hash.Hash { return &digest{} }
+
+func (d *digest) Size() int      { return Size }
+func (d *digest) BlockSize() int { return rate }
+
+func (d *digest) Reset() {
+	d.a = state{}
+	d.buffed = 0
+}
+
+// absorb XORs one full rate block into the state and permutes.
+func (d *digest) absorb(block []byte) {
+	for i := 0; i < rate/8; i++ {
+		var lane uint64
+		for j := 7; j >= 0; j-- {
+			lane = lane<<8 | uint64(block[i*8+j])
+		}
+		d.a[i] ^= lane
+	}
+	d.a.permute()
+}
+
+func (d *digest) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		space := rate - d.buffed
+		take := len(p)
+		if take > space {
+			take = space
+		}
+		copy(d.buf[d.buffed:], p[:take])
+		d.buffed += take
+		p = p[take:]
+		if d.buffed == rate {
+			d.absorb(d.buf[:])
+			d.buffed = 0
+		}
+	}
+	return n, nil
+}
+
+func (d *digest) Sum(in []byte) []byte {
+	// Clone so Sum does not disturb the streaming state, matching the
+	// hash.Hash contract.
+	dup := *d
+	var out [Size]byte
+	dup.finalize(&out)
+	return append(in, out[:]...)
+}
+
+// finalize pads with the original Keccak domain bits (0x01 … 0x80) and
+// squeezes a single 32-byte block.
+func (d *digest) finalize(out *[Size]byte) {
+	for i := d.buffed; i < rate; i++ {
+		d.buf[i] = 0
+	}
+	d.buf[d.buffed] ^= 0x01
+	d.buf[rate-1] ^= 0x80
+	d.absorb(d.buf[:])
+	for i := 0; i < Size/8; i++ {
+		lane := d.a[i]
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(lane)
+			lane >>= 8
+		}
+	}
+}
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data ...[]byte) [Size]byte {
+	var d digest
+	for _, p := range data {
+		d.Write(p)
+	}
+	var out [Size]byte
+	d.finalize(&out)
+	return out
+}

@@ -1,0 +1,150 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors. The selector and event-topic vectors pin the exact
+// values the Ethereum ecosystem depends on, so any permutation bug would
+// surface immediately.
+var kats = []struct {
+	in   string
+	want string
+}{
+	{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+	{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+	{"Transfer(address,address,uint256)", "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"},
+}
+
+var selectorKATs = []struct {
+	sig  string
+	want string // first 4 bytes, hex
+}{
+	{"transfer(address,uint256)", "a9059cbb"},
+	{"approve(address,uint256)", "095ea7b3"},
+	{"balanceOf(address)", "70a08231"},
+	{"transferFrom(address,address,uint256)", "23b872dd"},
+}
+
+func TestSum256KnownAnswers(t *testing.T) {
+	for _, kat := range kats {
+		got := Sum256([]byte(kat.in))
+		if hex.EncodeToString(got[:]) != kat.want {
+			t.Errorf("Sum256(%q) = %x, want %s", kat.in, got, kat.want)
+		}
+	}
+}
+
+func TestSelectorKnownAnswers(t *testing.T) {
+	for _, kat := range selectorKATs {
+		got := Sum256([]byte(kat.sig))
+		if hex.EncodeToString(got[:4]) != kat.want {
+			t.Errorf("selector(%q) = %x, want %s", kat.sig, got[:4], kat.want)
+		}
+	}
+}
+
+func TestStreamingMatchesOneShot(t *testing.T) {
+	data := []byte(strings.Repeat("drainer-as-a-service profit sharing ", 40))
+	want := Sum256(data)
+
+	for _, chunk := range []int{1, 7, 135, 136, 137, 300} {
+		h := New256()
+		for i := 0; i < len(data); i += chunk {
+			end := i + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			h.Write(data[i:end])
+		}
+		if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+			t.Errorf("chunk size %d: got %x, want %x", chunk, got, want)
+		}
+	}
+}
+
+func TestSumDoesNotDisturbState(t *testing.T) {
+	h := New256()
+	h.Write([]byte("part one "))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("consecutive Sum calls differ: %x vs %x", first, second)
+	}
+	h.Write([]byte("part two"))
+	want := Sum256([]byte("part one part two"))
+	if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("write after Sum: got %x, want %x", got, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New256()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	want := Sum256([]byte("abc"))
+	if got := h.Sum(nil); !bytes.Equal(got, want[:]) {
+		t.Errorf("after Reset: got %x, want %x", got, want)
+	}
+}
+
+func TestMultiSliceSum256(t *testing.T) {
+	joined := Sum256([]byte("hello world"))
+	split := Sum256([]byte("hello "), []byte("world"))
+	if joined != split {
+		t.Errorf("multi-slice Sum256 mismatch: %x vs %x", joined, split)
+	}
+}
+
+// Property: splitting the input at any point never changes the digest.
+func TestQuickSplitInvariance(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		at := int(split) % len(data)
+		one := Sum256(data)
+		two := Sum256(data[:at], data[at:])
+		return one == two
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct single-byte extensions yield distinct digests
+// (collision here would indicate a broken permutation).
+func TestQuickExtensionChangesDigest(t *testing.T) {
+	f := func(data []byte) bool {
+		base := Sum256(data)
+		ext := Sum256(append(append([]byte{}, data...), 0x42))
+		return base != ext
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashInterfaceSizes(t *testing.T) {
+	h := New256()
+	if h.Size() != 32 {
+		t.Errorf("Size() = %d, want 32", h.Size())
+	}
+	if h.BlockSize() != 136 {
+		t.Errorf("BlockSize() = %d, want 136", h.BlockSize())
+	}
+}
+
+func BenchmarkSum256_1KiB(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

@@ -1,0 +1,123 @@
+package prices
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+)
+
+var usdc = ethtypes.MustAddress("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
+var bayc = ethtypes.MustAddress("0xbc4ca0eda7647a8ab7c2061c2e118a18a936f13d")
+
+func mid2023() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }
+
+func newOracle() *Oracle {
+	o := New()
+	o.Register(usdc, Quote{Symbol: "USDC", Decimals: 6, USD: 1})
+	o.Register(bayc, Quote{Symbol: "BAYC", Decimals: 0, USD: 12000})
+	return o
+}
+
+func TestETHCurveShape(t *testing.T) {
+	o := New()
+	early := o.ETHUSD(time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC))
+	late := o.ETHUSD(time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC))
+	if early < 1200 || early > 2200 {
+		t.Errorf("early price $%.0f out of band", early)
+	}
+	if late <= early {
+		t.Errorf("curve not rising: $%.0f -> $%.0f", early, late)
+	}
+	if late < 2500 || late > 4500 {
+		t.Errorf("late price $%.0f out of band", late)
+	}
+}
+
+func TestValueUSD(t *testing.T) {
+	o := newOracle()
+	ts := mid2023()
+	// 1 ETH values at the curve price.
+	got := o.ValueUSD(chain.ETHAsset, ethtypes.Ether(1), ts)
+	want := o.ETHUSD(ts)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("1 ETH = $%.2f, want $%.2f", got, want)
+	}
+	// 250 USDC (6 decimals).
+	got = o.ValueUSD(chain.Asset{Kind: chain.AssetERC20, Token: usdc}, ethtypes.NewWei(250_000_000), ts)
+	if math.Abs(got-250) > 0.01 {
+		t.Errorf("250 USDC = $%.2f", got)
+	}
+	// 2 BAYC.
+	got = o.ValueUSD(chain.Asset{Kind: chain.AssetERC721, Token: bayc}, ethtypes.NewWei(2), ts)
+	if got != 24000 {
+		t.Errorf("2 BAYC = $%.2f", got)
+	}
+	// Unregistered token is worthless.
+	if got := o.ValueUSD(chain.Asset{Kind: chain.AssetERC20, Token: bayc2()}, ethtypes.NewWei(1), ts); got != 0 {
+		t.Errorf("unregistered token = $%.2f", got)
+	}
+}
+
+func bayc2() ethtypes.Address {
+	return ethtypes.MustAddress("0x0000000000000000000000000000000000000bad")
+}
+
+func TestEtherForUSDInverts(t *testing.T) {
+	o := newOracle()
+	ts := mid2023()
+	wei := o.EtherForUSD(5000, ts)
+	back := o.ValueUSD(chain.ETHAsset, wei, ts)
+	if math.Abs(back-5000)/5000 > 0.001 {
+		t.Errorf("round trip $5000 -> %s wei -> $%.2f", wei, back)
+	}
+}
+
+func TestTokensForUSDLargeDecimals(t *testing.T) {
+	o := New()
+	weth := bayc2()
+	o.Register(weth, Quote{Symbol: "stWETH", Decimals: 18, USD: 2400})
+	// $30,000 at $2,400 = 12.5 tokens = 1.25e19 base units; must not
+	// overflow int64.
+	amt := o.TokensForUSD(weth, 30_000)
+	back := o.ValueUSD(chain.Asset{Kind: chain.AssetERC20, Token: weth}, amt, mid2023())
+	if math.Abs(back-30_000)/30_000 > 0.001 {
+		t.Errorf("$30k -> %s units -> $%.2f", amt, back)
+	}
+	if o.TokensForUSD(weth, -5).Sign() != 0 {
+		t.Error("negative USD produced tokens")
+	}
+	if o.TokensForUSD(usdc, 10).Sign() != 0 {
+		t.Error("unregistered token produced units")
+	}
+}
+
+// Property: USD -> token units -> USD round-trips within 0.5% for
+// positive amounts.
+func TestQuickTokenRoundTrip(t *testing.T) {
+	o := newOracle()
+	ts := mid2023()
+	f := func(cents uint32) bool {
+		usd := float64(cents%10_000_000)/100 + 1 // $1 .. $100k
+		amt := o.TokensForUSD(usdc, usd)
+		back := o.ValueUSD(chain.Asset{Kind: chain.AssetERC20, Token: usdc}, amt, ts)
+		return math.Abs(back-usd)/usd < 0.005
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuoteOf(t *testing.T) {
+	o := newOracle()
+	q, ok := o.QuoteOf(usdc)
+	if !ok || q.Symbol != "USDC" || q.Decimals != 6 {
+		t.Errorf("QuoteOf = %+v, %v", q, ok)
+	}
+	if _, ok := o.QuoteOf(bayc2()); ok {
+		t.Error("QuoteOf unregistered succeeded")
+	}
+}

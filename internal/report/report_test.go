@@ -1,0 +1,132 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/domains"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/sitehunt"
+	"repro/internal/toolkit"
+)
+
+func render(f func(w *strings.Builder)) string {
+	var sb strings.Builder
+	f(&sb)
+	return sb.String()
+}
+
+func TestTable1(t *testing.T) {
+	out := render(func(w *strings.Builder) {
+		report.Table1(w, core.Stats{Contracts: 391, Operators: 48, Affiliates: 3970, ProfitTxs: 49837},
+			core.Stats{Contracts: 1910, Operators: 56, Affiliates: 6087, ProfitTxs: 87077})
+	})
+	for _, want := range []string{"391", "1910", "87077", "Profit-sharing Contracts", "DaaS Accounts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2AndUSDFormatting(t *testing.T) {
+	rows := []measure.FamilyRow{
+		{Name: "Angel Drainer", Contracts: 1239, Operators: 29, Affiliates: 3338,
+			Victims: 37755, ProfitUSD: 53_100_000,
+			Start: time.Date(2023, 4, 1, 0, 0, 0, 0, time.UTC),
+			End:   time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)},
+		{Name: "Spawn Drainer", Victims: 17, ProfitUSD: 10_000},
+	}
+	out := render(func(w *strings.Builder) { report.Table2(w, rows) })
+	for _, want := range []string{"Angel Drainer", "$53.1M", "$10.0K", "2023-04", "Top-3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows := []report.Table3Row{{
+		Family: "Inferno Drainer",
+		Analysis: contracts.Analysis{
+			ETHFunction:      "a payable fallback function",
+			TokenFunction:    "a multicall function",
+			OperatorPerMille: 200,
+		},
+	}}
+	out := render(func(w *strings.Builder) { report.Table3(w, rows) })
+	if !strings.Contains(out, "payable fallback") || !strings.Contains(out, "20.0%") {
+		t.Errorf("Table3 output:\n%s", out)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	dist := []domains.TLDShare{
+		{TLD: "com", Count: 300, Fraction: 0.30},
+		{TLD: "dev", Count: 136, Fraction: 0.136},
+	}
+	out := render(func(w *strings.Builder) { report.Table4(w, dist, 10) })
+	if !strings.Contains(out, ".com") || !strings.Contains(out, "30.0%") {
+		t.Errorf("Table4 output:\n%s", out)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	v := measure.VictimReport{
+		Victims: 100, Under1000Fraction: 0.835,
+		LossBuckets: []measure.Bucket{{Label: "less than $100", Count: 51, Fraction: 0.509}},
+	}
+	out := render(func(w *strings.Builder) { report.Figure6(w, v) })
+	if !strings.Contains(out, "50.9%") || !strings.Contains(out, "83.5%") || !strings.Contains(out, "#") {
+		t.Errorf("Figure6 output:\n%s", out)
+	}
+	a := measure.AffiliateReport{
+		Over1000Fraction: 0.502, Over10000Fraction: 0.22,
+		ProfitBuckets: []measure.Bucket{{Label: "less than $1,000", Count: 49, Fraction: 0.498}},
+	}
+	out = render(func(w *strings.Builder) { report.Figure7(w, a) })
+	if !strings.Contains(out, "50.2%") {
+		t.Errorf("Figure7 output:\n%s", out)
+	}
+}
+
+func TestFindingsAndValidation(t *testing.T) {
+	out := render(func(w *strings.Builder) {
+		report.Totals(w, measure.Totals{OperatorUSD: 23_100_000, AffiliateUSD: 111_900_000, Victims: 76582, ProfitTxs: 87077})
+		report.Validation(w, &core.ValidationReport{TxReviewed: 39037, ReviewedFraction: 0.448, ContractsReviewed: 1910})
+		report.VictimFindings(w, measure.VictimReport{Victims: 76582, MultiPhished: 8856, SimultaneousFraction: 0.781, UnrevokedFraction: 0.286})
+		report.OperatorFindings(w, measure.OperatorReport{Operators: 56, TotalUSD: 23_100_000, TopQuartileCount: 14, TopQuartileShare: 0.757, InactiveCount: 48, MinLifecycleDays: 2, MaxLifecycleDays: 383})
+		report.AffiliateFindings(w, measure.AffiliateReport{Affiliates: 6087, TotalUSD: 111_900_000, SingleOperatorFraction: 0.604, UpToThreeFraction: 0.902, Over10VictimsFraction: 0.261})
+		report.RatioTable(w, []measure.RatioShare{{PerMille: 200, Count: 2346, Fraction: 0.46}})
+	})
+	for _, want := range []string{"$23.1M", "$111.9M", "76582", "39037", "44.8%",
+		"8856", "78.1%", "28.6%", "75.7%", "2 to 383 days", "60.4%", "90.2%", "26.1%", "46.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings missing %q", want)
+		}
+	}
+}
+
+func TestSiteHuntReport(t *testing.T) {
+	rep := &sitehunt.Report{
+		CertsSeen: 100, DomainsSeen: 100, SuspiciousCount: 60, Crawled: 60,
+		Detections: []sitehunt.Detection{
+			{Domain: "a.com", Family: toolkit.FamilyAngel},
+			{Domain: "b.dev", Family: toolkit.FamilyAngel},
+			{Domain: "c.app", Family: toolkit.FamilyPink},
+		},
+	}
+	out := render(func(w *strings.Builder) { report.SiteHunt(w, rep) })
+	if !strings.Contains(out, "3 confirmed") || !strings.Contains(out, "Angel Drainer") {
+		t.Errorf("SiteHunt output:\n%s", out)
+	}
+	// Families listed by count, Angel (2) before Pink (1).
+	if strings.Index(out, "Angel") > strings.Index(out, "Pink") {
+		t.Error("families not sorted by count")
+	}
+	_ = cluster.Family{}
+}

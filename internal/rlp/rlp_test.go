@@ -1,0 +1,249 @@
+package rlp
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math/big"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Canonical vectors from the Ethereum wiki RLP specification.
+func TestEncodeKnownAnswers(t *testing.T) {
+	cases := []struct {
+		in   Item
+		want string
+	}{
+		{[]byte("dog"), "83646f67"},
+		{[]Item{[]byte("cat"), []byte("dog")}, "c88363617483646f67"},
+		{[]byte{}, "80"},
+		{uint64(0), "80"},
+		{[]byte{0x00}, "00"},
+		{uint64(15), "0f"},
+		{uint64(1024), "820400"},
+		{[]Item{}, "c0"},
+		// Set-theoretic representation of three: [ [], [[]], [ [], [[]] ] ].
+		{[]Item{[]Item{}, []Item{[]Item{}}, []Item{[]Item{}, []Item{[]Item{}}}}, "c7c0c1c0c3c0c1c0"},
+		{[]byte("Lorem ipsum dolor sit amet, consectetur adipisicing elit"),
+			"b8384c6f72656d20697073756d20646f6c6f722073697420616d65742c20636f6e7365637465747572206164697069736963696e6720656c6974"},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", c.in, err)
+		}
+		if hex.EncodeToString(got) != c.want {
+			t.Errorf("Encode(%v) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeBig(t *testing.T) {
+	v, _ := new(big.Int).SetString("102030405060708090a0b0c0d0e0f2", 16)
+	got, err := Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "8f102030405060708090a0b0c0d0e0f2"
+	if hex.EncodeToString(got) != want {
+		t.Errorf("got %x, want %s", got, want)
+	}
+	if _, err := Encode(big.NewInt(-1)); err == nil {
+		t.Error("negative big.Int accepted")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	items := []Item{
+		[]byte("hello"),
+		[]Item{[]byte("a"), []Item{[]byte("nested"), []byte{}}, []byte(strings.Repeat("x", 100))},
+		[]byte{},
+	}
+	for _, it := range items {
+		enc, err := Encode(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%x): %v", enc, err)
+		}
+		if !reflect.DeepEqual(normalize(it), dec) {
+			t.Errorf("round trip changed %#v to %#v", it, dec)
+		}
+	}
+}
+
+// normalize converts encoder-input shapes into the decoder's output shape.
+func normalize(it Item) Item {
+	switch x := it.(type) {
+	case []byte:
+		return append([]byte{}, x...)
+	case []Item:
+		out := make([]Item, len(x))
+		for i := range x {
+			out[i] = normalize(x[i])
+		}
+		return out
+	default:
+		return it
+	}
+}
+
+func TestDecodeRejectsNonCanonical(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"single byte wrapped", "8100"},        // 0x00 must encode as 0x00
+		{"long form short string", "b801ff"},   // 1-byte string in long form
+		{"leading zero in length", "b90001ff"}, // length has leading zero
+		{"truncated string", "83646f"},
+		{"truncated list", "c883636174"},
+		{"empty input", ""},
+	}
+	for _, c := range cases {
+		in, _ := hex.DecodeString(c.in)
+		if _, err := Decode(in); err == nil {
+			t.Errorf("%s: Decode(%s) succeeded, want error", c.name, c.in)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailing(t *testing.T) {
+	in, _ := hex.DecodeString("83646f6700")
+	if _, err := Decode(in); !errors.Is(err, ErrTrailing) {
+		t.Errorf("got %v, want ErrTrailing", err)
+	}
+}
+
+func TestUintAccessors(t *testing.T) {
+	enc, _ := Encode(uint64(1024))
+	item, _ := Decode(enc)
+	v, err := Uint(item)
+	if err != nil || v != 1024 {
+		t.Errorf("Uint = %d, %v; want 1024", v, err)
+	}
+	// Leading-zero integers are rejected.
+	if _, err := Uint([]byte{0x00, 0x01}); err == nil {
+		t.Error("Uint accepted leading zero")
+	}
+	if _, err := Uint([]Item{}); err == nil {
+		t.Error("Uint accepted a list")
+	}
+	if _, err := Uint(bytes.Repeat([]byte{0xff}, 9)); err == nil {
+		t.Error("Uint accepted 72-bit integer")
+	}
+}
+
+func TestBigAccessor(t *testing.T) {
+	want, _ := new(big.Int).SetString("ffffffffffffffffffffffff", 16)
+	enc, _ := Encode(want)
+	item, _ := Decode(enc)
+	got, err := Big(item)
+	if err != nil || got.Cmp(want) != 0 {
+		t.Errorf("Big = %v, %v; want %v", got, err, want)
+	}
+}
+
+func TestListAccessor(t *testing.T) {
+	enc, _ := Encode([]Item{[]byte("a"), []byte("b")})
+	item, _ := Decode(enc)
+	l, err := List(item)
+	if err != nil || len(l) != 2 {
+		t.Fatalf("List = %v, %v", l, err)
+	}
+	if _, err := List([]byte("str")); err == nil {
+		t.Error("List accepted a string item")
+	}
+	if _, err := Bytes([]Item{}); err == nil {
+		t.Error("Bytes accepted a list item")
+	}
+}
+
+func TestEncodeUnsupported(t *testing.T) {
+	if _, err := Encode(3.14); !errors.Is(err, ErrType) {
+		t.Errorf("got %v, want ErrType", err)
+	}
+	if _, err := Encode(-1); !errors.Is(err, ErrType) {
+		t.Errorf("negative int: got %v, want ErrType", err)
+	}
+}
+
+// Property: every byte string round-trips.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		enc, err := Encode(data)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		b, err := Bytes(dec)
+		return err == nil && bytes.Equal(b, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every uint64 round-trips canonically.
+func TestQuickUintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := AppendUint(nil, v)
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		got, err := Uint(dec)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lists of strings round-trip with order preserved.
+func TestQuickListRoundTrip(t *testing.T) {
+	f := func(parts [][]byte) bool {
+		enc, err := Encode(parts)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		l, err := List(dec)
+		if err != nil || len(l) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			b, err := Bytes(l[i])
+			if err != nil || !bytes.Equal(b, parts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeTxShape(b *testing.B) {
+	payload := make([]byte, 68)
+	tx := []Item{uint64(7), uint64(30_000_000_000), uint64(21000),
+		bytes.Repeat([]byte{0xaa}, 20), big.NewInt(1e18), payload}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

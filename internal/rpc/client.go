@@ -1,0 +1,245 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+	"repro/internal/labels"
+)
+
+// Client talks JSON-RPC to a Server and satisfies core.ChainSource.
+type Client struct {
+	// URL is the server endpoint.
+	URL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+
+	nextID atomic.Int64
+}
+
+// NewClient returns a client for the endpoint.
+func NewClient(url string) *Client {
+	return &Client{URL: url, HTTPClient: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) call(method string, params any, result any) error {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding params: %w", err)
+	}
+	req := request{JSONRPC: "2.0", ID: c.nextID.Add(1), Method: method, Params: raw}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Post(c.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("rpc: %s: %w", method, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rpc: %s: http %d", method, resp.StatusCode)
+	}
+	var out response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("rpc: %s: decoding response: %w", method, err)
+	}
+	if out.Error != nil {
+		return fmt.Errorf("rpc: %s: %w", method, out.Error)
+	}
+	if result == nil {
+		return nil
+	}
+	return json.Unmarshal(out.Result, result)
+}
+
+// BlockNumber returns the head block number.
+func (c *Client) BlockNumber() (uint64, error) {
+	var n uint64
+	err := c.call("eth_blockNumber", []any{}, &n)
+	return n, err
+}
+
+// TransactionsOf implements core.ChainSource.
+func (c *Client) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
+	var raw []string
+	if err := c.call("repro_transactionsOf", []string{addr.Hex()}, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]ethtypes.Hash, len(raw))
+	for i, s := range raw {
+		h, err := ethtypes.HexToHash(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// Transaction implements core.ChainSource.
+func (c *Client) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	var raw txJSON
+	if err := c.call("eth_getTransactionByHash", []string{h.Hex()}, &raw); err != nil {
+		return nil, err
+	}
+	return fromTxJSON(raw)
+}
+
+// Receipt implements core.ChainSource.
+func (c *Client) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	var raw receiptJSON
+	if err := c.call("repro_getReceipt", []string{h.Hex()}, &raw); err != nil {
+		return nil, err
+	}
+	return fromReceiptJSON(raw)
+}
+
+// IsContract implements core.ChainSource.
+func (c *Client) IsContract(addr ethtypes.Address) (bool, error) {
+	var out bool
+	err := c.call("repro_isContract", []string{addr.Hex()}, &out)
+	return out, err
+}
+
+// Balance fetches an account balance.
+func (c *Client) Balance(addr ethtypes.Address) (ethtypes.Wei, error) {
+	var raw string
+	if err := c.call("eth_getBalance", []string{addr.Hex()}, &raw); err != nil {
+		return ethtypes.Wei{}, err
+	}
+	return parseWei(raw)
+}
+
+// Code fetches deployed bytecode.
+func (c *Client) Code(addr ethtypes.Address) ([]byte, error) {
+	var raw string
+	if err := c.call("eth_getCode", []string{addr.Hex()}, &raw); err != nil {
+		return nil, err
+	}
+	return decodeHexBlob(raw)
+}
+
+// StorageAt reads one storage word of a contract.
+func (c *Client) StorageAt(addr ethtypes.Address, key ethtypes.Hash) (ethtypes.Hash, error) {
+	var raw string
+	if err := c.call("repro_getStorageAt", []string{addr.Hex(), key.Hex()}, &raw); err != nil {
+		return ethtypes.Hash{}, err
+	}
+	return ethtypes.HexToHash(raw)
+}
+
+// LogFilter narrows a GetLogs query.
+type LogFilter struct {
+	FromBlock uint64
+	ToBlock   uint64
+	Address   *ethtypes.Address
+	Topic0    *ethtypes.Hash
+}
+
+// GetLogs fetches matching event logs with their tx/block context.
+func (c *Client) GetLogs(f LogFilter) ([]chain.LogEntry, error) {
+	params := struct {
+		FromBlock uint64 `json:"fromBlock"`
+		ToBlock   uint64 `json:"toBlock"`
+		Address   string `json:"address,omitempty"`
+		Topic0    string `json:"topic0,omitempty"`
+	}{FromBlock: f.FromBlock, ToBlock: f.ToBlock}
+	if f.Address != nil {
+		params.Address = f.Address.Hex()
+	}
+	if f.Topic0 != nil {
+		params.Topic0 = f.Topic0.Hex()
+	}
+	var raw []logEntryJSON
+	if err := c.call("repro_getLogs", params, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]chain.LogEntry, 0, len(raw))
+	for _, le := range raw {
+		addr, err := ethtypes.HexToAddress(le.Log.Address)
+		if err != nil {
+			return nil, err
+		}
+		entry := chain.LogEntry{
+			TxHash:      ethtypes.Hash{},
+			BlockNumber: le.BlockNumber,
+			Timestamp:   time.Unix(le.Timestamp, 0).UTC(),
+		}
+		if entry.TxHash, err = ethtypes.HexToHash(le.TxHash); err != nil {
+			return nil, err
+		}
+		entry.Address = addr
+		for _, tp := range le.Log.Topics {
+			topic, err := ethtypes.HexToHash(tp)
+			if err != nil {
+				return nil, err
+			}
+			entry.Topics = append(entry.Topics, topic)
+		}
+		if entry.Data, err = decodeHexBlob(le.Log.Data); err != nil {
+			return nil, err
+		}
+		out = append(out, entry)
+	}
+	return out, nil
+}
+
+// StaticCall performs a read-only eth_call.
+func (c *Client) StaticCall(to ethtypes.Address, data []byte) ([]byte, error) {
+	var raw string
+	if err := c.call("eth_call", []string{to.Hex(), "0x" + hex.EncodeToString(data)}, &raw); err != nil {
+		return nil, err
+	}
+	return decodeHexBlob(raw)
+}
+
+// FetchLabels downloads the server's public label directory.
+func (c *Client) FetchLabels() (*labels.Directory, error) {
+	var raw []labelJSON
+	if err := c.call("repro_labels", []any{}, &raw); err != nil {
+		return nil, err
+	}
+	dir := labels.New()
+	for _, lj := range raw {
+		l, err := fromLabelJSON(lj)
+		if err != nil {
+			return nil, err
+		}
+		dir.Add(l)
+	}
+	return dir, nil
+}
+
+// Helpers shared with the server.
+
+func trim0x(s string) string { return strings.TrimPrefix(s, "0x") }
+
+func decodeHexBlob(s string) ([]byte, error) {
+	raw := trim0x(s)
+	if raw == "" {
+		return nil, nil
+	}
+	return hex.DecodeString(raw)
+}
+
+func weiFromDecimal(s string) (ethtypes.Wei, bool) {
+	b, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		return ethtypes.Wei{}, false
+	}
+	return ethtypes.WeiFromBig(b), true
+}

@@ -1,0 +1,257 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+	"repro/internal/labels"
+)
+
+// Server serves a chain (and optionally a label directory) over
+// JSON-RPC 2.0. It implements http.Handler; mount it wherever.
+type Server struct {
+	Chain  *chain.Chain
+	Labels *labels.Directory
+}
+
+// NewServer returns a handler for the given chain.
+func NewServer(c *chain.Chain, l *labels.Directory) *Server {
+	return &Server{Chain: c, Labels: l}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
+		return
+	}
+	resp := response{JSONRPC: "2.0", ID: req.ID}
+	result, rpcErr := s.dispatch(req.Method, req.Params)
+	if rpcErr != nil {
+		resp.Error = rpcErr
+	} else {
+		raw, err := json.Marshal(result)
+		if err != nil {
+			resp.Error = &rpcError{Code: codeInternal, Message: err.Error()}
+		} else {
+			resp.Result = raw
+		}
+	}
+	writeResponse(w, resp)
+}
+
+func writeResponse(w http.ResponseWriter, resp response) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) dispatch(method string, params json.RawMessage) (any, *rpcError) {
+	switch method {
+	case "eth_blockNumber":
+		return s.Chain.BlockCount() - 1, nil
+
+	case "eth_getBlockByNumber":
+		var args []uint64
+		if err := json.Unmarshal(params, &args); err != nil || len(args) != 1 {
+			return nil, invalidParams("want [blockNumber]")
+		}
+		b, err := s.Chain.BlockByNumber(args[0])
+		if err != nil {
+			return nil, &rpcError{Code: codeInvalidParams, Message: err.Error()}
+		}
+		out := blockJSON{
+			Number:    b.Number,
+			Timestamp: b.Timestamp.Unix(),
+			Hash:      b.Hash().Hex(),
+			Parent:    b.Parent.Hex(),
+		}
+		for _, h := range b.TxHashes {
+			out.TxHashes = append(out.TxHashes, h.Hex())
+		}
+		return out, nil
+
+	case "eth_getTransactionByHash":
+		h, rpcErr := hashParam(params)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		tx, err := s.Chain.Transaction(h)
+		if err != nil {
+			return nil, &rpcError{Code: codeInvalidParams, Message: err.Error()}
+		}
+		return toTxJSON(tx), nil
+
+	case "repro_getReceipt":
+		h, rpcErr := hashParam(params)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		r, err := s.Chain.Receipt(h)
+		if err != nil {
+			return nil, &rpcError{Code: codeInvalidParams, Message: err.Error()}
+		}
+		return toReceiptJSON(r), nil
+
+	case "eth_getBalance":
+		a, rpcErr := addressParam(params)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		return s.Chain.BalanceOf(a).String(), nil
+
+	case "eth_getCode":
+		a, rpcErr := addressParam(params)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		return fmt.Sprintf("0x%x", s.Chain.CodeAt(a)), nil
+
+	case "eth_call":
+		var args []string
+		if err := json.Unmarshal(params, &args); err != nil || len(args) != 2 {
+			return nil, invalidParams("want [to, data]")
+		}
+		to, err := ethtypes.HexToAddress(args[0])
+		if err != nil {
+			return nil, invalidParams(err.Error())
+		}
+		raw, err := decodeHexBlob(args[1])
+		if err != nil {
+			return nil, invalidParams(err.Error())
+		}
+		ret, err := s.Chain.StaticCall(to, raw)
+		if err != nil {
+			return nil, &rpcError{Code: codeInternal, Message: err.Error()}
+		}
+		return fmt.Sprintf("0x%x", ret), nil
+
+	case "repro_getStorageAt":
+		var args []string
+		if err := json.Unmarshal(params, &args); err != nil || len(args) != 2 {
+			return nil, invalidParams("want [address, key]")
+		}
+		a, err := ethtypes.HexToAddress(args[0])
+		if err != nil {
+			return nil, invalidParams(err.Error())
+		}
+		k, err := ethtypes.HexToHash(args[1])
+		if err != nil {
+			return nil, invalidParams(err.Error())
+		}
+		v := s.Chain.StorageAt(a, k)
+		return v.Hex(), nil
+
+	case "repro_isContract":
+		a, rpcErr := addressParam(params)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		return s.Chain.IsContract(a), nil
+
+	case "repro_transactionsOf":
+		a, rpcErr := addressParam(params)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		hashes := s.Chain.TransactionsOf(a)
+		out := make([]string, len(hashes))
+		for i, h := range hashes {
+			out[i] = h.Hex()
+		}
+		return out, nil
+
+	case "repro_getLogs":
+		var args struct {
+			FromBlock uint64 `json:"fromBlock"`
+			ToBlock   uint64 `json:"toBlock"`
+			Address   string `json:"address,omitempty"`
+			Topic0    string `json:"topic0,omitempty"`
+		}
+		if err := json.Unmarshal(params, &args); err != nil {
+			return nil, invalidParams(err.Error())
+		}
+		var addrFilter *ethtypes.Address
+		if args.Address != "" {
+			a, err := ethtypes.HexToAddress(args.Address)
+			if err != nil {
+				return nil, invalidParams(err.Error())
+			}
+			addrFilter = &a
+		}
+		var topicFilter *ethtypes.Hash
+		if args.Topic0 != "" {
+			t, err := ethtypes.HexToHash(args.Topic0)
+			if err != nil {
+				return nil, invalidParams(err.Error())
+			}
+			topicFilter = &t
+		}
+		entries := s.Chain.FilterLogs(args.FromBlock, args.ToBlock, addrFilter, topicFilter)
+		out := make([]logEntryJSON, 0, len(entries))
+		for _, e := range entries {
+			lj := logJSON{Address: e.Address.Hex(), Data: fmt.Sprintf("0x%x", e.Data)}
+			for _, tp := range e.Topics {
+				lj.Topics = append(lj.Topics, tp.Hex())
+			}
+			out = append(out, logEntryJSON{
+				Log: lj, TxHash: e.TxHash.Hex(), BlockNumber: e.BlockNumber, Timestamp: e.Timestamp.Unix(),
+			})
+		}
+		return out, nil
+
+	case "repro_labels":
+		if s.Labels == nil {
+			return []labelJSON{}, nil
+		}
+		var out []labelJSON
+		for _, src := range labels.AllSources {
+			for _, addr := range s.Labels.PhishingReports(src) {
+				for _, l := range s.Labels.Of(addr) {
+					if l.Source == src {
+						out = append(out, toLabelJSON(l))
+					}
+				}
+			}
+		}
+		return out, nil
+
+	default:
+		return nil, &rpcError{Code: codeMethodNotFound, Message: "unknown method " + method}
+	}
+}
+
+func invalidParams(msg string) *rpcError {
+	return &rpcError{Code: codeInvalidParams, Message: msg}
+}
+
+func hashParam(params json.RawMessage) (ethtypes.Hash, *rpcError) {
+	var args []string
+	if err := json.Unmarshal(params, &args); err != nil || len(args) != 1 {
+		return ethtypes.Hash{}, invalidParams("want [hash]")
+	}
+	h, err := ethtypes.HexToHash(args[0])
+	if err != nil {
+		return ethtypes.Hash{}, invalidParams(err.Error())
+	}
+	return h, nil
+}
+
+func addressParam(params json.RawMessage) (ethtypes.Address, *rpcError) {
+	var args []string
+	if err := json.Unmarshal(params, &args); err != nil || len(args) != 1 {
+		return ethtypes.Address{}, invalidParams("want [address]")
+	}
+	a, err := ethtypes.HexToAddress(args[0])
+	if err != nil {
+		return ethtypes.Address{}, invalidParams(err.Error())
+	}
+	return a, nil
+}

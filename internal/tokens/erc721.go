@@ -1,0 +1,180 @@
+package tokens
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/chain"
+	"repro/internal/ethabi"
+	"repro/internal/ethtypes"
+	"repro/internal/keccak"
+)
+
+// ERC-721 selectors (transferFrom/approve share their ERC-20 shapes
+// with different argument meaning, as in the real standards).
+var (
+	SelOwnerOf           = ethabi.Selector("ownerOf(uint256)")
+	SelSetApprovalForAll = ethabi.Selector("setApprovalForAll(address,bool)")
+	SelIsApprovedForAll  = ethabi.Selector("isApprovedForAll(address,address)")
+	SelMint721           = ethabi.Selector("mint(address,uint256)")
+)
+
+// ERC721 is a native NFT contract.
+type ERC721 struct {
+	Addr   ethtypes.Address
+	Symbol string
+	Admin  ethtypes.Address
+}
+
+// NewERC721 returns the native contract.
+func NewERC721(addr ethtypes.Address, symbol string, admin ethtypes.Address) *ERC721 {
+	return &ERC721{Addr: addr, Symbol: symbol, Admin: admin}
+}
+
+func ownerKey(id uint64) ethtypes.Hash {
+	var idb [8]byte
+	for i := 0; i < 8; i++ {
+		idb[7-i] = byte(id >> (8 * i))
+	}
+	return ethtypes.Hash(keccak.Sum256([]byte("own"), idb[:]))
+}
+
+func tokenApprovalKey(id uint64) ethtypes.Hash {
+	var idb [8]byte
+	for i := 0; i < 8; i++ {
+		idb[7-i] = byte(id >> (8 * i))
+	}
+	return ethtypes.Hash(keccak.Sum256([]byte("apr"), idb[:]))
+}
+
+func operatorKey(owner, op ethtypes.Address) ethtypes.Hash {
+	return ethtypes.Hash(keccak.Sum256([]byte("all"), owner[:], op[:]))
+}
+
+func addrWord(a ethtypes.Address) ethtypes.Hash {
+	var h ethtypes.Hash
+	copy(h[12:], a[:])
+	return h
+}
+
+func wordAddr(h ethtypes.Hash) ethtypes.Address {
+	return ethtypes.BytesToAddress(h[:])
+}
+
+// Run implements chain.NativeContract.
+func (t *ERC721) Run(env *chain.CallEnv) ([]byte, error) {
+	if len(env.Input) < 4 {
+		return nil, fmt.Errorf("%w: empty calldata", ErrUnknownSelector)
+	}
+	var sel [4]byte
+	copy(sel[:], env.Input[:4])
+	switch sel {
+	case SelOwnerOf:
+		args, err := ethabi.Decode([]ethabi.Type{ethabi.Uint256T}, env.Input[4:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+		}
+		owner := env.StorageGet(ownerKey(args[0].(*big.Int).Uint64()))
+		return owner[:], nil
+
+	case SelTransferFrom:
+		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+		}
+		from := args[0].(ethtypes.Address)
+		to := args[1].(ethtypes.Address)
+		id := args[2].(*big.Int).Uint64()
+		owner := wordAddr(env.StorageGet(ownerKey(id)))
+		if owner != from {
+			return nil, fmt.Errorf("%w: token %d owned by %s, not %s", ErrNotOwner, id, owner.Short(), from.Short())
+		}
+		if !t.authorized(env, owner, env.Caller, id) {
+			return nil, fmt.Errorf("%w: %s moving token %d of %s", ErrNotAuthorized, env.Caller.Short(), id, owner.Short())
+		}
+		env.StorageSet(ownerKey(id), addrWord(to))
+		env.StorageSet(tokenApprovalKey(id), ethtypes.Hash{}) // clear per-token approval
+		var data [32]byte
+		new(big.Int).SetUint64(id).FillBytes(data[:])
+		env.EmitLog([]ethtypes.Hash{TopicTransfer, addrTopic(from), addrTopic(to)}, data[:])
+		env.RecordTokenTransfer(chain.Asset{Kind: chain.AssetERC721, Token: t.Addr, TokenID: id},
+			from, to, ethtypes.NewWei(1))
+		return nil, nil
+
+	case SelApprove:
+		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+		}
+		spender := args[0].(ethtypes.Address)
+		id := args[1].(*big.Int).Uint64()
+		owner := wordAddr(env.StorageGet(ownerKey(id)))
+		if owner != env.Caller {
+			return nil, fmt.Errorf("%w: approve of token %d by non-owner %s", ErrNotAuthorized, id, env.Caller.Short())
+		}
+		env.StorageSet(tokenApprovalKey(id), addrWord(spender))
+		env.RecordApproval(chain.Approval{
+			Token: t.Addr, Kind: chain.AssetERC721,
+			Owner: owner, Spender: spender, Amount: ethtypes.NewWei(1),
+		})
+		return nil, nil
+
+	case SelSetApprovalForAll:
+		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.BoolT}, env.Input[4:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+		}
+		op := args[0].(ethtypes.Address)
+		approved := args[1].(bool)
+		var val ethtypes.Hash
+		if approved {
+			val[31] = 1
+		}
+		env.StorageSet(operatorKey(env.Caller, op), val)
+		env.EmitLog([]ethtypes.Hash{TopicApprovalForAll, addrTopic(env.Caller), addrTopic(op)}, val[:])
+		env.RecordApproval(chain.Approval{
+			Token: t.Addr, Kind: chain.AssetERC721,
+			Owner: env.Caller, Spender: op, All: approved,
+		})
+		return nil, nil
+
+	case SelIsApprovedForAll:
+		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.AddressT}, env.Input[4:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+		}
+		v := env.StorageGet(operatorKey(args[0].(ethtypes.Address), args[1].(ethtypes.Address)))
+		return v[:], nil
+
+	case SelMint721:
+		if env.Caller != t.Admin {
+			return nil, fmt.Errorf("%w: mint by %s", ErrNotAuthorized, env.Caller.Short())
+		}
+		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+		}
+		to := args[0].(ethtypes.Address)
+		id := args[1].(*big.Int).Uint64()
+		if owner := wordAddr(env.StorageGet(ownerKey(id))); !owner.IsZero() {
+			return nil, fmt.Errorf("tokens: token %d already minted to %s", id, owner.Short())
+		}
+		env.StorageSet(ownerKey(id), addrWord(to))
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("%w: %x", ErrUnknownSelector, sel)
+	}
+}
+
+// authorized reports whether caller may move token id owned by owner.
+func (t *ERC721) authorized(env *chain.CallEnv, owner, caller ethtypes.Address, id uint64) bool {
+	if caller == owner {
+		return true
+	}
+	if wordAddr(env.StorageGet(tokenApprovalKey(id))) == caller {
+		return true
+	}
+	v := env.StorageGet(operatorKey(owner, caller))
+	return v[31] == 1
+}

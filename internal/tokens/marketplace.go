@@ -1,0 +1,76 @@
+package tokens
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/chain"
+	"repro/internal/ethabi"
+	"repro/internal/ethtypes"
+)
+
+// Marketplace selectors.
+var (
+	// SelSell is sell(address,uint256,uint256): sell an NFT (token,
+	// tokenID) for the given ETH price. The marketplace takes custody of
+	// the NFT and pays the seller from its liquidity pool, mirroring how
+	// drainers liquidate stolen NFTs on Blur/OpenSea before splitting
+	// proceeds (paper §4.2).
+	SelSell = ethabi.Selector("sell(address,uint256,uint256)")
+)
+
+// Marketplace is a native NFT marketplace with an ETH liquidity pool
+// (fund its address to provide buy-side liquidity).
+type Marketplace struct {
+	Addr ethtypes.Address
+	// FeeBps is the marketplace fee in basis points deducted from the
+	// sale price.
+	FeeBps int64
+}
+
+// NewMarketplace returns the native contract.
+func NewMarketplace(addr ethtypes.Address, feeBps int64) *Marketplace {
+	return &Marketplace{Addr: addr, FeeBps: feeBps}
+}
+
+// Run implements chain.NativeContract.
+func (m *Marketplace) Run(env *chain.CallEnv) ([]byte, error) {
+	if len(env.Input) < 4 {
+		return nil, fmt.Errorf("%w: empty calldata", ErrUnknownSelector)
+	}
+	var sel [4]byte
+	copy(sel[:], env.Input[:4])
+	if sel != SelSell {
+		return nil, fmt.Errorf("%w: %x", ErrUnknownSelector, sel)
+	}
+	args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T, ethabi.Uint256T}, env.Input[4:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+	}
+	token := args[0].(ethtypes.Address)
+	id := args[1].(*big.Int)
+	price := ethtypes.WeiFromBig(args[2].(*big.Int))
+
+	// Pull the NFT from the seller; requires prior approval of the
+	// marketplace (or operator approval), exactly like a real listing.
+	pull, err := ethabi.EncodeCall("transferFrom(address,address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+		[]any{env.Caller, m.Addr, id})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(token, ethtypes.Wei{}, pull); err != nil {
+		return nil, fmt.Errorf("tokens: marketplace pull failed: %w", err)
+	}
+
+	// Pay the seller price minus fee from the liquidity pool.
+	payout := price.MulDiv(10_000-m.FeeBps, 10_000)
+	if env.Balance(m.Addr).Cmp(payout) < 0 {
+		return nil, fmt.Errorf("%w: marketplace liquidity %s below payout %s",
+			ErrBalance, env.Balance(m.Addr), payout)
+	}
+	if _, err := env.Call(env.Caller, payout, nil); err != nil {
+		return nil, fmt.Errorf("tokens: marketplace payout failed: %w", err)
+	}
+	return nil, nil
+}

@@ -1,0 +1,329 @@
+package tokens
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethabi"
+	"repro/internal/ethtypes"
+)
+
+var (
+	admin    = ethtypes.MustAddress("0xad0000000000000000000000000000000000000d")
+	victim   = ethtypes.MustAddress("0x1c00000000000000000000000000000000000001")
+	operator = ethtypes.MustAddress("0x0e00000000000000000000000000000000000002")
+	drainer  = ethtypes.MustAddress("0xd000000000000000000000000000000000000003")
+	usdcAddr = ethtypes.MustAddress("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
+	nftAddr  = ethtypes.MustAddress("0xbc4ca0eda7647a8ab7c2061c2e118a18a936f13d")
+	mktAddr  = ethtypes.MustAddress("0x000000000000ad05ccc4f10045630fb830b95127")
+)
+
+func ts() time.Time { return time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC) }
+
+func to(a ethtypes.Address) *ethtypes.Address { return &a }
+
+func newWorld(t *testing.T) *chain.Chain {
+	if t != nil {
+		t.Helper()
+	}
+	c := chain.New(ts())
+	c.RegisterNative(usdcAddr, NewERC20(usdcAddr, "USDC", admin))
+	c.RegisterNative(nftAddr, NewERC721(nftAddr, "BAYC", admin))
+	c.RegisterNative(mktAddr, NewMarketplace(mktAddr, 50))
+	c.Fund(mktAddr, ethtypes.Ether(1000))
+	c.Fund(victim, ethtypes.Ether(10))
+	c.Fund(admin, ethtypes.Ether(10))
+	c.Fund(drainer, ethtypes.Ether(10))
+	return c
+}
+
+func call(t *testing.T, c *chain.Chain, from, target ethtypes.Address, sig string, types []ethabi.Type, args []any) *chain.Receipt {
+	t.Helper()
+	data, err := ethabi.EncodeCall(sig, types, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rs := c.Mine(ts(), &chain.Transaction{From: from, To: to(target), Data: data})
+	return rs[0]
+}
+
+func mustSucceed(t *testing.T, r *chain.Receipt) *chain.Receipt {
+	t.Helper()
+	if !r.Status {
+		t.Fatalf("tx failed: %s", r.Err)
+	}
+	return r
+}
+
+func TestERC20MintTransferBalances(t *testing.T) {
+	c := newWorld(t)
+	mustSucceed(t, call(t, c, admin, usdcAddr, "mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{victim, big.NewInt(1000)}))
+
+	r := mustSucceed(t, call(t, c, victim, usdcAddr, "transfer(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{operator, big.NewInt(400)}))
+
+	if len(r.Transfers) != 1 {
+		t.Fatalf("transfers = %d, want 1", len(r.Transfers))
+	}
+	tr := r.Transfers[0]
+	if tr.Asset.Kind != chain.AssetERC20 || tr.Asset.Token != usdcAddr {
+		t.Errorf("asset = %+v", tr.Asset)
+	}
+	if tr.From != victim || tr.To != operator || tr.Amount.Uint64() != 400 {
+		t.Errorf("edge = %+v", tr)
+	}
+	if len(r.Logs) != 1 || r.Logs[0].Topics[0] != TopicTransfer {
+		t.Error("missing Transfer event log")
+	}
+
+	// Overdraft fails and rolls back.
+	r = call(t, c, victim, usdcAddr, "transfer(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{operator, big.NewInt(10_000)})
+	if r.Status {
+		t.Error("overdraft transfer succeeded")
+	}
+}
+
+func TestERC20ApproveTransferFrom(t *testing.T) {
+	c := newWorld(t)
+	mustSucceed(t, call(t, c, admin, usdcAddr, "mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{victim, big.NewInt(1000)}))
+
+	// The phishing approval: victim grants the drainer EOA.
+	r := mustSucceed(t, call(t, c, victim, usdcAddr, "approve(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{drainer, big.NewInt(600)}))
+	if len(r.Approvals) != 1 || r.Approvals[0].Spender != drainer || r.Approvals[0].Owner != victim {
+		t.Fatalf("approvals = %+v", r.Approvals)
+	}
+
+	// Drainer pulls within allowance.
+	r = mustSucceed(t, call(t, c, drainer, usdcAddr, "transferFrom(address,address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+		[]any{victim, operator, big.NewInt(500)}))
+	if r.Transfers[0].From != victim || r.Transfers[0].To != operator {
+		t.Errorf("pull edge = %+v", r.Transfers[0])
+	}
+
+	// Exceeding the remaining allowance fails.
+	r = call(t, c, drainer, usdcAddr, "transferFrom(address,address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+		[]any{victim, operator, big.NewInt(500)})
+	if r.Status {
+		t.Error("transferFrom beyond allowance succeeded")
+	}
+}
+
+func TestERC20MintRestricted(t *testing.T) {
+	c := newWorld(t)
+	r := call(t, c, drainer, usdcAddr, "mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{drainer, big.NewInt(1)})
+	if r.Status {
+		t.Error("non-admin mint succeeded")
+	}
+}
+
+func TestERC721MintTransferApproval(t *testing.T) {
+	c := newWorld(t)
+	mustSucceed(t, call(t, c, admin, nftAddr, "mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{victim, big.NewInt(42)}))
+
+	// Double mint of the same id fails.
+	if r := call(t, c, admin, nftAddr, "mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{operator, big.NewInt(42)}); r.Status {
+		t.Error("double mint succeeded")
+	}
+
+	// Unauthorized transferFrom fails.
+	if r := call(t, c, drainer, nftAddr, "transferFrom(address,address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+		[]any{victim, drainer, big.NewInt(42)}); r.Status {
+		t.Error("unauthorized NFT pull succeeded")
+	}
+
+	// Victim signs the phishing approval, then the drainer pulls.
+	r := mustSucceed(t, call(t, c, victim, nftAddr, "approve(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{drainer, big.NewInt(42)}))
+	if len(r.Approvals) != 1 || r.Approvals[0].Kind != chain.AssetERC721 {
+		t.Fatalf("approvals = %+v", r.Approvals)
+	}
+	r = mustSucceed(t, call(t, c, drainer, nftAddr, "transferFrom(address,address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+		[]any{victim, drainer, big.NewInt(42)}))
+	tr := r.Transfers[0]
+	if tr.Asset.Kind != chain.AssetERC721 || tr.Asset.TokenID != 42 || tr.To != drainer {
+		t.Errorf("NFT edge = %+v", tr)
+	}
+
+	// Per-token approval was cleared by the transfer: victim cannot be
+	// re-drained via the stale approval after reacquiring.
+	if r := call(t, c, victim, nftAddr, "transferFrom(address,address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+		[]any{drainer, victim, big.NewInt(42)}); r.Status {
+		t.Error("non-owner moved token back")
+	}
+}
+
+func TestERC721SetApprovalForAll(t *testing.T) {
+	c := newWorld(t)
+	for id := int64(1); id <= 3; id++ {
+		mustSucceed(t, call(t, c, admin, nftAddr, "mint(address,uint256)",
+			[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{victim, big.NewInt(id)}))
+	}
+	r := mustSucceed(t, call(t, c, victim, nftAddr, "setApprovalForAll(address,bool)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.BoolT}, []any{drainer, true}))
+	if len(r.Approvals) != 1 || !r.Approvals[0].All {
+		t.Fatalf("approvals = %+v", r.Approvals)
+	}
+	// Drainer can now sweep the whole collection.
+	for id := int64(1); id <= 3; id++ {
+		mustSucceed(t, call(t, c, drainer, nftAddr, "transferFrom(address,address,uint256)",
+			[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+			[]any{victim, drainer, big.NewInt(id)}))
+	}
+}
+
+func TestMarketplaceSale(t *testing.T) {
+	c := newWorld(t)
+	mustSucceed(t, call(t, c, admin, nftAddr, "mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{drainer, big.NewInt(7)}))
+	mustSucceed(t, call(t, c, drainer, nftAddr, "approve(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{mktAddr, big.NewInt(7)}))
+
+	before := c.BalanceOf(drainer)
+	price := ethtypes.Ether(4)
+	r := mustSucceed(t, call(t, c, drainer, mktAddr, "sell(address,uint256,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T, ethabi.Uint256T},
+		[]any{nftAddr, big.NewInt(7), price.Big()}))
+
+	// Fund flow: NFT to marketplace, ETH payout to seller.
+	var sawNFT, sawETH bool
+	for _, tr := range r.Transfers {
+		if tr.Asset.Kind == chain.AssetERC721 && tr.To == mktAddr {
+			sawNFT = true
+		}
+		if tr.Asset.Kind == chain.AssetETH && tr.To == drainer {
+			sawETH = true
+		}
+	}
+	if !sawNFT || !sawETH {
+		t.Errorf("fund flow incomplete: %+v", r.Transfers)
+	}
+	payout := price.MulDiv(9950, 10_000)
+	if got := c.BalanceOf(drainer).Sub(before); got.Cmp(payout) != 0 {
+		t.Errorf("payout = %s, want %s", got, payout)
+	}
+}
+
+func TestMarketplaceWithoutApprovalFails(t *testing.T) {
+	c := newWorld(t)
+	mustSucceed(t, call(t, c, admin, nftAddr, "mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{drainer, big.NewInt(9)}))
+	r := call(t, c, drainer, mktAddr, "sell(address,uint256,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T, ethabi.Uint256T},
+		[]any{nftAddr, big.NewInt(9), ethtypes.Ether(1).Big()})
+	if r.Status {
+		t.Error("sale without approval succeeded")
+	}
+	// The NFT must still be with the seller (rollback).
+	r = mustSucceed(t, call(t, c, drainer, nftAddr, "approve(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{mktAddr, big.NewInt(9)}))
+}
+
+func TestUnknownSelectorRejected(t *testing.T) {
+	c := newWorld(t)
+	_, rs := c.Mine(ts(), &chain.Transaction{From: victim, To: to(usdcAddr), Data: []byte{1, 2, 3, 4}})
+	if rs[0].Status {
+		t.Error("unknown selector accepted")
+	}
+	_, rs = c.Mine(ts(), &chain.Transaction{From: victim, To: to(usdcAddr), Value: ethtypes.Ether(1)})
+	if rs[0].Status {
+		t.Error("plain ETH send to token accepted")
+	}
+}
+
+// Property: ERC-20 total balance is conserved by any transfer sequence
+// among three parties.
+func TestQuickERC20Conservation(t *testing.T) {
+	f := func(moves []uint16) bool {
+		c := newWorld(nil2())
+		parties := []ethtypes.Address{victim, operator, drainer}
+		data, _ := ethabi.EncodeCall("mint(address,uint256)",
+			[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{victim, big.NewInt(10_000)})
+		c.Mine(ts(), &chain.Transaction{From: admin, To: to(usdcAddr), Data: data})
+		for _, mv := range moves {
+			from := parties[int(mv)%3]
+			dst := parties[int(mv>>2)%3]
+			amt := big.NewInt(int64(mv % 997))
+			data, _ := ethabi.EncodeCall("transfer(address,uint256)",
+				[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{dst, amt})
+			c.Mine(ts(), &chain.Transaction{From: from, To: to(usdcAddr), Data: data})
+		}
+		// Sum balances via storage probes: replay transfers of full
+		// balance to a sink and count — instead, use the chain's receipt
+		// history: every successful transfer conserved balance by
+		// construction of move(); here we assert the sink invariant by
+		// draining everything to one party and checking the total.
+		total := big.NewInt(0)
+		for _, p := range parties {
+			total.Add(total, erc20BalanceOf(c, p))
+		}
+		return total.Int64() == 10_000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// nil2 lets newWorld be reused from a property function without a *testing.T.
+func nil2() *testing.T { return nil }
+
+// erc20BalanceOf reads an ERC-20 balance through the public call
+// interface using a probe EVM execution.
+func erc20BalanceOf(c *chain.Chain, owner ethtypes.Address) *big.Int {
+	data, _ := ethabi.EncodeCall("balanceOf(address)", []ethabi.Type{ethabi.AddressT}, []any{owner})
+	ret, err := c.StaticCall(usdcAddr, data)
+	if err != nil {
+		return big.NewInt(-1)
+	}
+	return new(big.Int).SetBytes(ret)
+}
+
+// TestERC20PermitPhishing exercises the paper's §7.2 "ERC20 permit
+// phishing" scheme: the victim signs an off-chain permit, so the
+// drainer's multicall obtains the allowance and drains in one
+// transaction — the victim never sends an on-chain approval.
+func TestERC20PermitPhishing(t *testing.T) {
+	c := newWorld(t)
+	mustSucceed(t, call(t, c, admin, usdcAddr, "mint(address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, []any{victim, big.NewInt(900)}))
+
+	// The drainer presents the harvested permit and pulls in the same
+	// breath. The victim's account history gains no approval tx of its
+	// own.
+	r := mustSucceed(t, call(t, c, drainer, usdcAddr, "permit(address,address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+		[]any{victim, drainer, big.NewInt(900)}))
+	if len(r.Approvals) != 1 || r.Approvals[0].Owner != victim || r.Approvals[0].Spender != drainer {
+		t.Fatalf("permit approvals = %+v", r.Approvals)
+	}
+	// The approval's transaction was signed by the drainer, not the
+	// victim — the defining trait of permit phishing.
+	tx, err := c.Transaction(r.TxHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.From != drainer {
+		t.Errorf("permit tx sender = %s, want drainer", tx.From.Short())
+	}
+
+	r = mustSucceed(t, call(t, c, drainer, usdcAddr, "transferFrom(address,address,uint256)",
+		[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+		[]any{victim, operator, big.NewInt(900)}))
+	if r.Transfers[0].From != victim || r.Transfers[0].Amount.Uint64() != 900 {
+		t.Errorf("permit drain edge = %+v", r.Transfers[0])
+	}
+}

@@ -1,0 +1,161 @@
+package toolkit
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
+
+func TestFileLayouts(t *testing.T) {
+	r := rng()
+	angel := FileLayout(FamilyAngel, r)
+	if len(angel) != 2 || angel[0] != "settings.js" || angel[1] != "webchunk.js" {
+		t.Errorf("angel layout = %v", angel)
+	}
+	pink := FileLayout(FamilyPink, r)
+	if len(pink) != 3 || pink[0] != "contract.js" {
+		t.Errorf("pink layout = %v", pink)
+	}
+	inferno := FileLayout(FamilyInferno, r)
+	if len(inferno) != 3 {
+		t.Fatalf("inferno layout = %v", inferno)
+	}
+	if !looksUUIDjs(inferno[2]) {
+		t.Errorf("inferno bundle %q not UUID-shaped", inferno[2])
+	}
+}
+
+func TestGenerateContentDeterministicAndDistinct(t *testing.T) {
+	a := GenerateContent(FamilyAngel, 1)
+	b := GenerateContent(FamilyAngel, 1)
+	c := GenerateContent(FamilyAngel, 2)
+	d := GenerateContent(FamilyPink, 1)
+	if a != b {
+		t.Error("content not deterministic")
+	}
+	if a == c || a == d {
+		t.Error("variants or families collide")
+	}
+	if !containsDrainerMarkers([]byte(a)) {
+		t.Error("generated content lacks drainer markers")
+	}
+}
+
+func TestCorpusAddDedup(t *testing.T) {
+	c := NewCorpus()
+	fp := Fingerprint{Family: FamilyAngel, FileName: "settings.js", ContentHash: "aa"}
+	c.Add(fp)
+	c.Add(fp)
+	if c.Len() != 1 {
+		t.Errorf("len = %d after duplicate add", c.Len())
+	}
+	c.Add(Fingerprint{Family: FamilyAngel, FileName: "settings.js", ContentHash: "bb"})
+	if c.Len() != 2 {
+		t.Errorf("len = %d after variant add", c.Len())
+	}
+}
+
+func TestBuildCorpusSize(t *testing.T) {
+	c := BuildCorpus(5, 867)
+	if c.Len() != 867 {
+		t.Errorf("corpus size = %d, want 867", c.Len())
+	}
+	fams := c.Families()
+	if len(fams) < 5 {
+		t.Errorf("families = %v", fams)
+	}
+}
+
+func TestMatchFileExactAndVariant(t *testing.T) {
+	c := NewCorpus()
+	content := GenerateContent(FamilyAngel, 7)
+	c.Add(Fingerprint{Family: FamilyAngel, FileName: "settings.js", ContentHash: HashContent([]byte(content))})
+
+	// Exact hit.
+	m, ok := c.MatchFile("settings.js", []byte(content))
+	if !ok || m.Kind != MatchExact || m.Family != FamilyAngel {
+		t.Errorf("exact match = %+v, %v", m, ok)
+	}
+	// Variant: same distinctive name, new build.
+	novel := GenerateContent(FamilyAngel, 99)
+	m, ok = c.MatchFile("settings.js", []byte(novel))
+	if !ok || m.Kind != MatchVariant {
+		t.Errorf("variant match = %+v, %v", m, ok)
+	}
+	// Unknown name, benign content: no match.
+	if _, ok := c.MatchFile("jquery.js", []byte("console.log(1)")); ok {
+		t.Error("benign file matched")
+	}
+	// Distinctive name but benign content (no markers): no match.
+	if _, ok := c.MatchFile("settings.js", []byte("var theme='dark';")); ok {
+		t.Error("benign settings.js matched")
+	}
+}
+
+func TestGenericNamesNeedExactHash(t *testing.T) {
+	c := NewCorpus()
+	content := GenerateContent(FamilyPink, 3)
+	c.Add(Fingerprint{Family: FamilyPink, FileName: "main.js", ContentHash: HashContent([]byte(content))})
+	// Exact generic-name hit works.
+	if _, ok := c.MatchFile("main.js", []byte(content)); !ok {
+		t.Error("exact generic match failed")
+	}
+	// Novel content under a generic name must NOT match even with
+	// markers (too common on the benign web).
+	novel := GenerateContent(FamilyPink, 55)
+	if _, ok := c.MatchFile("main.js", []byte(novel)); ok {
+		t.Error("generic-name variant matched")
+	}
+}
+
+func TestInfernoUUIDHeuristic(t *testing.T) {
+	c := NewCorpus()
+	drainer := GenerateContent(FamilyInferno, 4)
+	m, ok := c.MatchFile("8839a83b-968a-46d3-a3ee-96bbf497b662.js", []byte(drainer))
+	if !ok || m.Family != FamilyInferno || m.Kind != MatchVariant {
+		t.Errorf("UUID heuristic = %+v, %v", m, ok)
+	}
+	// UUID name with benign content: no match.
+	if _, ok := c.MatchFile("8839a83b-968a-46d3-a3ee-96bbf497b662.js", []byte("alert(1)")); ok {
+		t.Error("benign UUID file matched")
+	}
+	// Non-UUID shapes rejected.
+	for _, name := range []string{"x.js", "8839a83b-968a-46d3-a3ee.js", "8839a83g-968a-46d3-a3ee-96bbf497b662.js"} {
+		if looksUUIDjs(name) {
+			t.Errorf("%q misidentified as UUID", name)
+		}
+	}
+}
+
+func TestMatchSiteMajority(t *testing.T) {
+	c := BuildCorpus(5, 50)
+	files := map[string][]byte{
+		"index.html":  []byte("<html></html>"),
+		"settings.js": []byte(GenerateContent(FamilyAngel, 500)),
+		"webchunk.js": []byte(GenerateContent(FamilyAngel, 500)),
+	}
+	m, ok := c.MatchSite(files)
+	if !ok || m.Family != FamilyAngel {
+		t.Errorf("site match = %+v, %v", m, ok)
+	}
+	if _, ok := c.MatchSite(map[string][]byte{"index.html": []byte("<html/>")}); ok {
+		t.Error("empty site matched")
+	}
+}
+
+func TestHashContentStable(t *testing.T) {
+	if HashContent([]byte("x")) != HashContent([]byte("x")) {
+		t.Error("hash unstable")
+	}
+	if HashContent([]byte("x")) == HashContent([]byte("y")) {
+		t.Error("hash collision on trivial input")
+	}
+	if got := len(HashContent(nil)); got != 64 {
+		t.Errorf("hash hex length = %d", got)
+	}
+	if !strings.HasPrefix(HashContent(nil), "c5d24601") {
+		t.Error("empty-input keccak mismatch")
+	}
+}

@@ -1,0 +1,139 @@
+package website
+
+import (
+	"io"
+	"math/rand/v2"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/domains"
+	"repro/internal/toolkit"
+)
+
+func TestBuildPhishingEmbedsToolkit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	s := BuildPhishing("uniswap-claim.com", toolkit.FamilyAngel, 12, rng)
+	index := s.Files["index.html"]
+	if !strings.Contains(index, "scripts/settings.js") || !strings.Contains(index, "scripts/webchunk.js") {
+		t.Errorf("index missing toolkit refs:\n%s", index)
+	}
+	if !strings.Contains(index, "ethers.umd.min.js") {
+		t.Error("index missing Listing 2 CDN refs")
+	}
+	body := s.Files["scripts/settings.js"]
+	if !strings.Contains(body, "drainToken") {
+		t.Error("toolkit body missing drainer code")
+	}
+}
+
+func TestBuildPhishingInfernoRootBundle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	s := BuildPhishing("pepe-airdrop.dev", toolkit.FamilyInferno, 9, rng)
+	found := false
+	for path := range s.Files {
+		if strings.Count(path, "-") == 4 && strings.HasSuffix(path, ".js") && !strings.Contains(path, "/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("inferno UUID bundle not at site root: %v", fileNames(s))
+	}
+}
+
+func TestBuildBenignHasNoDrainerContent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	s := BuildBenign("gardenkitchen.com", rng)
+	for path, content := range s.Files {
+		if strings.Contains(content, "drainToken") {
+			t.Errorf("benign file %s contains drainer code", path)
+		}
+	}
+}
+
+func TestGenerateFleetComposition(t *testing.T) {
+	cfg := FleetConfig{Seed: 1, Phishing: 50, Benign: 30, Bait: 10,
+		Start: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}
+	fleet := GenerateFleet(cfg)
+	if len(fleet) != 90 {
+		t.Fatalf("fleet size = %d", len(fleet))
+	}
+	var phishing, https, baitMatches int
+	seen := make(map[string]bool)
+	for _, s := range fleet {
+		if seen[s.Domain] {
+			t.Errorf("duplicate domain %s", s.Domain)
+		}
+		seen[s.Domain] = true
+		if s.Phishing {
+			phishing++
+			if s.Family == "" {
+				t.Error("phishing site without family")
+			}
+			if s.HTTPS {
+				https++
+			}
+		} else if _, ok := domains.Suspicious(s.Domain, domains.SimilarityThreshold); ok {
+			baitMatches++
+		}
+	}
+	if phishing != 50 {
+		t.Errorf("phishing = %d", phishing)
+	}
+	// ~75% HTTPS phishing (paper: >70%).
+	if https < 30 || https > 48 {
+		t.Errorf("https phishing = %d of 50, want ≈ 37", https)
+	}
+	if baitMatches < 10 {
+		t.Errorf("bait domains matching filter = %d, want ≥ 10", baitMatches)
+	}
+	// Sorted by issuance.
+	for i := 1; i < len(fleet); i++ {
+		if fleet[i].Issued.Before(fleet[i-1].Issued) {
+			t.Fatal("fleet not sorted by issuance")
+		}
+	}
+}
+
+func TestHostServing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	site := BuildPhishing("blur-mint.xyz", toolkit.FamilyPink, 2, rng)
+	srv := httptest.NewServer(NewHost([]*Site{site}))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/blur-mint.xyz/")
+	if code != 200 || !strings.Contains(body, "Claim") {
+		t.Errorf("index fetch = %d", code)
+	}
+	code, body = get("/blur-mint.xyz/scripts/contract.js")
+	if code != 200 || !strings.Contains(body, "drainToken") {
+		t.Errorf("script fetch = %d", code)
+	}
+	if code, _ = get("/unknown.com/"); code != 404 {
+		t.Errorf("unknown domain = %d", code)
+	}
+	if code, _ = get("/blur-mint.xyz/missing.js"); code != 404 {
+		t.Errorf("missing file = %d", code)
+	}
+	if _, ok := NewHost([]*Site{site}).Lookup("blur-mint.xyz"); !ok {
+		t.Error("Lookup failed")
+	}
+}
+
+func fileNames(s *Site) []string {
+	var out []string
+	for name := range s.Files {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,431 @@
+package worldgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/ethtypes"
+)
+
+// Plan is the deterministic description of a world before any
+// transaction executes. Equal (Config, Seed) produce equal plans.
+type Plan struct {
+	Config    Config
+	Families  []*FamilyPlan
+	Incidents []*Incident // sorted by time
+	Benign    BenignPlan
+	Tokens    []TokenPlan
+	NFTs      []CollectionPlan
+}
+
+// FamilyPlan holds one family's planned population.
+type FamilyPlan struct {
+	Index  int
+	Params FamilyParams
+
+	Operators  []*OperatorPlan
+	Affiliates []*AffiliatePlan
+	Contracts  []*ContractPlan
+	// Links are the planned operator-to-operator connections that the
+	// clustering stage must recover.
+	Links []OperatorLink
+}
+
+// OperatorPlan is one operator account.
+type OperatorPlan struct {
+	Addr   ethtypes.Address
+	Weight float64
+	Start  time.Time
+	End    time.Time
+}
+
+// AffiliatePlan is one affiliate account with its operator
+// associations (indices into the family's Operators).
+type AffiliatePlan struct {
+	Addr      ethtypes.Address
+	Weight    float64
+	Operators []int
+	// Contracts indexes fallback-style contracts dedicated to this
+	// affiliate (empty for claim-style families or low-tier affiliates).
+	Contracts []int
+}
+
+// ContractPlan is one profit-sharing contract deployment.
+type ContractPlan struct {
+	Operator  int
+	Affiliate int // -1 unless a fallback-style dedicated contract
+	RatioPM   int64
+	Start     time.Time
+	End       time.Time
+	// Labeled marks membership in the public seed (set during seed
+	// selection).
+	LabeledBy []string
+	// PlannedTxs counts incidents routed through this contract.
+	PlannedTxs int
+}
+
+// OperatorLink is a planned clustering edge between two operators of
+// the same family.
+type OperatorLink struct {
+	A, B int
+	// ViaSharedAccount links through a common Etherscan-labeled
+	// phishing EOA instead of a direct transfer (§7.1's second edge
+	// type).
+	ViaSharedAccount bool
+}
+
+// Incident is one victim theft event.
+type Incident struct {
+	Time      time.Time
+	Family    int
+	Operator  int
+	Affiliate int
+	Contract  int
+	Victim    ethtypes.Address
+	Kind      chain.AssetKind
+	LossUSD   float64
+	// Repeat is 0 for the victim's first incident.
+	Repeat int
+	// Simultaneous first incidents sign two phishing approvals in one
+	// block (§6.1).
+	Simultaneous bool
+	// Revoke schedules a later approval revocation (§6.1 complement of
+	// the 28.6% unrevoked).
+	Revoke bool
+	// Permit marks an ERC-20 theft that uses the §7.2 permit scheme:
+	// allowance granted inside the drainer's own multicall, no
+	// victim-signed approval transaction.
+	Permit bool
+	// TokenIdx selects the stolen ERC-20; CollectionIdx/NFTCount the
+	// stolen NFTs.
+	TokenIdx      int
+	CollectionIdx int
+	NFTCount      int
+}
+
+// BenignPlan sizes the background traffic.
+type BenignPlan struct {
+	Transfers []BenignTransfer
+	Splitters []SplitterPlan
+}
+
+// BenignTransfer is a plain payment between uninvolved accounts.
+type BenignTransfer struct {
+	Time      time.Time
+	From, To  ethtypes.Address
+	AmountUSD float64
+}
+
+// SplitterPlan is a benign payment-splitting contract. Colliding
+// splitters use a ratio from the drainer set — adversarial negatives
+// that only the snowball expansion gate keeps out of the dataset.
+type SplitterPlan struct {
+	Payer     ethtypes.Address
+	PartyA    ethtypes.Address
+	PartyB    ethtypes.Address
+	RatioPM   int64
+	Colliding bool
+	Payments  []time.Time
+	PayUSD    float64
+}
+
+// TokenPlan describes an ERC-20 used in thefts.
+type TokenPlan struct {
+	Symbol   string
+	Decimals int
+	USD      float64
+	Weight   float64
+}
+
+// CollectionPlan describes an NFT collection with a floor price.
+type CollectionPlan struct {
+	Symbol   string
+	FloorUSD float64
+}
+
+func defaultTokens() []TokenPlan {
+	return []TokenPlan{
+		{Symbol: "USDC", Decimals: 6, USD: 1.0, Weight: 55},
+		{Symbol: "USDT", Decimals: 6, USD: 1.0, Weight: 30},
+		{Symbol: "stWETH", Decimals: 18, USD: 2400, Weight: 15},
+	}
+}
+
+func defaultCollections() []CollectionPlan {
+	return []CollectionPlan{
+		{Symbol: "MINIPUNK", FloorUSD: 150},
+		{Symbol: "AZK", FloorUSD: 900},
+		{Symbol: "CLONEZ", FloorUSD: 4800},
+		{Symbol: "BORYC", FloorUSD: 12000},
+	}
+}
+
+// NewPlan builds the deterministic world plan for cfg.
+func NewPlan(cfg Config) (*Plan, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("worldgen: scale must be positive, got %v", cfg.Scale)
+	}
+	if len(cfg.Families) == 0 {
+		cfg.Families = DefaultFamilies()
+	}
+	if len(cfg.RatioMix) == 0 {
+		cfg.RatioMix = DefaultRatioMix()
+	}
+	if len(cfg.LossBuckets) == 0 {
+		cfg.LossBuckets = DefaultLossBuckets()
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+
+	p := &Plan{Config: cfg, Tokens: defaultTokens(), NFTs: defaultCollections()}
+
+	for fi, fp := range cfg.Families {
+		fam, err := planFamily(cfg, rng, fi, fp)
+		if err != nil {
+			return nil, err
+		}
+		p.Families = append(p.Families, fam)
+	}
+	p.planIncidents(rng)
+	p.planSeedLabels(rng)
+	p.planBenign(rng)
+
+	sort.SliceStable(p.Incidents, func(i, j int) bool {
+		return p.Incidents[i].Time.Before(p.Incidents[j].Time)
+	})
+	return p, nil
+}
+
+// randomAddr draws a fresh EOA address.
+func randomAddr(rng *rand.Rand) ethtypes.Address {
+	var a ethtypes.Address
+	for i := range a {
+		a[i] = byte(rng.UintN(256))
+	}
+	return a
+}
+
+// powerWeights returns normalized 1/(i+1)^s weights.
+func powerWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// cumulative converts weights to a cumulative distribution.
+func cumulative(w []float64) []float64 {
+	out := make([]float64, len(w))
+	var acc float64
+	for i, v := range w {
+		acc += v
+		out[i] = acc
+	}
+	// Normalize against accumulated rounding.
+	for i := range out {
+		out[i] /= acc
+	}
+	return out
+}
+
+// pick draws an index from a cumulative distribution.
+func pick(rng *rand.Rand, cum []float64) int {
+	u := rng.Float64()
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// logUniform draws from [lo, hi) with log-uniform density.
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}
+
+// randTimeIn draws a uniform instant in [start, end).
+func randTimeIn(rng *rand.Rand, start, end time.Time) time.Time {
+	span := end.Sub(start)
+	if span <= 0 {
+		return start
+	}
+	return start.Add(time.Duration(rng.Int64N(int64(span))))
+}
+
+func planFamily(cfg Config, rng *rand.Rand, index int, fp FamilyParams) (*FamilyPlan, error) {
+	fam := &FamilyPlan{Index: index, Params: fp}
+	nOps := cfg.scaled(fp.Operators)
+	nAff := cfg.scaled(fp.Affiliates)
+	nCon := cfg.scaled(fp.Contracts)
+
+	// Operators: the dominant one spans the whole family window; the
+	// rest get sub-windows, some as short as two days (§6.2).
+	opW := powerWeights(nOps, 1.2)
+	for i := 0; i < nOps; i++ {
+		addr := randomAddr(rng)
+		if i == 0 && len(fp.OperatorPrefix) > 0 {
+			copy(addr[:], fp.OperatorPrefix)
+		}
+		op := &OperatorPlan{Addr: addr, Weight: opW[i], Start: fp.Start, End: fp.End}
+		if i > 0 {
+			// Sub-window: 2 days .. full span.
+			span := fp.End.Sub(fp.Start)
+			minSpan := 48 * time.Hour
+			if span > minSpan {
+				length := minSpan + time.Duration(rng.Int64N(int64(span-minSpan)))
+				op.Start = randTimeIn(rng, fp.Start, fp.End.Add(-length))
+				op.End = op.Start.Add(length)
+			}
+		}
+		fam.Operators = append(fam.Operators, op)
+	}
+
+	// Affiliates: power-law traffic weights, 1–5 operator associations
+	// with the §6.3 distribution (60.4% single, 90.2% ≤ 3).
+	affW := powerWeights(nAff, 0.8)
+	assocCum := cumulative([]float64{0.604, 0.18, 0.118, 0.06, 0.038})
+	opCum := cumulative(opW)
+	for i := 0; i < nAff; i++ {
+		aff := &AffiliatePlan{Addr: randomAddr(rng), Weight: affW[i]}
+		k := pick(rng, assocCum) + 1
+		if k > nOps {
+			k = nOps
+		}
+		seen := make(map[int]bool)
+		for len(aff.Operators) < k {
+			oi := pick(rng, opCum)
+			if !seen[oi] {
+				seen[oi] = true
+				aff.Operators = append(aff.Operators, oi)
+			}
+		}
+		sort.Ints(aff.Operators)
+		fam.Affiliates = append(fam.Affiliates, aff)
+	}
+
+	// Contracts: distributed over operators by weight; each operator's
+	// contracts tile its window in sequence with slight overlap, so
+	// primary contracts live long and accumulate most transactions.
+	ratioCum := cumulative(ratioWeights(cfg.RatioMix))
+	perOp := distributeCounts(nCon, opW, rng)
+	isFallback := fp.Style == contracts.StyleFallback
+	for oi, cnt := range perOp {
+		op := fam.Operators[oi]
+		if cnt == 0 {
+			continue
+		}
+		span := op.End.Sub(op.Start)
+		seg := span / time.Duration(cnt)
+		for c := 0; c < cnt; c++ {
+			start := op.Start.Add(time.Duration(c) * seg)
+			// The initial draw is a placeholder; apportionRatios
+			// reassigns ratios volume-weighted once incident routing is
+			// known, so the per-transaction mix matches §4.3.
+			cp := &ContractPlan{
+				Operator:  oi,
+				Affiliate: -1,
+				RatioPM:   cfg.RatioMix[pick(rng, ratioCum)].PerMille,
+				Start:     start,
+				End:       start.Add(seg + seg/4),
+			}
+			if cp.End.After(op.End) {
+				cp.End = op.End
+			}
+			fam.Contracts = append(fam.Contracts, cp)
+		}
+	}
+	// Fallback-style contracts are customized per affiliate: dedicate
+	// each to one of the operator's top affiliates.
+	if isFallback {
+		for ci, cp := range fam.Contracts {
+			ai := fam.affiliateForOperator(rng, cp.Operator, len(fam.Contracts), ci)
+			cp.Affiliate = ai
+			fam.Affiliates[ai].Contracts = append(fam.Affiliates[ai].Contracts, ci)
+		}
+	}
+
+	// Clustering links: a spanning chain over operators, alternating
+	// direct transfers and shared labeled phishing accounts.
+	for i := 1; i < nOps; i++ {
+		fam.Links = append(fam.Links, OperatorLink{
+			A: i - 1, B: i, ViaSharedAccount: i%2 == 0,
+		})
+	}
+	return fam, nil
+}
+
+// affiliateForOperator picks a top affiliate associated with operator
+// oi to own a dedicated contract, falling back to forcing an
+// association when the operator has none.
+func (f *FamilyPlan) affiliateForOperator(rng *rand.Rand, oi, total, salt int) int {
+	// Prefer affiliates already associated with the operator, highest
+	// weight first.
+	best := -1
+	for ai, aff := range f.Affiliates {
+		for _, o := range aff.Operators {
+			if o == oi {
+				if best == -1 {
+					best = ai
+				}
+				// Spread contracts across the operator's affiliates.
+				if (ai+salt)%3 == 0 {
+					return ai
+				}
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Force an association on a random affiliate.
+	ai := rng.IntN(len(f.Affiliates))
+	f.Affiliates[ai].Operators = append(f.Affiliates[ai].Operators, oi)
+	return ai
+}
+
+func ratioWeights(mix []RatioWeight) []float64 {
+	out := make([]float64, len(mix))
+	for i, r := range mix {
+		out[i] = r.Weight
+	}
+	return out
+}
+
+// distributeCounts splits total into len(weights) buckets proportional
+// to the weights, each bucket getting at least one while total allows.
+func distributeCounts(total int, weights []float64, rng *rand.Rand) []int {
+	out := make([]int, len(weights))
+	if total <= 0 {
+		return out
+	}
+	// Guarantee minimum coverage.
+	remaining := total
+	for i := range out {
+		if remaining == 0 {
+			break
+		}
+		out[i] = 1
+		remaining--
+	}
+	for remaining > 0 {
+		cum := cumulative(weights)
+		out[pick(rng, cum)]++
+		remaining--
+	}
+	return out
+}

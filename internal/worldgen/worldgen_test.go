@@ -1,0 +1,294 @@
+package worldgen
+
+import (
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/labels"
+)
+
+func TestPlanDeterminism(t *testing.T) {
+	p1, err := NewPlan(TestConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlan(TestConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Incidents) != len(p2.Incidents) {
+		t.Fatalf("incident counts differ: %d vs %d", len(p1.Incidents), len(p2.Incidents))
+	}
+	for i := range p1.Incidents {
+		a, b := p1.Incidents[i], p2.Incidents[i]
+		if a.Victim != b.Victim || a.LossUSD != b.LossUSD || !a.Time.Equal(b.Time) {
+			t.Fatalf("incident %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	p3, err := NewPlan(TestConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p3.Incidents) == len(p1.Incidents) && p3.Incidents[0].Victim == p1.Incidents[0].Victim {
+		t.Error("different seeds produced identical first incidents")
+	}
+}
+
+func TestPlanPopulationScaling(t *testing.T) {
+	cfg := TestConfig(1)
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Families) != 9 {
+		t.Fatalf("families = %d, want 9", len(p.Families))
+	}
+	for _, fam := range p.Families {
+		if len(fam.Operators) == 0 || len(fam.Affiliates) == 0 || len(fam.Contracts) == 0 {
+			t.Errorf("family %s has empty population", fam.Params.Key)
+		}
+		for _, aff := range fam.Affiliates {
+			if len(aff.Operators) == 0 {
+				t.Errorf("family %s affiliate with no operators", fam.Params.Key)
+			}
+		}
+		for _, cp := range fam.Contracts {
+			if cp.RatioPM < 100 || cp.RatioPM > 400 {
+				t.Errorf("contract ratio %d out of the documented set", cp.RatioPM)
+			}
+			if !cp.End.After(cp.Start) {
+				t.Errorf("contract window inverted: %v .. %v", cp.Start, cp.End)
+			}
+		}
+	}
+	// Fallback families dedicate contracts to affiliates.
+	for _, fam := range p.Families {
+		if fam.Params.Style != contracts.StyleFallback {
+			continue
+		}
+		for ci, cp := range fam.Contracts {
+			if cp.Affiliate < 0 {
+				t.Errorf("family %s contract %d has no dedicated affiliate", fam.Params.Key, ci)
+			}
+		}
+	}
+}
+
+func TestPlanRejectsBadScale(t *testing.T) {
+	cfg := TestConfig(1)
+	cfg.Scale = 0
+	if _, err := NewPlan(cfg); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestPlanIncidentInvariants(t *testing.T) {
+	p, err := NewPlan(TestConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Incidents) == 0 {
+		t.Fatal("no incidents planned")
+	}
+	last := p.Incidents[0].Time
+	for _, inc := range p.Incidents {
+		if inc.Time.Before(last) {
+			t.Fatal("incidents not sorted by time")
+		}
+		last = inc.Time
+		if inc.LossUSD <= 0 {
+			t.Errorf("non-positive loss %f", inc.LossUSD)
+		}
+		fam := p.Families[inc.Family]
+		if inc.Contract < 0 || inc.Contract >= len(fam.Contracts) {
+			t.Fatalf("incident contract index %d out of range", inc.Contract)
+		}
+		if inc.Kind == chain.AssetERC721 && inc.NFTCount == 0 {
+			t.Error("NFT incident with zero count")
+		}
+		// Fallback contracts only split for their dedicated affiliate.
+		cp := fam.Contracts[inc.Contract]
+		if cp.Affiliate >= 0 && inc.Kind != chain.AssetERC20 && cp.Affiliate != inc.Affiliate {
+			t.Errorf("non-ERC20 incident routed through foreign dedicated contract")
+		}
+	}
+}
+
+func TestPlanSeedLabelsCoverHighVolume(t *testing.T) {
+	p, err := NewPlan(TestConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, total := 0, 0
+	var labeledTxs, totalTxs int
+	for _, fam := range p.Families {
+		for _, cp := range fam.Contracts {
+			total++
+			totalTxs += cp.PlannedTxs
+			if len(cp.LabeledBy) > 0 {
+				labeled++
+				labeledTxs += cp.PlannedTxs
+			}
+		}
+	}
+	if labeled == 0 || labeled >= total {
+		t.Fatalf("labeled %d of %d contracts", labeled, total)
+	}
+	if float64(labeledTxs) < 0.4*float64(totalTxs) {
+		t.Errorf("seed covers only %d/%d txs", labeledTxs, totalTxs)
+	}
+}
+
+func TestBuildSmallWorld(t *testing.T) {
+	w, err := Generate(TestConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Truth.ProfitTxs) != len(w.Plan.Incidents) {
+		t.Errorf("profit txs %d != incidents %d", len(w.Truth.ProfitTxs), len(w.Plan.Incidents))
+	}
+	// Every recorded profit tx must exist with a successful receipt and
+	// carry a ratio-consistent two-way split.
+	checked := 0
+	for h, inc := range w.Truth.ProfitTxs {
+		r, err := w.Chain.Receipt(h)
+		if err != nil {
+			t.Fatalf("profit tx missing: %v", err)
+		}
+		if !r.Status {
+			t.Fatalf("profit tx failed: %s", r.Err)
+		}
+		fam := w.Plan.Families[inc.Family]
+		op := fam.Operators[inc.Operator].Addr
+		var opGain bool
+		for _, tr := range r.Transfers {
+			if tr.To == op {
+				opGain = true
+			}
+		}
+		if !opGain {
+			t.Errorf("profit tx %s has no operator leg", h)
+		}
+		checked++
+		if checked > 50 {
+			break
+		}
+	}
+	// Victim loss bookkeeping matches incident count.
+	var totalIncidents int
+	for _, n := range w.Truth.VictimIncidents {
+		totalIncidents += n
+	}
+	if totalIncidents != len(w.Plan.Incidents) {
+		t.Errorf("victim incident sum %d != %d", totalIncidents, len(w.Plan.Incidents))
+	}
+	// Benign negatives exist.
+	if len(w.Truth.BenignSplitTxs) == 0 || len(w.Truth.CollidingSplitters) == 0 {
+		t.Error("no benign splitter negatives planted")
+	}
+	// Labels: some contracts publicly reported, coverage partial.
+	seeds := w.Labels.AllPhishing()
+	if len(seeds) == 0 {
+		t.Fatal("no public phishing reports")
+	}
+	daas := w.Truth.DaaSAccountCount()
+	etherscanLabeled := 0
+	for addr := range w.Truth.ContractFamily {
+		if w.Labels.Has(addr, labels.SourceEtherscan) {
+			etherscanLabeled++
+		}
+	}
+	if etherscanLabeled == 0 || etherscanLabeled == daas {
+		t.Errorf("etherscan coverage degenerate: %d of %d", etherscanLabeled, daas)
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	w1, err := Generate(TestConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(TestConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Chain.TxCount() != w2.Chain.TxCount() {
+		t.Errorf("tx counts differ: %d vs %d", w1.Chain.TxCount(), w2.Chain.TxCount())
+	}
+	for h := range w1.Truth.ProfitTxs {
+		if _, ok := w2.Truth.ProfitTxs[h]; !ok {
+			t.Fatal("profit tx hashes differ across identical seeds")
+		}
+	}
+}
+
+func TestLossDistributionShape(t *testing.T) {
+	p, err := NewPlan(TestConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var under1k, total int
+	for _, inc := range p.Incidents {
+		total++
+		if inc.LossUSD < 1000 {
+			under1k++
+		}
+	}
+	frac := float64(under1k) / float64(total)
+	// Paper: 83.5% of victims below $1,000. Allow slack for the small
+	// test scale and whale rescaling.
+	if frac < 0.6 || frac > 0.95 {
+		t.Errorf("losses under $1k = %.1f%%, want roughly 80%%", frac*100)
+	}
+}
+
+// TestPermitScheme verifies the §7.2 permit theft path: the allowance
+// is granted inside the drainer's multicall, so permit victims sign no
+// on-chain transaction at all, yet the theft still classifies as
+// profit-sharing.
+func TestPermitScheme(t *testing.T) {
+	cfg := TestConfig(555)
+	cfg.PermitFraction = 1.0 // every non-simultaneous ERC-20 theft uses permit
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	permits := 0
+	for h, inc := range w.Truth.ProfitTxs {
+		if !inc.Permit {
+			continue
+		}
+		permits++
+		r, err := w.Chain.Receipt(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Status {
+			t.Fatalf("permit theft failed: %s", r.Err)
+		}
+		// The split tx must carry both the approval (from the permit
+		// step) and the two pulls.
+		if len(r.Approvals) == 0 {
+			t.Error("permit multicall recorded no approval")
+		}
+		// A single-incident permit victim signed nothing: every tx in
+		// their history was initiated by someone else. (Multi-phished
+		// victims may have signed for their other, non-permit
+		// incidents.)
+		if w.Truth.VictimIncidents[inc.Victim] == 1 {
+			for _, th := range w.Chain.TransactionsOf(inc.Victim) {
+				tx, err := w.Chain.Transaction(th)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tx.From == inc.Victim {
+					t.Fatalf("permit victim %s signed tx %s", inc.Victim.Short(), th)
+				}
+			}
+		}
+	}
+	if permits == 0 {
+		t.Fatal("no permit incidents generated at PermitFraction=1")
+	}
+}
