@@ -170,9 +170,59 @@ func main() {
 			addr, an.ETHFunction, an.TokenFunction, float64(an.OperatorPerMille)/10)
 		fmt.Print(contracts.FormatDisassembly(code))
 
+	case "analyze":
+		// Analyze a contract: dynamic probing cross-validated against the
+		// static pass, or the static pass alone with --static.
+		if err := runAnalyze(client, *rpcURL, flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+
 	default:
-		log.Fatalf("unknown subcommand %q (want dataset, validate, study, inspect, diff, or disasm)", cmd)
+		log.Fatalf("unknown subcommand %q (want dataset, validate, study, inspect, diff, disasm, or analyze)", cmd)
 	}
+}
+
+// runAnalyze implements the analyze subcommand.
+func runAnalyze(client *daas.Client, rpcURL string, args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	staticOnly := fs.Bool("static", false, "static analysis only: never execute the bytecode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addrHex := fs.Arg(0)
+	if addrHex == "" {
+		return fmt.Errorf("analyze needs a contract address argument")
+	}
+	addr, err := ethtypes.HexToAddress(addrHex)
+	if err != nil {
+		return err
+	}
+	code, read, err := contractCode(client, rpcURL, addr)
+	if err != nil {
+		return err
+	}
+	if len(code) == 0 {
+		return fmt.Errorf("no code at %s", addr)
+	}
+
+	st := contracts.AnalyzeStatic(code, addr, read)
+	fmt.Printf("contract %s — static analysis\n%s", addr, st.Summary())
+	if *staticOnly {
+		return nil
+	}
+
+	an := contracts.DecompileChecked(code, addr, read)
+	fmt.Printf("\ndynamic probe\n  ETH theft: %s\n  token theft: %s\n  operator share: %.1f%%\n",
+		an.ETHFunction, an.TokenFunction, float64(an.OperatorPerMille)/10)
+	if len(an.Warnings) == 0 {
+		fmt.Println("\nstatic and dynamic analyses agree")
+		return nil
+	}
+	fmt.Println("\nstatic/dynamic disagreements:")
+	for _, w := range an.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+	return nil
 }
 
 // readDataset loads an exported dataset snapshot.

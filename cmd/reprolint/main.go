@@ -1,0 +1,309 @@
+// Command reprolint enforces this repository's house rules on Go
+// source, using only the standard library's go/ast, go/parser, and
+// go/types:
+//
+//   - no panic in non-test code under internal/ — library code returns
+//     errors;
+//   - no fmt.Print/Printf/Println outside cmd/ and examples/ — library
+//     code does not write to stdout;
+//   - fmt.Errorf calls that pass an error argument must wrap it with
+//     %w, not stringify it with %v/%s/%q — otherwise errors.Is/As
+//     cannot see through the wrap.
+//
+// Usage: go run ./cmd/reprolint ./...
+//
+// Exit status is 1 when any violation is found.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the linter
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+}
+
+// run lints the packages matched by patterns and returns the findings
+// in deterministic order.
+func run(patterns []string) ([]string, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every dependency, for type-checking imports.
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := importer.ForCompiler(token.NewFileSet(), "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var findings []string
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		fs, err := lintPackage(p, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+// goList runs `go list -deps -export -json` over the patterns. -deps
+// pulls in every transitive dependency so the importer can resolve any
+// import; -export makes the build cache produce export data.
+func goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w: %s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// lintPackage parses, type-checks, and lints one module package.
+func lintPackage(p *listedPackage, imp types.Importer) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Uses:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: imp}
+	if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+
+	rel := p.ImportPath
+	if p.Module != nil {
+		rel = strings.TrimPrefix(strings.TrimPrefix(p.ImportPath, p.Module.Path), "/")
+	}
+	l := &linter{
+		fset:        fset,
+		info:        info,
+		banPanic:    strings.HasPrefix(rel, "internal/"),
+		banPrinting: !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/"),
+	}
+	for _, f := range files {
+		ast.Inspect(f, l.inspect)
+	}
+	return l.findings, nil
+}
+
+// linter walks one package's ASTs applying the three rules.
+type linter struct {
+	fset        *token.FileSet
+	info        *types.Info
+	banPanic    bool
+	banPrinting bool
+	findings    []string
+}
+
+func (l *linter) reportf(pos token.Pos, format string, args ...any) {
+	l.findings = append(l.findings, fmt.Sprintf("%s: %s", l.fset.Position(pos), fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) inspect(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+
+	// Rule 1: no panic in internal/ packages.
+	if l.banPanic {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			if _, builtin := l.info.Uses[id].(*types.Builtin); builtin {
+				l.reportf(call.Pos(), "panic in internal package: return an error instead")
+			}
+		}
+	}
+
+	fn, pkg := l.calledFunc(call)
+	if pkg != "fmt" {
+		return true
+	}
+
+	// Rule 2: no fmt printing to stdout outside cmd/ and examples/.
+	if l.banPrinting {
+		switch fn {
+		case "Print", "Printf", "Println":
+			l.reportf(call.Pos(), "fmt.%s outside cmd/ or examples/: library code must not write to stdout", fn)
+		}
+	}
+
+	// Rule 3: fmt.Errorf must wrap error arguments with %w.
+	if fn == "Errorf" {
+		l.checkErrorf(call)
+	}
+	return true
+}
+
+// calledFunc resolves a call to (function name, defining package name)
+// when the callee is a package-level selector like fmt.Errorf.
+func (l *linter) calledFunc(call *ast.CallExpr) (name, pkg string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj := l.info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Name(), fn.Pkg().Path()
+}
+
+// checkErrorf flags error-typed arguments formatted with a stringifying
+// verb instead of %w.
+func (l *linter) checkErrorf(call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := parseVerbs(format)
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		switch verb {
+		case 'v', 's', 'q':
+			if l.isError(args[i]) {
+				l.reportf(args[i].Pos(), "fmt.Errorf stringifies an error with %%%c: use %%w so errors.Is/As can unwrap it", verb)
+			}
+		}
+	}
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isError reports whether the expression's type implements error.
+func (l *linter) isError(e ast.Expr) bool {
+	tv, ok := l.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errorType) ||
+		types.Implements(types.NewPointer(tv.Type), errorType)
+}
+
+// parseVerbs extracts the verb letter consuming each successive
+// argument of a format string. A '*' width or precision consumes an
+// argument of its own and is recorded as '*'.
+func parseVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// Flags, width, precision — '*' consumes an argument slot.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		// Explicit argument indexes like %[1]d are rare enough here to
+		// skip: bail on the whole format string to avoid misattribution.
+		if i < len(format) && format[i] == '[' {
+			return nil
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

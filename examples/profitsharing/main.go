@@ -20,9 +20,9 @@ import (
 
 func main() {
 	var (
-		operator  = ethtypes.MustAddress("0x00006deacd9ad19db3d81f8410ea2bd5ea570000")
-		affiliate = ethtypes.MustAddress("0x71f1917711917711917711917711917711164677")
-		victim    = ethtypes.MustAddress("0x1c71e00000000000000000000000000000000001")
+		operator  = ethtypes.Addr("0x00006deacd9ad19db3d81f8410ea2bd5ea570000")
+		affiliate = ethtypes.Addr("0x71f1917711917711917711917711917711164677")
+		victim    = ethtypes.Addr("0x1c71e00000000000000000000000000000000001")
 	)
 	c := chain.New(time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC))
 	c.Fund(victim, ethtypes.Ether(30))

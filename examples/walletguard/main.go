@@ -44,10 +44,10 @@ func main() {
 		phishingContract = addr
 		break
 	}
-	user := ethtypes.MustAddress("0x5e77000000000000000000000000000000000001")
+	user := ethtypes.Addr("0x5e77000000000000000000000000000000000001")
 	world.Chain.Fund(user, ethtypes.Ether(5))
 	data, _ := contracts.ClaimData("Claim(address)",
-		ethtypes.MustAddress("0xaf00000000000000000000000000000000000099"))
+		ethtypes.Addr("0xaf00000000000000000000000000000000000099"))
 
 	verdict := guard.Screen(&chain.Transaction{
 		From: user, To: &phishingContract, Value: ethtypes.Ether(5), Data: data,
@@ -62,7 +62,7 @@ func main() {
 	}
 
 	// The same user paying a friend sails through.
-	friend := ethtypes.MustAddress("0xf100000000000000000000000000000000000002")
+	friend := ethtypes.Addr("0xf100000000000000000000000000000000000002")
 	ok := guard.Screen(&chain.Transaction{From: user, To: &friend, Value: ethtypes.Ether(1)}, "")
 	fmt.Printf("\nscreening an ordinary 1 ETH payment: block=%v, %d warnings\n",
 		ok.Block, len(ok.Warnings))

@@ -135,8 +135,8 @@ func TestIntegrationSiteHuntFeedsGuard(t *testing.T) {
 // benignTx builds a harmless pending transaction for domain-only
 // checks.
 func benignTx() *chain.Transaction {
-	from := ethtypes.MustAddress("0x0900000000000000000000000000000000000000")
-	to := ethtypes.MustAddress("0x0000000000000000000000000000000000000001")
+	from := ethtypes.Addr("0x0900000000000000000000000000000000000000")
+	to := ethtypes.Addr("0x0000000000000000000000000000000000000001")
 	return &chain.Transaction{From: from, To: &to}
 }
 

@@ -10,14 +10,23 @@ import (
 )
 
 var (
-	alice = ethtypes.MustAddress("0xa11ce00000000000000000000000000000000001")
-	bob   = ethtypes.MustAddress("0xb0b0000000000000000000000000000000000002")
-	carol = ethtypes.MustAddress("0xca40100000000000000000000000000000000003")
+	alice = ethtypes.Addr("0xa11ce00000000000000000000000000000000001")
+	bob   = ethtypes.Addr("0xb0b0000000000000000000000000000000000002")
+	carol = ethtypes.Addr("0xca40100000000000000000000000000000000003")
 )
 
 func t0() time.Time { return time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC) }
 
 func addrPtr(a ethtypes.Address) *ethtypes.Address { return &a }
+
+// mustAssemble assembles a test program known to be well-formed.
+func mustAssemble(a *evm.Assembler) []byte {
+	code, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
 
 func TestSimpleTransfer(t *testing.T) {
 	c := New(t0())
@@ -98,7 +107,7 @@ func splitContract(op, aff ethtypes.Address) []byte {
 	a.PushAddr(aff).Op(evm.GAS, evm.CALL, evm.POP)
 	a.Op(evm.POP)
 	a.Stop()
-	return a.MustAssemble()
+	return mustAssemble(a)
 }
 
 // deployRuntime wraps runtime code in a constructor that returns it.
@@ -111,7 +120,7 @@ func deployRuntime(runtime []byte) []byte {
 	ctor.PushInt(int64(len(runtime))).PushInt(0).Op(evm.RETURN)
 	ctor.Mark("rt")
 	ctor.Op(runtime...)
-	return ctor.MustAssemble()
+	return mustAssemble(ctor)
 }
 
 func TestContractDeployAndProfitSharingFlow(t *testing.T) {
@@ -170,9 +179,10 @@ func TestNestedCallFailureRollsBackCalleeOnly(t *testing.T) {
 	c := New(t0())
 	c.Fund(alice, ethtypes.Ether(1))
 
-	bCode := evm.NewAssembler().
+	bAsm := evm.NewAssembler().
 		PushInt(1).PushInt(0).Op(evm.SSTORE). // sstore(0, 1)
-		Revert().MustAssemble()
+		Revert()
+	bCode := mustAssemble(bAsm)
 	_, rs := c.Mine(t0(), &Transaction{From: alice, Data: deployRuntime(bCode)})
 	bAddr := rs[0].ContractAddress
 
@@ -181,7 +191,7 @@ func TestNestedCallFailureRollsBackCalleeOnly(t *testing.T) {
 	aAsm.PushAddr(bAddr).Op(evm.GAS, evm.CALL, evm.POP)
 	aAsm.PushInt(7).PushInt(0).Op(evm.SSTORE) // sstore(0, 7) in A
 	aAsm.Stop()
-	_, rs = c.Mine(t0(), &Transaction{From: alice, Data: deployRuntime(aAsm.MustAssemble())})
+	_, rs = c.Mine(t0(), &Transaction{From: alice, Data: deployRuntime(mustAssemble(aAsm))})
 	aAddr := rs[0].ContractAddress
 
 	_, rs = c.Mine(t0(), &Transaction{From: alice, To: addrPtr(aAddr)})
@@ -191,9 +201,10 @@ func TestNestedCallFailureRollsBackCalleeOnly(t *testing.T) {
 
 	// Inspect storage through a probe execution.
 	probe := func(target ethtypes.Address) uint64 {
-		code := evm.NewAssembler().
+		probeAsm := evm.NewAssembler().
 			PushInt(0).Op(evm.SLOAD).
-			Op(evm.PUSH0, evm.MSTORE).PushInt(32).Op(evm.PUSH0, evm.RETURN).MustAssemble()
+			Op(evm.PUSH0, evm.MSTORE).PushInt(32).Op(evm.PUSH0, evm.RETURN)
+		code := mustAssemble(probeAsm)
 		res, err := evm.Run(&evm.Context{Code: code, Self: target, Gas: 100000, Host: &readOnlyHost{c}})
 		if err != nil {
 			t.Fatal(err)
@@ -314,9 +325,10 @@ func TestFilterLogs(t *testing.T) {
 	c := New(t0())
 	c.Fund(alice, ethtypes.Ether(5))
 	// A contract that emits LOG1 with topic 0x1234 on every call.
-	code := evm.NewAssembler().
+	logAsm := evm.NewAssembler().
 		PushInt(0x1234).PushInt(0).PushInt(0).Op(evm.LOG0 + 1).
-		Stop().MustAssemble()
+		Stop()
+	code := mustAssemble(logAsm)
 	_, rs := c.Mine(t0(), &Transaction{From: alice, Data: deployRuntime(code)})
 	emitter := rs[0].ContractAddress
 

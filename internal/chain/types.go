@@ -99,15 +99,20 @@ func (tx *Transaction) Hash() ethtypes.Hash {
 	if tx.To != nil {
 		to = tx.To[:]
 	}
-	enc, err := rlp.Encode([]rlp.Item{
-		tx.Nonce, tx.From[:], to, tx.Value.Big(), tx.Data, tx.GasLimit,
-	})
-	if err != nil {
-		// All field types are supported; an error here is a programming bug.
-		panic(err)
-	}
-	tx.hash = ethtypes.Hash(keccak.Sum256(enc))
+	var payload []byte
+	payload = rlp.AppendUint(payload, tx.Nonce)
+	payload = rlp.AppendString(payload, tx.From[:])
+	payload = rlp.AppendString(payload, to)
+	payload = rlp.AppendBig(payload, tx.Value.Big())
+	payload = rlp.AppendString(payload, tx.Data)
+	payload = rlp.AppendUint(payload, tx.GasLimit)
+	tx.hash = ethtypes.Hash(keccak.Sum256(wrapList(payload)))
 	return tx.hash
+}
+
+// wrapList prepends the RLP list header to an already-encoded payload.
+func wrapList(payload []byte) []byte {
+	return append(rlp.AppendList(nil, len(payload)), payload...)
 }
 
 // Receipt is the recorded outcome of an executed transaction, including
@@ -139,25 +144,21 @@ func (b *Block) Hash() ethtypes.Hash {
 	if !b.hash.IsZero() {
 		return b.hash
 	}
-	items := []rlp.Item{b.Number, uint64(b.Timestamp.Unix()), b.Parent[:]}
+	var payload []byte
+	payload = rlp.AppendUint(payload, b.Number)
+	payload = rlp.AppendUint(payload, uint64(b.Timestamp.Unix()))
+	payload = rlp.AppendString(payload, b.Parent[:])
 	for _, h := range b.TxHashes {
-		items = append(items, h[:])
+		payload = rlp.AppendString(payload, h[:])
 	}
-	enc, err := rlp.Encode(items)
-	if err != nil {
-		panic(err)
-	}
-	b.hash = ethtypes.Hash(keccak.Sum256(enc))
+	b.hash = ethtypes.Hash(keccak.Sum256(wrapList(payload)))
 	return b.hash
 }
 
 // CreateAddress derives the address of a contract created by sender with
 // the given account nonce, per Ethereum's CREATE rule.
 func CreateAddress(sender ethtypes.Address, nonce uint64) ethtypes.Address {
-	enc, err := rlp.Encode([]rlp.Item{sender[:], nonce})
-	if err != nil {
-		panic(err)
-	}
-	sum := keccak.Sum256(enc)
+	payload := rlp.AppendUint(rlp.AppendString(nil, sender[:]), nonce)
+	sum := keccak.Sum256(wrapList(payload))
 	return ethtypes.BytesToAddress(sum[12:])
 }

@@ -1,0 +1,119 @@
+package contracts
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ethabi"
+	"repro/internal/evmstatic"
+)
+
+// TestStaticDynamicAgreement is the acceptance gate for the static
+// analyzer: over every template style × every paper ratio, the static
+// pass — fed only the creation bytecode, executing nothing — must
+// recover the same selectors, operator per-mille, and payout addresses
+// as the dynamic prober, with CrossValidate finding no disagreement.
+func TestStaticDynamicAgreement(t *testing.T) {
+	styles := []Style{StyleClaim, StyleFallback, StyleNetworkMerge}
+	for _, style := range styles {
+		for _, pm := range evmstatic.PaperRatiosPM {
+			spec := Spec{
+				Style:            style,
+				Operator:         operator,
+				Affiliate:        affiliate,
+				OperatorPerMille: pm,
+				Authorized:       authorized,
+			}
+			t.Run(fmt.Sprintf("%s/%d", style, pm), func(t *testing.T) {
+				checkAgreement(t, spec)
+			})
+		}
+	}
+	// Every alternative claim signature at one representative ratio.
+	for _, sig := range ClaimSignatures[1:] {
+		spec := Spec{
+			Style:            StyleClaim,
+			MainSignature:    sig,
+			Operator:         operator,
+			Affiliate:        affiliate,
+			OperatorPerMille: 200,
+			Authorized:       authorized,
+		}
+		t.Run("sig/"+sig, func(t *testing.T) { checkAgreement(t, spec) })
+	}
+}
+
+func checkAgreement(t *testing.T, spec Spec) {
+	t.Helper()
+	c := newChain(t)
+	addr := deploySpec(t, c, spec)
+	code := c.CodeAt(addr)
+	read := chainReader(c)
+
+	// Dynamic pass: deploys nothing further but executes the probes.
+	dyn := Decompile(code, addr, read)
+
+	// Static pass: creation bytecode only, no chain, no execution.
+	initcode, err := Deploy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := evmstatic.AnalyzeDeploy(initcode)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range CrossValidate(&dyn, st) {
+		t.Errorf("cross-validation: %s", w)
+	}
+
+	// Beyond mere agreement, both must be right about the spec.
+	if !st.RatioKnown || st.OperatorPerMille != spec.OperatorPerMille {
+		t.Errorf("static ratio = %d (known=%v), want %d", st.OperatorPerMille, st.RatioKnown, spec.OperatorPerMille)
+	}
+	if dyn.OperatorPerMille != spec.OperatorPerMille {
+		t.Errorf("dynamic ratio = %d, want %d", dyn.OperatorPerMille, spec.OperatorPerMille)
+	}
+	if !st.RatioInPaperSet {
+		t.Errorf("ratio %d not flagged as a paper ratio", st.OperatorPerMille)
+	}
+	if !st.OperatorKnown || st.Operator != spec.Operator {
+		t.Errorf("static operator = %s (known=%v), want %s", st.Operator, st.OperatorKnown, spec.Operator)
+	}
+	if spec.Style == StyleFallback {
+		if !st.AffiliateKnown || st.Affiliate != spec.Affiliate {
+			t.Errorf("static affiliate = %s (known=%v), want stored %s", st.Affiliate, st.AffiliateKnown, spec.Affiliate)
+		}
+		if !st.SplitInFallback {
+			t.Errorf("split not attributed to the fallback")
+		}
+	} else {
+		if !st.AffiliateFromCalldata {
+			t.Errorf("calldata affiliate not recognized")
+		}
+		want := ethabi.Selector(spec.mainSignature())
+		if st.SplitSelector != want {
+			t.Errorf("split selector = %x, want %x", st.SplitSelector, want)
+		}
+	}
+
+	// Selector sets match exactly.
+	stSels := make(map[[4]byte]bool)
+	for _, fn := range st.Functions {
+		stSels[fn.Selector] = true
+	}
+	if len(stSels) != len(dyn.Selectors) {
+		t.Errorf("static found %d selectors, dynamic %d", len(stSels), len(dyn.Selectors))
+	}
+	for _, s := range dyn.Selectors {
+		if !stSels[s.Selector] {
+			t.Errorf("dynamic selector %x missing from static dispatch", s.Selector)
+		}
+	}
+
+	// The checked decompile path stays warning-free on templates.
+	checked := DecompileChecked(code, addr, read)
+	for _, w := range checked.Warnings {
+		t.Errorf("DecompileChecked warning: %s", w)
+	}
+}

@@ -13,12 +13,12 @@ import (
 )
 
 var (
-	operator   = ethtypes.MustAddress("0x0e00000000000000000000000000000000000001")
-	affiliate  = ethtypes.MustAddress("0xaf00000000000000000000000000000000000002")
-	authorized = ethtypes.MustAddress("0xa000000000000000000000000000000000000003")
-	victim     = ethtypes.MustAddress("0x1c00000000000000000000000000000000000004")
-	deployer   = ethtypes.MustAddress("0xde00000000000000000000000000000000000005")
-	usdcAddr   = ethtypes.MustAddress("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
+	operator   = ethtypes.Addr("0x0e00000000000000000000000000000000000001")
+	affiliate  = ethtypes.Addr("0xaf00000000000000000000000000000000000002")
+	authorized = ethtypes.Addr("0xa000000000000000000000000000000000000003")
+	victim     = ethtypes.Addr("0x1c00000000000000000000000000000000000004")
+	deployer   = ethtypes.Addr("0xde00000000000000000000000000000000000005")
+	usdcAddr   = ethtypes.Addr("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
 )
 
 func ts() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }

@@ -37,6 +37,9 @@ type Analysis struct {
 	// Operator and Affiliate are the probe-observed payout targets.
 	Operator  ethtypes.Address
 	Affiliate ethtypes.Address
+	// Warnings lists static/dynamic disagreements when the analysis was
+	// produced by DecompileChecked; empty means the two passes agree.
+	Warnings []string
 }
 
 // signatureDictionary maps known selectors back to signatures, the way
@@ -143,7 +146,7 @@ func probe(code []byte, self ethtypes.Address, read StorageReader, input []byte,
 	_, err := evm.Run(&evm.Context{
 		Code:   code,
 		Self:   self,
-		Caller: ethtypes.MustAddress("0x00000000000000000000000000000000000f00ba"),
+		Caller: ethtypes.Addr("0x00000000000000000000000000000000000f00ba"),
 		Value:  value,
 		Input:  input,
 		Gas:    2_000_000,
@@ -155,6 +158,13 @@ func probe(code []byte, self ethtypes.Address, read StorageReader, input []byte,
 // probeValue is the ETH amount used for split probing; divisible by
 // 1000 so every documented ratio yields an exact operator share.
 var probeValue = ethtypes.NewWei(1_000_000)
+
+// ProbeAffiliate is the affiliate address the dynamic prober passes as
+// the calldata argument of named ETH-theft functions. A contract that
+// forwards the remainder here takes its affiliate from calldata — the
+// claim-style idiom — which is what the static analyzer reports as
+// AffiliateFromCalldata.
+var ProbeAffiliate = ethtypes.Addr("0x00000000000000000000000000000000000aff17")
 
 // Decompile analyzes runtime bytecode: static selector extraction plus
 // dynamic payability and split probing.
@@ -180,9 +190,8 @@ func Decompile(code []byte, self ethtypes.Address, read StorageReader) Analysis 
 
 	// Dynamic pass per selector: call with one address argument and
 	// attached value; payable if execution succeeds.
-	probeAff := ethtypes.MustAddress("0x00000000000000000000000000000000000aff17")
 	for i, info := range an.Selectors {
-		input, err := ethabi.EncodeCall("probe(address)", []ethabi.Type{ethabi.AddressT}, []any{probeAff})
+		input, err := ethabi.EncodeCall("probe(address)", []ethabi.Type{ethabi.AddressT}, []any{ProbeAffiliate})
 		if err != nil {
 			continue
 		}

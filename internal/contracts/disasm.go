@@ -1,90 +1,31 @@
 package contracts
 
 import (
-	"fmt"
 	"strings"
 
-	"repro/internal/evm"
+	"repro/internal/evmstatic"
 )
 
-// opNames maps implemented opcodes to their mnemonics for the
-// disassembler.
-var opNames = map[byte]string{
-	evm.STOP: "STOP", evm.ADD: "ADD", evm.MUL: "MUL", evm.SUB: "SUB",
-	evm.DIV: "DIV", evm.MOD: "MOD", evm.LT: "LT", evm.GT: "GT",
-	evm.EQ: "EQ", evm.ISZERO: "ISZERO", evm.AND: "AND", evm.OR: "OR",
-	evm.XOR: "XOR", evm.NOT: "NOT", evm.SHL: "SHL", evm.SHR: "SHR",
-	evm.ADDRESS: "ADDRESS", evm.BALANCE: "BALANCE", evm.CALLER: "CALLER",
-	evm.CALLVALUE: "CALLVALUE", evm.CALLDATALOAD: "CALLDATALOAD",
-	evm.CALLDATASIZE: "CALLDATASIZE", evm.CALLDATACOPY: "CALLDATACOPY",
-	evm.CODESIZE: "CODESIZE", evm.CODECOPY: "CODECOPY",
-	evm.SELFBALANCE: "SELFBALANCE", evm.POP: "POP", evm.MLOAD: "MLOAD",
-	evm.MSTORE: "MSTORE", evm.SLOAD: "SLOAD", evm.SSTORE: "SSTORE",
-	evm.JUMP: "JUMP", evm.JUMPI: "JUMPI", evm.PC: "PC", evm.GAS: "GAS",
-	evm.JUMPDEST: "JUMPDEST", evm.PUSH0: "PUSH0", evm.CALL: "CALL",
-	evm.RETURN: "RETURN", evm.REVERT: "REVERT", evm.CREATE: "CREATE",
-}
-
-// Instruction is one decoded opcode.
-type Instruction struct {
-	PC       int
-	Op       byte
-	Mnemonic string
-	// Operand holds PUSH immediates.
-	Operand []byte
-}
-
-// String renders "0042: PUSH4 0xa9059cbb".
-func (in Instruction) String() string {
-	if len(in.Operand) > 0 {
-		return fmt.Sprintf("%04x: %s 0x%x", in.PC, in.Mnemonic, in.Operand)
-	}
-	return fmt.Sprintf("%04x: %s", in.PC, in.Mnemonic)
-}
+// Instruction is one decoded opcode. The disassembler itself lives in
+// internal/evmstatic; the alias keeps this package's historical API.
+type Instruction = evmstatic.Instruction
 
 // Disassemble decodes runtime bytecode into instructions. Unknown
-// opcodes decode as "INVALID(0xnn)" without stopping, since analysts
-// routinely meet junk bytes in real deployments.
+// opcodes decode as "INVALID(0xnn)" without stopping, and a PUSH whose
+// operand runs past the end of the code is flagged Truncated rather
+// than silently shortened.
 func Disassemble(code []byte) []Instruction {
-	var out []Instruction
-	for pc := 0; pc < len(code); pc++ {
-		op := code[pc]
-		in := Instruction{PC: pc, Op: op}
-		switch {
-		case op >= evm.PUSH1 && op <= evm.PUSH1+31:
-			n := int(op-evm.PUSH1) + 1
-			in.Mnemonic = fmt.Sprintf("PUSH%d", n)
-			end := pc + 1 + n
-			if end > len(code) {
-				end = len(code)
-			}
-			in.Operand = append([]byte{}, code[pc+1:end]...)
-			pc = end - 1
-		case op >= evm.DUP1 && op <= evm.DUP1+15:
-			in.Mnemonic = fmt.Sprintf("DUP%d", op-evm.DUP1+1)
-		case op >= evm.SWAP1 && op <= evm.SWAP1+15:
-			in.Mnemonic = fmt.Sprintf("SWAP%d", op-evm.SWAP1+1)
-		case op >= evm.LOG0 && op <= evm.LOG0+4:
-			in.Mnemonic = fmt.Sprintf("LOG%d", op-evm.LOG0)
-		default:
-			if name, ok := opNames[op]; ok {
-				in.Mnemonic = name
-			} else {
-				in.Mnemonic = fmt.Sprintf("INVALID(0x%02x)", op)
-			}
-		}
-		out = append(out, in)
-	}
-	return out
+	return evmstatic.Disassemble(code)
 }
 
 // FormatDisassembly renders a full listing, annotating selector
-// comparisons with dictionary signatures.
+// comparisons with dictionary signatures and truncated pushes with a
+// "!truncated" marker.
 func FormatDisassembly(code []byte) string {
 	var sb strings.Builder
 	for _, in := range Disassemble(code) {
 		sb.WriteString(in.String())
-		if in.Mnemonic == "PUSH4" && len(in.Operand) == 4 {
+		if in.Mnemonic == "PUSH4" && len(in.Operand) == 4 && !in.Truncated {
 			var sel [4]byte
 			copy(sel[:], in.Operand)
 			if sig, ok := LookupSignature(sel); ok {

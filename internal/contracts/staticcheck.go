@@ -1,0 +1,149 @@
+package contracts
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/ethtypes"
+	"repro/internal/evmstatic"
+)
+
+// StaticStorage adapts a StorageReader snapshot of one contract into
+// the constant-storage environment the static analyzer consumes. Chain
+// state is total — unwritten slots are zero — so every lookup resolves.
+func StaticStorage(addr ethtypes.Address, read StorageReader) evmstatic.Storage {
+	return func(slot *big.Int) (*big.Int, bool) {
+		if slot.BitLen() > 256 {
+			return new(big.Int), true
+		}
+		if read == nil {
+			return new(big.Int), true
+		}
+		var key ethtypes.Hash
+		slot.FillBytes(key[:])
+		v := read(addr, key)
+		return new(big.Int).SetBytes(v[:]), true
+	}
+}
+
+// AnalyzeStatic runs the static analyzer over runtime bytecode with the
+// contract's storage snapshot as the constant environment.
+func AnalyzeStatic(code []byte, self ethtypes.Address, read StorageReader) *evmstatic.StaticAnalysis {
+	return evmstatic.AnalyzeRuntime(code, StaticStorage(self, read))
+}
+
+// DecompileChecked runs the dynamic decompiler and the static analyzer
+// over the same bytecode and cross-validates their findings; any
+// disagreement lands in Analysis.Warnings.
+func DecompileChecked(code []byte, self ethtypes.Address, read StorageReader) Analysis {
+	an := Decompile(code, self, read)
+	an.Warnings = CrossValidate(&an, AnalyzeStatic(code, self, read))
+	return an
+}
+
+// CrossValidate compares a dynamic analysis with a static one and
+// describes every disagreement. The two passes recover the same facts
+// by entirely different means — probing execution vs. abstract
+// interpretation — so an empty result is strong evidence both are
+// right, and a warning flags a contract whose split path the probe
+// failed to exercise (or a hole in the static lattice).
+func CrossValidate(dyn *Analysis, st *evmstatic.StaticAnalysis) []string {
+	var warns []string
+	warnf := func(format string, args ...any) {
+		warns = append(warns, fmt.Sprintf(format, args...))
+	}
+
+	// Selector sets. The dynamic side scans PUSH4/EQ pairs; the static
+	// side resolves the dispatcher's comparison chain, so it also sees
+	// selectors pushed by wider-than-PUSH4 instructions.
+	dynSels := make(map[[4]byte]bool, len(dyn.Selectors))
+	for _, s := range dyn.Selectors {
+		dynSels[s.Selector] = true
+	}
+	stSels := make(map[[4]byte]bool, len(st.Functions))
+	stPayable := make(map[[4]byte]bool, len(st.Functions))
+	for _, fn := range st.Functions {
+		stSels[fn.Selector] = true
+		stPayable[fn.Selector] = fn.Payable
+	}
+	for _, s := range sortedSels(dynSels) {
+		if !stSels[s] {
+			warnf("selector %#x found syntactically but not dispatched in the CFG", s)
+		}
+	}
+	for _, s := range sortedSels(stSels) {
+		if !dynSels[s] {
+			warnf("selector %#x dispatched in the CFG but missed by the syntactic scan", s)
+		}
+	}
+
+	// Payability per shared selector.
+	for _, info := range dyn.Selectors {
+		stP, ok := stPayable[info.Selector]
+		if !ok {
+			continue
+		}
+		if stP != info.Payable {
+			warnf("selector %#x payability: dynamic=%v static=%v", info.Selector, info.Payable, stP)
+		}
+	}
+	if st.PayableFallback != dyn.PayableFallback {
+		warnf("payable fallback: dynamic=%v static=%v", dyn.PayableFallback, st.PayableFallback)
+	}
+
+	// Split presence.
+	dynSplit := dyn.OperatorPerMille > 0
+	switch {
+	case dynSplit && !st.HasSplit:
+		warnf("dynamic probe observed a %d‰ split the static pass did not find", dyn.OperatorPerMille)
+		return warns
+	case !dynSplit && st.HasSplit:
+		warnf("static pass found a profit split the dynamic probe never exercised")
+		return warns
+	case !dynSplit:
+		return warns
+	}
+
+	// Split parameters. The dynamic prober names the smaller share the
+	// operator (§4.3); translate the static view into the same frame
+	// before comparing.
+	opPM, op, opKnown, opCD := st.OperatorPerMille, st.Operator, st.OperatorKnown, false
+	aff, affKnown, affCD := st.Affiliate, st.AffiliateKnown, st.AffiliateFromCalldata
+	if st.RatioKnown && opPM > 500 {
+		// The share-call recipient got the larger cut, so the prober
+		// will have called it the affiliate.
+		opPM = 1000 - opPM
+		op, aff = aff, op
+		opKnown, affKnown = affKnown, opKnown
+		opCD, affCD = affCD, false
+	}
+	if st.RatioKnown && opPM != dyn.OperatorPerMille {
+		warnf("operator share: dynamic=%d‰ static=%d‰", dyn.OperatorPerMille, opPM)
+	}
+	switch {
+	case opKnown && op != dyn.Operator:
+		warnf("operator address: dynamic=%s static=%s", dyn.Operator, op)
+	case opCD && dyn.Operator != ProbeAffiliate:
+		warnf("static pass says the operator share goes to a calldata address, but the probe's %s was not paid (got %s)",
+			ProbeAffiliate, dyn.Operator)
+	}
+	switch {
+	case affKnown && aff != dyn.Affiliate:
+		warnf("affiliate address: dynamic=%s static=%s", dyn.Affiliate, aff)
+	case affCD && dyn.Affiliate != ProbeAffiliate:
+		warnf("static pass says the affiliate comes from calldata, but the probe's affiliate %s was not paid (got %s)",
+			ProbeAffiliate, dyn.Affiliate)
+	}
+	return warns
+}
+
+// sortedSels orders a selector set for deterministic warning output.
+func sortedSels(set map[[4]byte]bool) [][4]byte {
+	out := make([][4]byte, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i][:]) < string(out[j][:]) })
+	return out
+}

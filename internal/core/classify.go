@@ -6,12 +6,15 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/ethtypes"
+	"repro/internal/evmstatic"
 )
 
 // DefaultRatiosPM are the operator profit shares observed across
 // profit-sharing transactions, in per-mille (§4.3: 10%, 12.5%, 15%,
-// 17.5%, 20%, 25%, 30%, 33%, 40%).
-var DefaultRatiosPM = []int64{100, 125, 150, 175, 200, 250, 300, 330, 400}
+// 17.5%, 20%, 25%, 30%, 33%, 40%). The canonical set lives in
+// internal/evmstatic, which maps statically recovered split constants
+// onto the same values.
+var DefaultRatiosPM = append([]int64(nil), evmstatic.PaperRatiosPM...)
 
 // Classifier decides whether a transaction is a profit-sharing
 // transaction per §5.1 Step 2: the fund flow contains exactly two

@@ -13,10 +13,10 @@ import (
 // mkSplitReceipt builds a synthetic two-transfer split through a
 // contract with the given operator ratio applied to total.
 func mkSplitReceipt(total ethtypes.Wei, ratioPM int64) (*chain.Transaction, *chain.Receipt) {
-	contract := ethtypes.MustAddress("0xc000000000000000000000000000000000000001")
-	op := ethtypes.MustAddress("0x0e00000000000000000000000000000000000002")
-	aff := ethtypes.MustAddress("0xaf00000000000000000000000000000000000003")
-	victim := ethtypes.MustAddress("0x1c00000000000000000000000000000000000004")
+	contract := ethtypes.Addr("0xc000000000000000000000000000000000000001")
+	op := ethtypes.Addr("0x0e00000000000000000000000000000000000002")
+	aff := ethtypes.Addr("0xaf00000000000000000000000000000000000003")
+	victim := ethtypes.Addr("0x1c00000000000000000000000000000000000004")
 	opAmt := total.MulDiv(ratioPM, 1000)
 	affAmt := total.Sub(opAmt)
 	tx := &chain.Transaction{From: victim, To: &contract, Value: total}

@@ -136,8 +136,8 @@ func TestClassifierOnPlantedTxs(t *testing.T) {
 func TestClassifierRejectsNonSplits(t *testing.T) {
 	cl := core.Classifier{}
 	// Plain transfer: one transfer only.
-	to := ethtypes.MustAddress("0x1111111111111111111111111111111111111111")
-	tx := &chain.Transaction{From: ethtypes.MustAddress("0x2222222222222222222222222222222222222222"), To: &to}
+	to := ethtypes.Addr("0x1111111111111111111111111111111111111111")
+	tx := &chain.Transaction{From: ethtypes.Addr("0x2222222222222222222222222222222222222222"), To: &to}
 	r := &chain.Receipt{Status: true, Transfers: []chain.Transfer{
 		{Asset: chain.ETHAsset, From: tx.From, To: to, Amount: ethtypes.Ether(1)},
 	}}
@@ -150,9 +150,9 @@ func TestClassifierRejectsNonSplits(t *testing.T) {
 		t.Error("failed tx classified")
 	}
 	// Two transfers at a non-drainer ratio (50/50).
-	c := ethtypes.MustAddress("0x3333333333333333333333333333333333333333")
-	a := ethtypes.MustAddress("0x4444444444444444444444444444444444444444")
-	b := ethtypes.MustAddress("0x5555555555555555555555555555555555555555")
+	c := ethtypes.Addr("0x3333333333333333333333333333333333333333")
+	a := ethtypes.Addr("0x4444444444444444444444444444444444444444")
+	b := ethtypes.Addr("0x5555555555555555555555555555555555555555")
 	r3 := &chain.Receipt{Status: true, Transfers: []chain.Transfer{
 		{Asset: chain.ETHAsset, From: c, To: a, Amount: ethtypes.Ether(5), Depth: 1},
 		{Asset: chain.ETHAsset, From: c, To: b, Amount: ethtypes.Ether(5), Depth: 1},
@@ -182,10 +182,10 @@ func TestClassifierRejectsNonSplits(t *testing.T) {
 
 func TestClassifierRatioMatch(t *testing.T) {
 	cl := core.Classifier{}
-	c := ethtypes.MustAddress("0x3333333333333333333333333333333333333333")
-	op := ethtypes.MustAddress("0x4444444444444444444444444444444444444444")
-	aff := ethtypes.MustAddress("0x5555555555555555555555555555555555555555")
-	victim := ethtypes.MustAddress("0x6666666666666666666666666666666666666666")
+	c := ethtypes.Addr("0x3333333333333333333333333333333333333333")
+	op := ethtypes.Addr("0x4444444444444444444444444444444444444444")
+	aff := ethtypes.Addr("0x5555555555555555555555555555555555555555")
+	victim := ethtypes.Addr("0x6666666666666666666666666666666666666666")
 
 	mk := func(opAmt, affAmt ethtypes.Wei) []core.Split {
 		tx := &chain.Transaction{From: victim, To: &c, Value: opAmt.Add(affAmt)}

@@ -13,15 +13,15 @@ func mkDataset(contracts, operators, affiliates []string, txCounts map[string]in
 	ds := core.NewDataset()
 	t0 := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
 	for _, c := range contracts {
-		a := ethtypes.MustAddress(c)
+		a := ethtypes.Addr(c)
 		ds.Contracts[a] = &core.ContractRecord{Address: a, FirstSeen: t0, LastSeen: t0, TxCount: txCounts[c]}
 	}
 	for _, o := range operators {
-		a := ethtypes.MustAddress(o)
+		a := ethtypes.Addr(o)
 		ds.Operators[a] = &core.AccountRecord{Address: a, FirstSeen: t0, LastSeen: t0}
 	}
 	for _, f := range affiliates {
-		a := ethtypes.MustAddress(f)
+		a := ethtypes.Addr(f)
 		ds.Affiliates[a] = &core.AccountRecord{Address: a, FirstSeen: t0, LastSeen: t0}
 	}
 	return ds
@@ -44,7 +44,7 @@ func TestDiffDetectsGrowth(t *testing.T) {
 	if d.Empty() {
 		t.Fatal("growth diff reported empty")
 	}
-	if len(d.NewContracts) != 1 || d.NewContracts[0] != ethtypes.MustAddress(c2) {
+	if len(d.NewContracts) != 1 || d.NewContracts[0] != ethtypes.Addr(c2) {
 		t.Errorf("new contracts = %v", d.NewContracts)
 	}
 	if len(d.NewOperators) != 1 || len(d.NewAffiliates) != 1 {

@@ -22,6 +22,11 @@ type Pipeline struct {
 	// only by the ablation bench, where the pipeline additionally
 	// scans unconnected contracts.
 	DisableExpansionGate bool
+	// StaticPreFilter statically analyzes candidate bytecode (when
+	// Source implements CodeSource) and skips contracts that provably
+	// cannot split value, saving their full history scan. Purely an
+	// optimization: it never changes what the pipeline admits.
+	StaticPreFilter bool
 	// Concurrency sets the number of parallel transaction+receipt
 	// fetches per account scan. It matters when Source is a remote
 	// JSON-RPC endpoint (each fetch is a network round trip); 0 or 1
@@ -231,6 +236,10 @@ func (p *Pipeline) interactsWithDataset(ds *Dataset, splits []Split, frontier et
 // split counterparties join the dataset.
 func (p *Pipeline) absorbContract(ds *Dataset, addr ethtypes.Address, found Discovery, classified map[ethtypes.Hash]bool) error {
 	if _, known := ds.Contracts[addr]; known {
+		return nil
+	}
+	if p.staticSkip(addr) {
+		p.tracef("static pre-filter: %s cannot split value, skipping history scan", addr.Short())
 		return nil
 	}
 	hashes, err := p.Source.TransactionsOf(addr)

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"repro/internal/ethtypes"
+	"repro/internal/evmstatic"
+)
+
+// CodeSource is an optional ChainSource extension: sources that can
+// serve runtime bytecode enable the static pre-filter. Both LocalSource
+// and the JSON-RPC client implement it.
+type CodeSource interface {
+	Code(addr ethtypes.Address) ([]byte, error)
+}
+
+// staticSkip decides whether the static pre-filter can rule a candidate
+// contract out without touching its transaction history. It errs hard
+// on the side of keeping: a contract is skipped only when its bytecode
+// was fully analyzable and contains neither a profit-split shape nor
+// any value-forwarding call — such code cannot produce the two-transfer
+// ETH flow the classifier looks for, so scanning its history (the
+// expensive part: one fetch per transaction) is wasted work.
+func (p *Pipeline) staticSkip(addr ethtypes.Address) bool {
+	if !p.StaticPreFilter {
+		return false
+	}
+	cs, ok := p.Source.(CodeSource)
+	if !ok {
+		return false
+	}
+	code, err := cs.Code(addr)
+	if err != nil || len(code) == 0 {
+		// Unverifiable — keep the candidate, dynamic analysis decides.
+		return false
+	}
+	st := evmstatic.AnalyzeRuntime(code, nil)
+	if st.Incomplete || st.Truncated {
+		return false
+	}
+	return !st.HasSplit && st.ValueCalls == 0
+}

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/evm"
+	"repro/internal/labels"
+)
+
+func ts() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }
+
+// countingSource wraps a ChainSource+CodeSource and counts history
+// scans per address.
+type countingSource struct {
+	core.LocalSource
+	scans map[ethtypes.Address]int
+}
+
+func (s *countingSource) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
+	s.scans[addr]++
+	return s.LocalSource.TransactionsOf(addr)
+}
+
+// TestStaticPreFilterSkipsInertContracts deploys a contract that can
+// never forward value and labels it phishing; with the pre-filter on,
+// its transaction history is never fetched.
+func TestStaticPreFilterSkipsInertContracts(t *testing.T) {
+	c := chain.New(ts())
+	deployer := ethtypes.Addr("0xde00000000000000000000000000000000000001")
+	c.Fund(deployer, ethtypes.Ether(1))
+
+	// Runtime: JUMPDEST STOP — no calls, no split, trivially analyzable.
+	runtime := []byte{evm.JUMPDEST, evm.STOP}
+	initcode := []byte{
+		evm.PUSH1, byte(len(runtime)), // size
+		evm.PUSH1, 0x0c, // code offset (patched below)
+		evm.PUSH1, 0x00, // mem offset
+		evm.CODECOPY,
+		evm.PUSH1, byte(len(runtime)),
+		evm.PUSH1, 0x00,
+		evm.RETURN,
+	}
+	initcode[3] = byte(len(initcode))
+	initcode = append(initcode, runtime...)
+	_, rs := c.Mine(ts(), &chain.Transaction{From: deployer, Data: initcode})
+	if !rs[0].Status {
+		t.Fatalf("deploy failed: %s", rs[0].Err)
+	}
+	inert := rs[0].ContractAddress
+
+	dir := labels.New()
+	dir.Add(labels.Label{
+		Address: inert, Source: labels.SourceChainabuse,
+		Category: labels.CategoryPhishing, Name: "reported",
+	})
+
+	src := &countingSource{
+		LocalSource: core.LocalSource{Chain: c},
+		scans:       make(map[ethtypes.Address]int),
+	}
+	p := &core.Pipeline{Source: src, Labels: dir, StaticPreFilter: true}
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if n := src.scans[inert]; n != 0 {
+		t.Errorf("inert contract history scanned %d times despite pre-filter", n)
+	}
+
+	// Without the pre-filter the same contract is scanned.
+	src.scans = make(map[ethtypes.Address]int)
+	p = &core.Pipeline{Source: src, Labels: dir}
+	if _, err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if n := src.scans[inert]; n == 0 {
+		t.Errorf("contract not scanned with pre-filter off; test contract broken")
+	}
+}
+
+// TestStaticPreFilterPreservesDataset runs the full pipeline over the
+// generated world with and without the pre-filter; the resulting
+// datasets must be identical — the filter is an optimization, not a
+// policy change.
+func TestStaticPreFilterPreservesDataset(t *testing.T) {
+	w := sharedWorld
+	base := buildDataset(t, w)
+
+	p := &core.Pipeline{
+		Source:          core.LocalSource{Chain: w.Chain},
+		Labels:          w.Labels,
+		StaticPreFilter: true,
+	}
+	filtered, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := filtered.Stats(), base.Stats(); got != want {
+		t.Fatalf("stats with pre-filter = %+v, without = %+v", got, want)
+	}
+	if !reflect.DeepEqual(keys(filtered.Contracts), keys(base.Contracts)) {
+		t.Errorf("contract sets differ with pre-filter enabled")
+	}
+}
+
+func keys[V any](m map[ethtypes.Address]V) map[ethtypes.Address]bool {
+	out := make(map[ethtypes.Address]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

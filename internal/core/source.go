@@ -51,3 +51,8 @@ func (s LocalSource) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
 func (s LocalSource) IsContract(addr ethtypes.Address) (bool, error) {
 	return s.Chain.IsContract(addr), nil
 }
+
+// Code implements CodeSource, enabling the static pre-filter.
+func (s LocalSource) Code(addr ethtypes.Address) ([]byte, error) {
+	return s.Chain.CodeAt(addr), nil
+}

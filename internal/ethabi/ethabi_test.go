@@ -35,7 +35,7 @@ func TestEventTopicTransfer(t *testing.T) {
 }
 
 func TestEncodeStaticArgs(t *testing.T) {
-	to := ethtypes.MustAddress("0x00006deacd9ad19db3d81f8410ea2bd5ea570000")
+	to := ethtypes.Addr("0x00006deacd9ad19db3d81f8410ea2bd5ea570000")
 	amount := big.NewInt(1_000_000)
 	data, err := EncodeCall("transfer(address,uint256)",
 		[]Type{AddressT, Uint256T}, []any{to, amount})
@@ -81,8 +81,8 @@ func TestEncodeDecodeMulticallArg(t *testing.T) {
 	callT := TupleOf(AddressT, BytesT)
 	argT := SliceOf(callT)
 
-	tokenA := ethtypes.MustAddress("0x1111111111111111111111111111111111111111")
-	tokenB := ethtypes.MustAddress("0x2222222222222222222222222222222222222222")
+	tokenA := ethtypes.Addr("0x1111111111111111111111111111111111111111")
+	tokenB := ethtypes.Addr("0x2222222222222222222222222222222222222222")
 	calls := []any{
 		[]any{tokenA, []byte{0xa9, 0x05, 0x9c, 0xbb, 0x01}},
 		[]any{tokenB, []byte{0x23, 0xb8, 0x72, 0xdd}},
@@ -114,7 +114,7 @@ func TestEncodeDecodeMulticallArg(t *testing.T) {
 }
 
 func TestDecodeCall(t *testing.T) {
-	aff := ethtypes.MustAddress("0x71f1911911911911911911911911911911164677")
+	aff := ethtypes.Addr("0x71f1911911911911911911911911911911164677")
 	data, err := EncodeCall("claimRewards(address)", []Type{AddressT}, []any{aff})
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +210,7 @@ func TestQuickWordAlignment(t *testing.T) {
 func TestNestedDynamicTupleRoundTrip(t *testing.T) {
 	inner := TupleOf(Uint256T, BytesT)
 	outer := TupleOf(AddressT, inner)
-	addr := ethtypes.MustAddress("0x3333333333333333333333333333333333333333")
+	addr := ethtypes.Addr("0x3333333333333333333333333333333333333333")
 	in := []any{[]any{addr, []any{big.NewInt(5), []byte("xyz")}}}
 	enc, err := Encode([]Type{outer}, in)
 	if err != nil {

@@ -46,13 +46,18 @@ func HexToAddress(s string) (Address, error) {
 	return a, nil
 }
 
-// MustAddress is HexToAddress for trusted constants; it panics on error.
-func MustAddress(s string) Address {
-	a, err := HexToAddress(s)
-	if err != nil {
-		panic(err)
+// Addr converts a hex string to an Address the way go-ethereum's
+// HexToAddress does: lenient, no error path. Invalid hex digits decode
+// as far as possible and the result is right-aligned per the
+// BytesToAddress truncation rule. Use HexToAddress when the input is
+// untrusted and malformed strings must be rejected.
+func Addr(s string) Address {
+	s = strings.TrimPrefix(s, "0x")
+	if len(s)%2 == 1 {
+		s = "0" + s
 	}
-	return a
+	b, _ := hex.DecodeString(s)
+	return BytesToAddress(b)
 }
 
 // HexToHash parses a 0x-prefixed or bare 64-hex-digit string.

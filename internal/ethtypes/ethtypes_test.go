@@ -52,7 +52,7 @@ func TestChecksumKnownAnswers(t *testing.T) {
 		"0xD1220A0cf47c7B9Be7A2E6BA89F429762e7b9aDb",
 	}
 	for _, v := range vectors {
-		a := MustAddress(v)
+		a := Addr(v)
 		if got := a.Checksum(); got != v {
 			t.Errorf("Checksum(%s) = %s", v, got)
 		}

@@ -148,12 +148,3 @@ func (a *Assembler) Assemble() ([]byte, error) {
 	}
 	return out, nil
 }
-
-// MustAssemble is Assemble for templates known to be well-formed.
-func (a *Assembler) MustAssemble() []byte {
-	code, err := a.Assemble()
-	if err != nil {
-		panic(err)
-	}
-	return code
-}

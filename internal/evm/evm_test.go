@@ -60,8 +60,8 @@ func run(t *testing.T, code []byte, input []byte, value ethtypes.Wei, host Host)
 	}
 	return Run(&Context{
 		Code:   code,
-		Self:   ethtypes.MustAddress("0x00000000000000000000000000000000000000c0"),
-		Caller: ethtypes.MustAddress("0x00000000000000000000000000000000000000ca"),
+		Self:   ethtypes.Addr("0x00000000000000000000000000000000000000c0"),
+		Caller: ethtypes.Addr("0x00000000000000000000000000000000000000ca"),
 		Value:  value,
 		Input:  input,
 		Gas:    1_000_000,
@@ -69,9 +69,18 @@ func run(t *testing.T, code []byte, input []byte, value ethtypes.Wei, host Host)
 	})
 }
 
+// mustAssemble assembles a test program known to be well-formed.
+func (a *Assembler) mustAssemble() []byte {
+	code, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
 // returnTop is a code suffix that returns the top of stack as one word.
 func returnTop(a *Assembler) []byte {
-	return a.Op(PUSH0, MSTORE).PushInt(32).Op(PUSH0, RETURN).MustAssemble()
+	return a.Op(PUSH0, MSTORE).PushInt(32).Op(PUSH0, RETURN).mustAssemble()
 }
 
 func wordResult(t *testing.T, res Result) *big.Int {
@@ -243,7 +252,7 @@ func TestJumpLoop(t *testing.T) {
 
 func TestBadJumpRejected(t *testing.T) {
 	// Jump into the middle of a PUSH payload must fail.
-	code := NewAssembler().PushInt(2).Op(JUMP).Op(JUMPDEST).Stop().MustAssemble()
+	code := NewAssembler().PushInt(2).Op(JUMP).Op(JUMPDEST).Stop().mustAssemble()
 	_, err := run(t, code, nil, ethtypes.Wei{}, nil)
 	if !errors.Is(err, ErrBadJump) {
 		t.Errorf("got %v, want ErrBadJump", err)
@@ -267,7 +276,7 @@ func TestJumpdestInsidePushIsData(t *testing.T) {
 
 func TestCallTransfersValue(t *testing.T) {
 	host := newMockHost()
-	to := ethtypes.MustAddress("0x000000000000000000000000000000000000beef")
+	to := ethtypes.Addr("0x000000000000000000000000000000000000beef")
 	// call(gas, to, 123, 0, 0, 0, 0)
 	a := NewAssembler()
 	a.PushInt(0).PushInt(0).PushInt(0).PushInt(0) // outSize outOff inSize inOff
@@ -308,7 +317,7 @@ func TestCallFailurePushesZero(t *testing.T) {
 func TestRevertPreservesData(t *testing.T) {
 	a := NewAssembler()
 	a.PushInt(0xbad).Op(PUSH0, MSTORE).PushInt(32).Op(PUSH0, REVERT)
-	res, err := run(t, a.MustAssemble(), nil, ethtypes.Wei{}, nil)
+	res, err := run(t, a.mustAssemble(), nil, ethtypes.Wei{}, nil)
 	if !errors.Is(err, ErrRevert) {
 		t.Fatalf("got %v, want ErrRevert", err)
 	}
@@ -320,7 +329,7 @@ func TestRevertPreservesData(t *testing.T) {
 func TestOutOfGasTerminatesLoop(t *testing.T) {
 	a := NewAssembler()
 	a.Label("spin").Jump("spin")
-	_, err := run(t, a.MustAssemble(), nil, ethtypes.Wei{}, nil)
+	_, err := run(t, a.mustAssemble(), nil, ethtypes.Wei{}, nil)
 	if !errors.Is(err, ErrOutOfGas) {
 		t.Errorf("got %v, want ErrOutOfGas", err)
 	}
@@ -333,7 +342,7 @@ func TestStackUnderflowAndOverflow(t *testing.T) {
 	a := NewAssembler()
 	a.PushInt(1)
 	a.Label("again").Op(DUP1, DUP1).Jump("again")
-	if _, err := run(t, a.MustAssemble(), nil, ethtypes.Wei{}, nil); !errors.Is(err, ErrStackOverflow) {
+	if _, err := run(t, a.mustAssemble(), nil, ethtypes.Wei{}, nil); !errors.Is(err, ErrStackOverflow) {
 		t.Errorf("overflow: got %v", err)
 	}
 }
@@ -347,7 +356,7 @@ func TestInvalidOpcode(t *testing.T) {
 func TestMemoryLimit(t *testing.T) {
 	a := NewAssembler()
 	a.PushInt(1).Push(new(big.Int).SetUint64(1 << 30)).Op(MSTORE)
-	if _, err := run(t, a.MustAssemble(), nil, ethtypes.Wei{}, nil); !errors.Is(err, ErrMemoryLimit) {
+	if _, err := run(t, a.mustAssemble(), nil, ethtypes.Wei{}, nil); !errors.Is(err, ErrMemoryLimit) {
 		t.Errorf("got %v, want ErrMemoryLimit", err)
 	}
 }
@@ -360,7 +369,7 @@ func TestLogEmission(t *testing.T) {
 		PushInt(0).      // size
 		PushInt(0).      // off (top)
 		Op(LOG0 + 1).
-		Stop().MustAssemble()
+		Stop().mustAssemble()
 	if _, err := run(t, code, nil, ethtypes.Wei{}, host); err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +381,7 @@ func TestLogEmission(t *testing.T) {
 func TestCodecopyRuntimeDeployPattern(t *testing.T) {
 	// Deploy-style: codecopy(0, offset, size); return(0, size) — the
 	// constructor idiom our templates use.
-	runtime := NewAssembler().PushInt(7).Op(PUSH0, MSTORE).PushInt(32).Op(PUSH0, RETURN).MustAssemble()
+	runtime := NewAssembler().PushInt(7).Op(PUSH0, MSTORE).PushInt(32).Op(PUSH0, RETURN).mustAssemble()
 	ctor := NewAssembler()
 	ctor.PushInt(int64(len(runtime))) // size
 	ctor.PushLabel("runtime")         // offset
@@ -381,7 +390,7 @@ func TestCodecopyRuntimeDeployPattern(t *testing.T) {
 	ctor.PushInt(int64(len(runtime))).PushInt(0).Op(RETURN)
 	ctor.Mark("runtime")
 	ctor.Op(runtime...)
-	res, err := run(t, ctor.MustAssemble(), nil, ethtypes.Wei{}, nil)
+	res, err := run(t, ctor.mustAssemble(), nil, ethtypes.Wei{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,7 +512,7 @@ func TestReturnData(t *testing.T) {
 	b := NewAssembler()
 	b.PushInt(0).PushInt(0).PushInt(0).PushInt(0).PushInt(0).PushInt(0xbeef).Op(GAS, CALL, POP)
 	b.PushInt(10).PushInt(0).PushInt(0).Op(RETURNDATACOPY).Stop()
-	if _, err := run(t, b.MustAssemble(), nil, ethtypes.Wei{}, host); err == nil {
+	if _, err := run(t, b.mustAssemble(), nil, ethtypes.Wei{}, host); err == nil {
 		t.Error("out-of-bounds RETURNDATACOPY succeeded")
 	}
 }

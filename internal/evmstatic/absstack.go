@@ -1,0 +1,738 @@
+package evmstatic
+
+import (
+	"math/big"
+
+	"repro/internal/evm"
+)
+
+// Kind classifies an abstract stack value. Beyond plain constants the
+// lattice tracks the handful of symbolic shapes the drainer templates
+// (and Solidity dispatchers generally) compute from the call
+// environment, so the extractor can recognize selector dispatch,
+// CALLVALUE guards, and the MUL/DIV profit-split idiom without
+// executing anything.
+type Kind uint8
+
+// Abstract value kinds.
+const (
+	KUnknown Kind = iota
+	// KConst is a fully known 256-bit constant (Const set).
+	KConst
+	// KCallValue is msg.value.
+	KCallValue
+	// KCaller is msg.sender.
+	KCaller
+	// KCallDataSize is calldatasize().
+	KCallDataSize
+	// KCallData is calldataload(Aux) for a constant offset.
+	KCallData
+	// KSelector is the dispatched selector: shr(224, calldataload(0))
+	// or the DIV/AND equivalent of older compilers.
+	KSelector
+	// KSLoad is sload(Aux) left symbolic because no storage environment
+	// covers the slot.
+	KSLoad
+	// KShareNum is callvalue*ratio; Aux is the ratio when constant, nil
+	// when the ratio itself came from unresolved storage.
+	KShareNum
+	// KShare is callvalue*ratio/den normalized to per-mille: the
+	// operator's cut. Aux is the per-mille ratio (nil when unresolved).
+	KShare
+	// KRemainder is callvalue-share: the affiliate's cut. Aux is the
+	// complementary per-mille ratio (nil when unresolved).
+	KRemainder
+	// KSelectorCmp is the condition selector == Sel (Neg: !=).
+	KSelectorCmp
+	// KValueZero is the condition callvalue == 0 (Neg: != 0).
+	KValueZero
+	// KCallerCmp is the condition caller == Const (Neg: !=).
+	KCallerCmp
+	// KShortCalldata is the condition calldatasize < 4 (Neg: >= 4), the
+	// dispatcher's fallback test.
+	KShortCalldata
+)
+
+// Value is one abstract stack slot.
+type Value struct {
+	Kind  Kind
+	Const *big.Int // concrete value, when known
+	Aux   *big.Int // kind-specific: calldata offset, storage slot, or ratio
+	Sel   [4]byte  // KSelectorCmp
+	Neg   bool     // negated condition kinds
+}
+
+func unknown() Value           { return Value{Kind: KUnknown} }
+func konst(v *big.Int) Value   { return Value{Kind: KConst, Const: v} }
+func konstInt64(v int64) Value { return konst(big.NewInt(v)) }
+func (v Value) isConst() bool  { return v.Kind == KConst && v.Const != nil }
+func (v Value) constEq(x int64) bool {
+	return v.isConst() && v.Const.IsInt64() && v.Const.Int64() == x
+}
+
+func bigEq(a, b *big.Int) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Cmp(b) == 0
+}
+
+func valueEq(a, b Value) bool {
+	return a.Kind == b.Kind && a.Neg == b.Neg && a.Sel == b.Sel &&
+		bigEq(a.Const, b.Const) && bigEq(a.Aux, b.Aux)
+}
+
+// joinValue is the lattice join: equal values stay, anything else
+// degrades to unknown.
+func joinValue(a, b Value) Value {
+	if valueEq(a, b) {
+		return a
+	}
+	return unknown()
+}
+
+// joinStack joins two abstract stacks aligned at the top; depth
+// mismatches (merging paths that carry different residue below the
+// live region) pad with unknowns.
+func joinStack(a, b []Value) []Value {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]Value, n)
+	for i := 0; i < n; i++ {
+		av, bv := unknown(), unknown()
+		if i < len(a) {
+			av = a[len(a)-1-i]
+		}
+		if i < len(b) {
+			bv = b[len(b)-1-i]
+		}
+		out[n-1-i] = joinValue(av, bv)
+	}
+	return out
+}
+
+func stackEq(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !valueEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeCond labels what a CFG edge requires of the call environment.
+type edgeCond uint8
+
+// Edge conditions relevant to extraction.
+const (
+	condNone edgeCond = iota
+	// condZeroValue: the edge is taken only when callvalue == 0.
+	condZeroValue
+	// condCaller: the edge is taken only by one specific caller.
+	condCaller
+)
+
+// callSite is a recorded CALL with its abstract target and value.
+type callSite struct {
+	pc    int
+	block int
+	to    Value
+	value Value
+}
+
+// storeSite is a recorded SSTORE with constant slot and value.
+type storeSite struct {
+	slot, val *big.Int
+}
+
+// copySite is a recorded CODECOPY with constant operands.
+type copySite struct {
+	memOff, codeOff, size int64
+}
+
+// returnSite is a recorded RETURN with constant operands.
+type returnSite struct {
+	off, size int64
+}
+
+// selEdge records "jumping to block Target means the dispatched
+// selector equals Sel".
+type selEdge struct {
+	sel    [4]byte
+	target int
+	pc     int // PC of the deciding JUMPI, for code-order selector listing
+}
+
+// Storage supplies constant storage words to the abstract interpreter.
+// Implementations come from constructor-recovered stores
+// (AnalyzeDeploy) or from deployed chain state.
+type Storage func(slot *big.Int) (*big.Int, bool)
+
+// NewStorage builds a Storage from explicit slot/value pairs.
+func NewStorage(pairs []StorageSlot) Storage {
+	m := make(map[string]*big.Int, len(pairs))
+	for _, p := range pairs {
+		m[p.Slot.Text(16)] = p.Value
+	}
+	return func(slot *big.Int) (*big.Int, bool) {
+		v, ok := m[slot.Text(16)]
+		return v, ok
+	}
+}
+
+// StorageSlot is one constant storage assignment.
+type StorageSlot struct {
+	Slot, Value *big.Int
+}
+
+// maxBlockVisits bounds how many times one block is re-interpreted
+// before the analysis gives up on further refinement; the join-based
+// widening normally converges in two or three visits.
+const maxBlockVisits = 64
+
+// analysis runs the abstract interpretation over a CFG and accumulates
+// extraction facts.
+type analysis struct {
+	g       *CFG
+	storage Storage
+
+	in     map[int][]Value
+	visits map[int]int
+
+	calls      map[int]callSite // by PC, joined across visits
+	stores     []storeSite
+	copies     []copySite
+	returns    []returnSite
+	selEdges   map[int]selEdge // by JUMPI PC
+	edgeConds  map[[2]int]edgeCond
+	fallbackPC int // StartPC of the fallback entry block, -1 if unseen
+
+	incomplete bool
+}
+
+func newAnalysis(g *CFG, storage Storage) *analysis {
+	return &analysis{
+		g:          g,
+		storage:    storage,
+		in:         make(map[int][]Value),
+		visits:     make(map[int]int),
+		calls:      make(map[int]callSite),
+		selEdges:   make(map[int]selEdge),
+		edgeConds:  make(map[[2]int]edgeCond),
+		fallbackPC: -1,
+	}
+}
+
+// run drives the worklist to a fixpoint from the entry block with an
+// empty stack.
+func (a *analysis) run() {
+	if len(a.g.Blocks) == 0 {
+		return
+	}
+	a.in[0] = []Value{}
+	work := []int{0}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if a.visits[b] >= maxBlockVisits {
+			a.incomplete = true
+			continue
+		}
+		a.visits[b]++
+		for _, s := range a.transfer(b) {
+			prev, seen := a.in[s.block]
+			next := s.stack
+			if seen {
+				next = joinStack(prev, s.stack)
+				if stackEq(prev, next) {
+					continue
+				}
+			}
+			a.in[s.block] = next
+			work = append(work, s.block)
+		}
+	}
+	a.g.MarkReachable()
+}
+
+// succState is a successor block plus the stack flowing into it.
+type succState struct {
+	block int
+	stack []Value
+}
+
+// transfer interprets one block over its current entry stack, records
+// extraction facts, and returns the successor states.
+func (a *analysis) transfer(bi int) []succState {
+	g := a.g
+	b := &g.Blocks[bi]
+	stack := append([]Value(nil), a.in[bi]...)
+
+	pop := func() Value {
+		if len(stack) == 0 {
+			return unknown()
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	push := func(v Value) { stack = append(stack, v) }
+
+	for i := b.Start; i < b.End; i++ {
+		in := g.Instrs[i]
+		op := in.Op
+		switch {
+		case in.Truncated:
+			// The code ends mid-PUSH: nothing executes past here.
+			return nil
+
+		case op >= evm.PUSH1 && op <= evm.PUSH1+31:
+			push(konst(new(big.Int).SetBytes(in.Operand)))
+
+		case op == evm.PUSH0:
+			push(konstInt64(0))
+
+		case op >= evm.DUP1 && op <= evm.DUP1+15:
+			n := int(op-evm.DUP1) + 1
+			if len(stack) >= n {
+				push(stack[len(stack)-n])
+			} else {
+				push(unknown())
+			}
+
+		case op >= evm.SWAP1 && op <= evm.SWAP1+15:
+			n := int(op-evm.SWAP1) + 1
+			if len(stack) >= n+1 {
+				top := len(stack) - 1
+				stack[top], stack[top-n] = stack[top-n], stack[top]
+			}
+
+		case op == evm.POP:
+			pop()
+
+		case op == evm.CALLVALUE:
+			push(Value{Kind: KCallValue})
+		case op == evm.CALLER:
+			push(Value{Kind: KCaller})
+		case op == evm.CALLDATASIZE:
+			push(Value{Kind: KCallDataSize})
+
+		case op == evm.CALLDATALOAD:
+			off := pop()
+			if off.isConst() {
+				push(Value{Kind: KCallData, Aux: off.Const})
+			} else {
+				push(unknown())
+			}
+
+		case op == evm.SLOAD:
+			slot := pop()
+			push(a.load(slot))
+
+		case op == evm.SSTORE:
+			key, val := pop(), pop()
+			if key.isConst() && val.isConst() {
+				a.stores = append(a.stores, storeSite{slot: key.Const, val: val.Const})
+			}
+
+		case op == evm.ISZERO:
+			push(flip(pop()))
+
+		case op == evm.ADD, op == evm.MUL, op == evm.SUB, op == evm.DIV,
+			op == evm.MOD, op == evm.EXP, op == evm.AND, op == evm.OR,
+			op == evm.XOR, op == evm.LT, op == evm.GT, op == evm.EQ,
+			op == evm.SHL, op == evm.SHR:
+			x, y := pop(), pop()
+			push(binOp(op, x, y))
+
+		case op == evm.NOT:
+			v := pop()
+			if v.isConst() {
+				out := new(big.Int).Sub(two256, big.NewInt(1))
+				push(konst(out.Xor(out, v.Const)))
+			} else {
+				push(unknown())
+			}
+
+		case op == evm.PC:
+			push(konstInt64(int64(in.PC)))
+
+		case op == evm.CODECOPY:
+			memOff, codeOff, size := pop(), pop(), pop()
+			if memOff.isConst() && codeOff.isConst() && size.isConst() &&
+				memOff.Const.IsInt64() && codeOff.Const.IsInt64() && size.Const.IsInt64() {
+				a.copies = append(a.copies, copySite{
+					memOff:  memOff.Const.Int64(),
+					codeOff: codeOff.Const.Int64(),
+					size:    size.Const.Int64(),
+				})
+			}
+
+		case op == evm.RETURN:
+			off, size := pop(), pop()
+			if off.isConst() && size.isConst() && off.Const.IsInt64() && size.Const.IsInt64() {
+				a.returns = append(a.returns, returnSite{off: off.Const.Int64(), size: size.Const.Int64()})
+			}
+			return nil
+
+		case op == evm.CALL:
+			pop() // gas
+			to := pop()
+			value := pop()
+			pop() // inOff
+			pop() // inSize
+			pop() // outOff
+			pop() // outSize
+			site := callSite{pc: in.PC, block: bi, to: to, value: value}
+			if prev, ok := a.calls[in.PC]; ok {
+				site.to = joinValue(prev.to, to)
+				site.value = joinValue(prev.value, value)
+			}
+			a.calls[in.PC] = site
+			push(unknown()) // success flag
+
+		case op == evm.CREATE:
+			pop()
+			pop()
+			pop()
+			push(unknown())
+
+		case op == evm.JUMP:
+			target := pop()
+			return a.jumpSuccs(bi, target, stack, nil)
+
+		case op == evm.JUMPI:
+			target, cond := pop(), pop()
+			return a.jumpSuccs(bi, target, stack, &jumpiState{cond: cond, pc: in.PC})
+
+		case op == evm.STOP, op == evm.REVERT:
+			return nil
+
+		default:
+			// Remaining known ops have no extraction significance: apply
+			// their stack arity with unknown results.
+			pops, pushes, ok := opEffect(op)
+			if !ok {
+				return nil // unknown opcode halts like INVALID
+			}
+			for j := 0; j < pops; j++ {
+				pop()
+			}
+			for j := 0; j < pushes; j++ {
+				push(unknown())
+			}
+		}
+	}
+
+	// Block ended without a terminator: fall through.
+	if bi+1 < len(a.g.Blocks) {
+		return []succState{{block: bi + 1, stack: stack}}
+	}
+	return nil
+}
+
+// jumpiState carries the parts of a JUMPI needed to label its edges.
+type jumpiState struct {
+	cond Value
+	pc   int
+}
+
+// jumpSuccs resolves a JUMP/JUMPI target and labels the resulting
+// edges with selector, callvalue, and caller conditions. For a plain
+// JUMP, ji is nil and only the jump edge is produced.
+func (a *analysis) jumpSuccs(bi int, target Value, stack []Value, ji *jumpiState) []succState {
+	var out []succState
+	if target.isConst() {
+		if tb, ok := a.g.JumpTargetBlock(target.Const); ok {
+			a.g.AddEdge(bi, tb)
+			out = append(out, succState{block: tb, stack: append([]Value(nil), stack...)})
+			if ji != nil {
+				a.labelEdge(bi, tb, ji, true)
+			}
+		}
+		// A constant target without a JUMPDEST faults at runtime: the
+		// edge simply does not exist.
+	} else {
+		// A non-constant target defeats resolution; the CFG under-
+		// approximates from here on.
+		a.incomplete = true
+	}
+	if ji != nil && bi+1 < len(a.g.Blocks) {
+		a.g.AddEdge(bi, bi+1)
+		out = append(out, succState{block: bi + 1, stack: stack})
+		a.labelEdge(bi, bi+1, ji, false)
+	}
+	return out
+}
+
+// labelEdge records what taking (or not taking) a conditional branch
+// implies about the call environment.
+func (a *analysis) labelEdge(from, to int, ji *jumpiState, taken bool) {
+	cond := ji.cond
+	// The branch is taken when the condition is truthy. A negated
+	// condition swaps which edge carries the positive fact.
+	positive := taken != cond.Neg
+	key := [2]int{from, to}
+	switch cond.Kind {
+	case KSelectorCmp:
+		if positive {
+			a.selEdges[ji.pc] = selEdge{sel: cond.Sel, target: to, pc: ji.pc}
+		}
+	case KValueZero:
+		if positive {
+			a.edgeConds[key] = condZeroValue
+		}
+	case KCallerCmp:
+		if positive {
+			a.edgeConds[key] = condCaller
+		}
+	case KShortCalldata:
+		if positive && a.fallbackPC < 0 {
+			a.fallbackPC = a.g.Blocks[to].StartPC
+		}
+	}
+}
+
+// load resolves an SLOAD through the storage environment.
+func (a *analysis) load(slot Value) Value {
+	if !slot.isConst() {
+		return unknown()
+	}
+	if a.storage != nil {
+		if v, ok := a.storage(slot.Const); ok {
+			return konst(v)
+		}
+	}
+	return Value{Kind: KSLoad, Aux: slot.Const}
+}
+
+// flip negates a condition value (ISZERO).
+func flip(v Value) Value {
+	switch v.Kind {
+	case KSelectorCmp, KValueZero, KCallerCmp, KShortCalldata:
+		v.Neg = !v.Neg
+		return v
+	case KCallValue:
+		return Value{Kind: KValueZero}
+	case KConst:
+		if v.Const.Sign() == 0 {
+			return konstInt64(1)
+		}
+		return konstInt64(0)
+	}
+	return unknown()
+}
+
+var (
+	two256   = new(big.Int).Lsh(big.NewInt(1), 256)
+	shift224 = new(big.Int).Lsh(big.NewInt(1), 224)
+	selMask  = big.NewInt(0xffffffff)
+	perMille = big.NewInt(1000)
+)
+
+// binOp applies a binary opcode to abstract values. x is the stack top
+// (the first popped operand), matching the interpreter's convention.
+func binOp(op byte, x, y Value) Value {
+	if x.isConst() && y.isConst() {
+		if v := foldConst(op, x.Const, y.Const); v != nil {
+			return konst(v)
+		}
+		return unknown()
+	}
+	switch op {
+	case evm.MUL:
+		// callvalue * ratio, either operand order; the ratio is a push
+		// constant or an (optionally resolved) storage word.
+		if v, ok := shareNumerator(x, y); ok {
+			return v
+		}
+		if v, ok := shareNumerator(y, x); ok {
+			return v
+		}
+	case evm.DIV:
+		if x.Kind == KShareNum && y.isConst() && y.Const.Sign() > 0 {
+			return shareFrom(x.Aux, y.Const)
+		}
+		// Pre-SHR dispatchers: calldataload(0) / 2^224 isolates the
+		// selector.
+		if x.Kind == KCallData && x.Aux != nil && x.Aux.Sign() == 0 &&
+			y.isConst() && y.Const.Cmp(shift224) == 0 {
+			return Value{Kind: KSelector}
+		}
+	case evm.SUB:
+		if x.Kind == KCallValue && y.Kind == KShare {
+			rem := Value{Kind: KRemainder}
+			if y.Aux != nil {
+				rem.Aux = new(big.Int).Sub(perMille, y.Aux)
+			}
+			return rem
+		}
+	case evm.SHR:
+		if x.constEq(224) && y.Kind == KCallData && y.Aux != nil && y.Aux.Sign() == 0 {
+			return Value{Kind: KSelector}
+		}
+	case evm.AND:
+		if x.Kind == KSelector && y.isConst() && y.Const.Cmp(selMask) == 0 {
+			return x
+		}
+		if y.Kind == KSelector && x.isConst() && x.Const.Cmp(selMask) == 0 {
+			return y
+		}
+	case evm.EQ:
+		if v, ok := eqCond(x, y); ok {
+			return v
+		}
+		if v, ok := eqCond(y, x); ok {
+			return v
+		}
+	case evm.LT:
+		if x.Kind == KCallDataSize && y.constEq(4) {
+			return Value{Kind: KShortCalldata}
+		}
+	case evm.GT:
+		if x.constEq(4) && y.Kind == KCallDataSize {
+			return Value{Kind: KShortCalldata}
+		}
+	}
+	return unknown()
+}
+
+// shareNumerator recognizes callvalue*ratio.
+func shareNumerator(cv, ratio Value) (Value, bool) {
+	if cv.Kind != KCallValue {
+		return Value{}, false
+	}
+	switch ratio.Kind {
+	case KConst:
+		return Value{Kind: KShareNum, Aux: ratio.Const}, true
+	case KSLoad:
+		return Value{Kind: KShareNum}, true // ratio symbolic
+	}
+	return Value{}, false
+}
+
+// shareFrom normalizes callvalue*ratio/den to a per-mille share.
+func shareFrom(ratio, den *big.Int) Value {
+	if ratio == nil {
+		return Value{Kind: KShare}
+	}
+	pm := new(big.Int).Mul(ratio, perMille)
+	rem := new(big.Int)
+	pm.QuoRem(pm, den, rem)
+	if rem.Sign() != 0 || !pm.IsInt64() {
+		return Value{Kind: KShare}
+	}
+	return Value{Kind: KShare, Aux: pm}
+}
+
+// eqCond recognizes the comparison conditions the extractor cares
+// about, with a as the symbolic side.
+func eqCond(a, b Value) (Value, bool) {
+	switch a.Kind {
+	case KSelector:
+		if b.isConst() && b.Const.BitLen() <= 32 {
+			var sel [4]byte
+			b.Const.FillBytes(sel[:])
+			return Value{Kind: KSelectorCmp, Sel: sel}, true
+		}
+	case KCallValue:
+		if b.isConst() && b.Const.Sign() == 0 {
+			return Value{Kind: KValueZero}, true
+		}
+	case KCaller:
+		if b.isConst() {
+			return Value{Kind: KCallerCmp, Aux: b.Const}, true
+		}
+	}
+	return Value{}, false
+}
+
+// foldConst evaluates a binary opcode over two constants with 256-bit
+// wrapping, mirroring the concrete interpreter. Returns nil when the
+// opcode is not folded (EXP is skipped: exponentiation of attacker
+// constants can be arbitrarily expensive).
+func foldConst(op byte, a, b *big.Int) *big.Int {
+	out := new(big.Int)
+	switch op {
+	case evm.ADD:
+		return wrap256(out.Add(a, b))
+	case evm.MUL:
+		return wrap256(out.Mul(a, b))
+	case evm.SUB:
+		return wrap256(out.Sub(a, b))
+	case evm.DIV:
+		if b.Sign() == 0 {
+			return out
+		}
+		return out.Div(a, b)
+	case evm.MOD:
+		if b.Sign() == 0 {
+			return out
+		}
+		return out.Mod(a, b)
+	case evm.AND:
+		return out.And(a, b)
+	case evm.OR:
+		return out.Or(a, b)
+	case evm.XOR:
+		return out.Xor(a, b)
+	case evm.LT:
+		return boolBig(a.Cmp(b) < 0)
+	case evm.GT:
+		return boolBig(a.Cmp(b) > 0)
+	case evm.EQ:
+		return boolBig(a.Cmp(b) == 0)
+	case evm.SHL:
+		if !a.IsInt64() || a.Int64() > 255 {
+			return out
+		}
+		return wrap256(out.Lsh(b, uint(a.Int64())))
+	case evm.SHR:
+		if !a.IsInt64() || a.Int64() > 255 {
+			return out
+		}
+		return out.Rsh(b, uint(a.Int64()))
+	}
+	return nil
+}
+
+func wrap256(v *big.Int) *big.Int {
+	if v.Sign() < 0 || v.BitLen() > 256 {
+		v.Mod(v, two256)
+	}
+	return v
+}
+
+func boolBig(b bool) *big.Int {
+	if b {
+		return big.NewInt(1)
+	}
+	return new(big.Int)
+}
+
+// opEffect gives the stack arity of the known opcodes that carry no
+// extraction meaning beyond consuming and producing unknowns.
+func opEffect(op byte) (pops, pushes int, ok bool) {
+	switch op {
+	case evm.ADDRESS, evm.CODESIZE, evm.RETURNDATASIZE, evm.TIMESTAMP,
+		evm.NUMBER, evm.SELFBALANCE, evm.GAS:
+		return 0, 1, true
+	case evm.BALANCE, evm.MLOAD:
+		return 1, 1, true
+	case evm.MSTORE:
+		return 2, 0, true
+	case evm.CALLDATACOPY, evm.RETURNDATACOPY:
+		return 3, 0, true
+	case evm.JUMPDEST:
+		return 0, 0, true
+	}
+	if op >= evm.LOG0 && op <= evm.LOG0+4 {
+		return 2 + int(op-evm.LOG0), 0, true
+	}
+	return 0, 0, false
+}

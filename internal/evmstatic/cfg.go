@@ -1,0 +1,191 @@
+package evmstatic
+
+import (
+	"math/big"
+
+	"repro/internal/evm"
+)
+
+// Block is one basic block: a maximal straight-line instruction run.
+// Start/End index into the CFG's instruction slice; successors are block
+// indices. Jump successors beyond the syntactically obvious ones (a PUSH
+// immediately preceding the JUMP) are filled in by the abstract
+// interpreter as it propagates constants.
+type Block struct {
+	Index      int
+	Start, End int // instruction index range [Start, End)
+	StartPC    int
+	Succs      []int
+	Reachable  bool
+}
+
+// CFG is the control-flow graph of one bytecode blob.
+type CFG struct {
+	Code      []byte
+	Instrs    []Instruction
+	Blocks    []Block
+	blockByPC map[int]int // StartPC → block index
+}
+
+// terminates reports whether in ends a basic block with no fallthrough.
+func terminates(in Instruction) bool {
+	if in.Truncated {
+		// A truncated PUSH is the last instruction of the code; whatever
+		// it would have pushed does not exist, so nothing can follow.
+		return true
+	}
+	switch in.Op {
+	case evm.STOP, evm.JUMP, evm.RETURN, evm.REVERT:
+		return true
+	}
+	// Unknown opcodes halt execution like INVALID.
+	return !knownOp(in.Op)
+}
+
+// knownOp reports whether the interpreter subset implements op.
+func knownOp(op byte) bool {
+	switch {
+	case op >= evm.PUSH1 && op <= evm.PUSH1+31,
+		op >= evm.DUP1 && op <= evm.DUP1+15,
+		op >= evm.SWAP1 && op <= evm.SWAP1+15,
+		op >= evm.LOG0 && op <= evm.LOG0+4:
+		return true
+	}
+	_, ok := opNames[op]
+	return ok
+}
+
+// BuildCFG disassembles code and splits it into basic blocks. Blocks
+// start at PC 0, at every JUMPDEST, and after every terminator
+// (JUMP/JUMPI/STOP/RETURN/REVERT, unknown opcodes, truncated PUSHes).
+// Fallthrough edges and directly-preceded PUSH jump targets are resolved
+// here; the abstract interpreter adds the rest via AddEdge.
+func BuildCFG(code []byte) *CFG {
+	g := &CFG{
+		Code:      append([]byte(nil), code...),
+		Instrs:    Disassemble(code),
+		blockByPC: make(map[int]int),
+	}
+	if len(g.Instrs) == 0 {
+		return g
+	}
+
+	leader := make([]bool, len(g.Instrs))
+	leader[0] = true
+	for i, in := range g.Instrs {
+		if in.Op == evm.JUMPDEST {
+			leader[i] = true
+		}
+		if (terminates(in) || in.Op == evm.JUMPI) && i+1 < len(g.Instrs) {
+			leader[i+1] = true
+		}
+	}
+
+	start := 0
+	for i := 1; i <= len(g.Instrs); i++ {
+		if i == len(g.Instrs) || leader[i] {
+			b := Block{
+				Index:   len(g.Blocks),
+				Start:   start,
+				End:     i,
+				StartPC: g.Instrs[start].PC,
+			}
+			g.blockByPC[b.StartPC] = b.Index
+			g.Blocks = append(g.Blocks, b)
+			start = i
+		}
+	}
+
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := g.Instrs[b.End-1]
+		switch {
+		case last.Op == evm.JUMP && !last.Truncated:
+			if t, ok := g.syntacticTarget(b); ok {
+				g.AddEdge(b.Index, t)
+			}
+		case last.Op == evm.JUMPI && !last.Truncated:
+			if t, ok := g.syntacticTarget(b); ok {
+				g.AddEdge(b.Index, t)
+			}
+			if i+1 < len(g.Blocks) {
+				g.AddEdge(b.Index, i+1)
+			}
+		case !terminates(last):
+			if i+1 < len(g.Blocks) {
+				g.AddEdge(b.Index, i+1)
+			}
+		}
+	}
+	g.MarkReachable()
+	return g
+}
+
+// syntacticTarget resolves a jump whose target is pushed by the
+// immediately preceding instruction.
+func (g *CFG) syntacticTarget(b *Block) (int, bool) {
+	if b.End-b.Start < 2 {
+		return 0, false
+	}
+	prev := g.Instrs[b.End-2]
+	if prev.Op < evm.PUSH1 || prev.Op > evm.PUSH1+31 || prev.Truncated {
+		return 0, false
+	}
+	return g.JumpTargetBlock(new(big.Int).SetBytes(prev.Operand))
+}
+
+// JumpTargetBlock maps a constant jump target to the block starting at
+// that PC, requiring a JUMPDEST there as the EVM does.
+func (g *CFG) JumpTargetBlock(target *big.Int) (int, bool) {
+	if !target.IsInt64() {
+		return 0, false
+	}
+	idx, ok := g.blockByPC[int(target.Int64())]
+	if !ok {
+		return 0, false
+	}
+	if first := g.Instrs[g.Blocks[idx].Start]; first.Op != evm.JUMPDEST {
+		return 0, false
+	}
+	return idx, true
+}
+
+// AddEdge records a successor edge, deduplicating.
+func (g *CFG) AddEdge(from, to int) {
+	for _, s := range g.Blocks[from].Succs {
+		if s == to {
+			return
+		}
+	}
+	g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+}
+
+// MarkReachable recomputes reachability from the entry block over the
+// currently known edges. Unreachable blocks are typically embedded data
+// (a constructor's runtime payload) or dead code.
+func (g *CFG) MarkReachable() {
+	for i := range g.Blocks {
+		g.Blocks[i].Reachable = false
+	}
+	if len(g.Blocks) == 0 {
+		return
+	}
+	stack := []int{0}
+	g.Blocks[0].Reachable = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[b].Succs {
+			if !g.Blocks[s].Reachable {
+				g.Blocks[s].Reachable = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// BlockAt returns the index of the block starting at pc.
+func (g *CFG) BlockAt(pc int) (int, bool) {
+	idx, ok := g.blockByPC[pc]
+	return idx, ok
+}

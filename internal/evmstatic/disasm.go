@@ -1,0 +1,104 @@
+// Package evmstatic implements static analysis of EVM runtime bytecode:
+// a disassembler, a control-flow-graph builder, and an abstract stack
+// interpreter with constant propagation. Together they recover, without
+// executing a single instruction, the facts the dynamic prober in
+// internal/contracts observes by running code in the toy EVM: dispatched
+// function selectors, payability, hardcoded payout addresses, and the
+// per-mille profit-sharing constants of the paper's Table 3.
+//
+// The engine is deliberately storage- and memory-free: SLOAD resolves
+// only through an optional constant storage environment (recovered from
+// constructor SSTOREs or read from deployed state), and memory is not
+// modeled at all beyond the CODECOPY/RETURN pairing needed to carve the
+// runtime out of initcode. DESIGN.md discusses the soundness limits.
+package evmstatic
+
+import (
+	"fmt"
+
+	"repro/internal/evm"
+)
+
+// opNames maps non-range opcodes to their mnemonics.
+var opNames = map[byte]string{
+	evm.STOP: "STOP", evm.ADD: "ADD", evm.MUL: "MUL", evm.SUB: "SUB",
+	evm.DIV: "DIV", evm.MOD: "MOD", evm.EXP: "EXP", evm.LT: "LT",
+	evm.GT: "GT", evm.EQ: "EQ", evm.ISZERO: "ISZERO", evm.AND: "AND",
+	evm.OR: "OR", evm.XOR: "XOR", evm.NOT: "NOT", evm.SHL: "SHL",
+	evm.SHR: "SHR", evm.ADDRESS: "ADDRESS", evm.BALANCE: "BALANCE",
+	evm.CALLER: "CALLER", evm.CALLVALUE: "CALLVALUE",
+	evm.CALLDATALOAD: "CALLDATALOAD", evm.CALLDATASIZE: "CALLDATASIZE",
+	evm.CALLDATACOPY: "CALLDATACOPY", evm.CODESIZE: "CODESIZE",
+	evm.CODECOPY: "CODECOPY", evm.RETURNDATASIZE: "RETURNDATASIZE",
+	evm.RETURNDATACOPY: "RETURNDATACOPY", evm.TIMESTAMP: "TIMESTAMP",
+	evm.NUMBER: "NUMBER", evm.SELFBALANCE: "SELFBALANCE", evm.POP: "POP",
+	evm.MLOAD: "MLOAD", evm.MSTORE: "MSTORE", evm.SLOAD: "SLOAD",
+	evm.SSTORE: "SSTORE", evm.JUMP: "JUMP", evm.JUMPI: "JUMPI",
+	evm.PC: "PC", evm.GAS: "GAS", evm.JUMPDEST: "JUMPDEST",
+	evm.PUSH0: "PUSH0", evm.CALL: "CALL", evm.RETURN: "RETURN",
+	evm.REVERT: "REVERT", evm.CREATE: "CREATE",
+}
+
+// Instruction is one decoded opcode.
+type Instruction struct {
+	PC       int
+	Op       byte
+	Mnemonic string
+	// Operand holds PUSH immediates.
+	Operand []byte
+	// Truncated marks a PUSH whose operand runs past the end of the
+	// code. The operand keeps the bytes that exist; analyses must not
+	// assume the instruction completes (the CFG builder ends the basic
+	// block here).
+	Truncated bool
+}
+
+// String renders "0042: PUSH4 0xa9059cbb".
+func (in Instruction) String() string {
+	if in.Truncated {
+		return fmt.Sprintf("%04x: %s 0x%x !truncated", in.PC, in.Mnemonic, in.Operand)
+	}
+	if len(in.Operand) > 0 {
+		return fmt.Sprintf("%04x: %s 0x%x", in.PC, in.Mnemonic, in.Operand)
+	}
+	return fmt.Sprintf("%04x: %s", in.PC, in.Mnemonic)
+}
+
+// Disassemble decodes runtime bytecode into instructions. Unknown
+// opcodes decode as "INVALID(0xnn)" without stopping, since analysts
+// routinely meet junk bytes in real deployments. A PUSH whose operand
+// extends past the end of the code keeps the bytes that exist and is
+// flagged Truncated.
+func Disassemble(code []byte) []Instruction {
+	var out []Instruction
+	for pc := 0; pc < len(code); pc++ {
+		op := code[pc]
+		in := Instruction{PC: pc, Op: op}
+		switch {
+		case op >= evm.PUSH1 && op <= evm.PUSH1+31:
+			n := int(op-evm.PUSH1) + 1
+			in.Mnemonic = fmt.Sprintf("PUSH%d", n)
+			end := pc + 1 + n
+			if end > len(code) {
+				end = len(code)
+				in.Truncated = true
+			}
+			in.Operand = append([]byte{}, code[pc+1:end]...)
+			pc = end - 1
+		case op >= evm.DUP1 && op <= evm.DUP1+15:
+			in.Mnemonic = fmt.Sprintf("DUP%d", op-evm.DUP1+1)
+		case op >= evm.SWAP1 && op <= evm.SWAP1+15:
+			in.Mnemonic = fmt.Sprintf("SWAP%d", op-evm.SWAP1+1)
+		case op >= evm.LOG0 && op <= evm.LOG0+4:
+			in.Mnemonic = fmt.Sprintf("LOG%d", op-evm.LOG0)
+		default:
+			if name, ok := opNames[op]; ok {
+				in.Mnemonic = name
+			} else {
+				in.Mnemonic = fmt.Sprintf("INVALID(0x%02x)", op)
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package evmstatic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ethtypes"
+	"repro/internal/evm"
+)
+
+// PaperRatiosPM is the set of operator profit shares (in per-mille)
+// observed across the paper's dataset (§4.3 and Table 3, 10%–40%).
+// Extraction maps recovered split constants back onto this set.
+var PaperRatiosPM = []int64{100, 125, 150, 175, 200, 250, 300, 330, 400}
+
+// RatioInPaperSet reports whether pm is one of the documented operator
+// shares.
+func RatioInPaperSet(pm int64) bool {
+	for _, r := range PaperRatiosPM {
+		if r == pm {
+			return true
+		}
+	}
+	return false
+}
+
+// splitFacts is what findSplit recovers from the payout calls of one
+// function body.
+type splitFacts struct {
+	found bool
+	// pm is the operator share in per-mille; ratioKnown is false when
+	// the MUL/DIV shape was present but the ratio stayed symbolic.
+	pm         int64
+	ratioKnown bool
+	operator   ethtypes.Address
+	opKnown    bool
+	affiliate  ethtypes.Address
+	affKnown   bool
+	affFromCD  bool
+}
+
+// reachableFrom collects the block set reachable from entry over all
+// known edges.
+func reachableFrom(g *CFG, entry int) map[int]bool {
+	seen := map[int]bool{entry: true}
+	stack := []int{entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// successReachable reports whether a halting success (STOP, RETURN, or
+// running off the end of the code) is reachable from entry without
+// taking an edge that requires zero call value or a privileged caller —
+// the static mirror of the dynamic prober's "send value from an
+// arbitrary EOA and see whether execution succeeds".
+func successReachable(g *CFG, conds map[[2]int]edgeCond, entry int) bool {
+	seen := map[int]bool{entry: true}
+	stack := []int{entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blockSucceeds(g, b) {
+			return true
+		}
+		for _, s := range g.Blocks[b].Succs {
+			if seen[s] {
+				continue
+			}
+			if c := conds[[2]int{b, s}]; c == condZeroValue || c == condCaller {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return false
+}
+
+// blockSucceeds reports whether the block halts successfully.
+func blockSucceeds(g *CFG, bi int) bool {
+	b := g.Blocks[bi]
+	last := g.Instrs[b.End-1]
+	switch last.Op {
+	case evm.STOP, evm.RETURN:
+		return true
+	case evm.REVERT, evm.JUMP, evm.JUMPI:
+		return false
+	}
+	if last.Truncated {
+		// A truncated PUSH pushes what exists and falls off the end of
+		// the code: an implicit STOP.
+		return true
+	}
+	// Running off the end of the code is an implicit STOP; anything
+	// else (unknown opcode, mid-code fallthrough) is not a halt here.
+	return bi == len(g.Blocks)-1 && !terminates(last)
+}
+
+// findSplit scans the payout calls inside a function's block set for
+// the profit-sharing pair: one CALL forwarding callvalue*ratio/1000 and
+// one forwarding the remainder.
+func findSplit(a *analysis, blocks map[int]bool) splitFacts {
+	var share, rem *callSite
+	for _, c := range sortedCalls(a) {
+		if !blocks[c.block] {
+			continue
+		}
+		c := c
+		switch c.value.Kind {
+		case KShare:
+			if share == nil {
+				share = &c
+			}
+		case KRemainder:
+			if rem == nil {
+				rem = &c
+			}
+		}
+	}
+	if share == nil || rem == nil {
+		return splitFacts{}
+	}
+	f := splitFacts{found: true}
+	if share.value.Aux != nil && share.value.Aux.IsInt64() {
+		f.pm = share.value.Aux.Int64()
+		f.ratioKnown = true
+	}
+	if share.to.isConst() {
+		f.operator = ethtypes.BytesToAddress(share.to.Const.Bytes())
+		f.opKnown = true
+	}
+	switch {
+	case rem.to.isConst():
+		f.affiliate = ethtypes.BytesToAddress(rem.to.Const.Bytes())
+		f.affKnown = true
+	case rem.to.Kind == KCallData:
+		f.affFromCD = true
+	}
+	return f
+}
+
+// sortedCalls returns the recorded call sites in code order.
+func sortedCalls(a *analysis) []callSite {
+	out := make([]callSite, 0, len(a.calls))
+	for _, c := range a.calls {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pc < out[j].pc })
+	return out
+}
+
+// dedupedStores collapses the recorded constant SSTOREs into per-slot
+// assignments, last write winning, in slot order.
+func dedupedStores(a *analysis) []StorageSlot {
+	bySlot := make(map[string]StorageSlot)
+	var order []string
+	for _, s := range a.stores {
+		key := s.slot.Text(16)
+		if _, ok := bySlot[key]; !ok {
+			order = append(order, key)
+		}
+		bySlot[key] = StorageSlot{Slot: s.slot, Value: s.val}
+	}
+	out := make([]StorageSlot, 0, len(order))
+	for _, key := range order {
+		out = append(out, bySlot[key])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot.Cmp(out[j].Slot) < 0 })
+	return out
+}
+
+// carveRuntime recovers the deployed runtime from initcode by matching
+// the constructor's constant CODECOPY against its RETURN region.
+func carveRuntime(initcode []byte, a *analysis) ([]byte, error) {
+	for _, ret := range a.returns {
+		if ret.size <= 0 {
+			continue
+		}
+		for _, cp := range a.copies {
+			if cp.memOff > ret.off || ret.off+ret.size > cp.memOff+cp.size {
+				continue
+			}
+			start := cp.codeOff + (ret.off - cp.memOff)
+			end := start + ret.size
+			if start < 0 || end > int64(len(initcode)) {
+				continue
+			}
+			return initcode[start:end], nil
+		}
+	}
+	return nil, fmt.Errorf("evmstatic: no constant CODECOPY/RETURN pair found in initcode")
+}
+
+// selectorOrder returns the dispatch-recovered selector edges in code
+// order of the deciding JUMPI, deduplicating selectors.
+func selectorOrder(a *analysis) []selEdge {
+	edges := make([]selEdge, 0, len(a.selEdges))
+	for _, e := range a.selEdges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pc < edges[j].pc })
+	var out []selEdge
+	seen := make(map[[4]byte]bool)
+	for _, e := range edges {
+		if !seen[e.sel] {
+			seen[e.sel] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package evmstatic_test
+
+import (
+	"testing"
+
+	"repro/internal/contracts"
+	"repro/internal/evmstatic"
+)
+
+// seedCorpus adds the runtime and initcode of every template style to
+// the fuzz corpus, so the fuzzer starts from realistic dispatchers.
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	f.Add([]byte{})
+	f.Add([]byte{0x60})       // truncated PUSH1
+	f.Add([]byte{0x7f, 0x00}) // truncated PUSH32
+	for _, style := range []contracts.Style{
+		contracts.StyleClaim, contracts.StyleFallback, contracts.StyleNetworkMerge,
+	} {
+		spec := testSpec(style)
+		runtime, err := contracts.Runtime(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(runtime)
+		initcode, err := contracts.Deploy(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(initcode)
+	}
+}
+
+func FuzzDisassemble(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, code []byte) {
+		ins := evmstatic.Disassemble(code)
+		prev := -1
+		covered := 0
+		for _, in := range ins {
+			if in.PC <= prev {
+				t.Fatalf("PC %d after %d: not monotonic", in.PC, prev)
+			}
+			if in.PC != covered {
+				t.Fatalf("instruction at PC %d leaves gap after %d", in.PC, covered)
+			}
+			covered = in.PC + 1 + len(in.Operand)
+			prev = in.PC
+		}
+		if covered != len(code) {
+			t.Fatalf("instructions cover %d bytes of %d", covered, len(code))
+		}
+	})
+}
+
+func FuzzBuildCFG(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, code []byte) {
+		g := evmstatic.BuildCFG(code)
+		for i, b := range g.Blocks {
+			if b.Index != i {
+				t.Fatalf("block %d carries index %d", i, b.Index)
+			}
+			if b.Start >= b.End || b.End > len(g.Instrs) {
+				t.Fatalf("block %d has bad range [%d, %d) of %d", i, b.Start, b.End, len(g.Instrs))
+			}
+			if i > 0 && b.Start != g.Blocks[i-1].End {
+				t.Fatalf("block %d does not abut block %d", i, i-1)
+			}
+			if b.StartPC != g.Instrs[b.Start].PC {
+				t.Fatalf("block %d StartPC %d != first instruction PC %d", i, b.StartPC, g.Instrs[b.Start].PC)
+			}
+			for _, s := range b.Succs {
+				if s < 0 || s >= len(g.Blocks) {
+					t.Fatalf("block %d has out-of-range successor %d", i, s)
+				}
+			}
+		}
+		// The full static analysis must also never panic on junk.
+		evmstatic.AnalyzeRuntime(code, nil)
+	})
+}

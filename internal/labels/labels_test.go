@@ -7,9 +7,9 @@ import (
 )
 
 var (
-	a1 = ethtypes.MustAddress("0x1111111111111111111111111111111111111111")
-	a2 = ethtypes.MustAddress("0x2222222222222222222222222222222222222222")
-	a3 = ethtypes.MustAddress("0x3333333333333333333333333333333333333333")
+	a1 = ethtypes.Addr("0x1111111111111111111111111111111111111111")
+	a2 = ethtypes.Addr("0x2222222222222222222222222222222222222222")
+	a3 = ethtypes.Addr("0x3333333333333333333333333333333333333333")
 )
 
 func TestAddAndQuery(t *testing.T) {

@@ -10,8 +10,8 @@ import (
 	"repro/internal/ethtypes"
 )
 
-var usdc = ethtypes.MustAddress("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
-var bayc = ethtypes.MustAddress("0xbc4ca0eda7647a8ab7c2061c2e118a18a936f13d")
+var usdc = ethtypes.Addr("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
+var bayc = ethtypes.Addr("0xbc4ca0eda7647a8ab7c2061c2e118a18a936f13d")
 
 func mid2023() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }
 
@@ -63,7 +63,7 @@ func TestValueUSD(t *testing.T) {
 }
 
 func bayc2() ethtypes.Address {
-	return ethtypes.MustAddress("0x0000000000000000000000000000000000000bad")
+	return ethtypes.Addr("0x0000000000000000000000000000000000000bad")
 }
 
 func TestEtherForUSDInverts(t *testing.T) {

@@ -106,7 +106,7 @@ func (t *ERC20) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelTransfer:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		to := args[0].(ethtypes.Address)
 		amount := ethtypes.WeiFromBig(args[1].(*big.Int))
@@ -118,7 +118,7 @@ func (t *ERC20) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelTransferFrom:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		from := args[0].(ethtypes.Address)
 		to := args[1].(ethtypes.Address)
@@ -139,7 +139,7 @@ func (t *ERC20) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelApprove:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		spender := args[0].(ethtypes.Address)
 		amount := ethtypes.WeiFromBig(args[1].(*big.Int))
@@ -155,7 +155,7 @@ func (t *ERC20) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelPermit:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		owner := args[0].(ethtypes.Address)
 		spender := args[1].(ethtypes.Address)
@@ -172,7 +172,7 @@ func (t *ERC20) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelBalanceOf:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		bal := env.StorageGet(balanceKey(args[0].(ethtypes.Address)))
 		return bal[:], nil
@@ -180,7 +180,7 @@ func (t *ERC20) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelAllowance:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.AddressT}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		al := env.StorageGet(allowanceKey(args[0].(ethtypes.Address), args[1].(ethtypes.Address)))
 		return al[:], nil
@@ -191,7 +191,7 @@ func (t *ERC20) Run(env *chain.CallEnv) ([]byte, error) {
 		}
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		to := args[0].(ethtypes.Address)
 		amount := ethtypes.WeiFromBig(args[1].(*big.Int))

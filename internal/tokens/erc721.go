@@ -72,7 +72,7 @@ func (t *ERC721) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelOwnerOf:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		owner := env.StorageGet(ownerKey(args[0].(*big.Int).Uint64()))
 		return owner[:], nil
@@ -80,7 +80,7 @@ func (t *ERC721) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelTransferFrom:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		from := args[0].(ethtypes.Address)
 		to := args[1].(ethtypes.Address)
@@ -104,7 +104,7 @@ func (t *ERC721) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelApprove:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		spender := args[0].(ethtypes.Address)
 		id := args[1].(*big.Int).Uint64()
@@ -122,7 +122,7 @@ func (t *ERC721) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelSetApprovalForAll:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.BoolT}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		op := args[0].(ethtypes.Address)
 		approved := args[1].(bool)
@@ -141,7 +141,7 @@ func (t *ERC721) Run(env *chain.CallEnv) ([]byte, error) {
 	case SelIsApprovedForAll:
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.AddressT}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		v := env.StorageGet(operatorKey(args[0].(ethtypes.Address), args[1].(ethtypes.Address)))
 		return v[:], nil
@@ -152,7 +152,7 @@ func (t *ERC721) Run(env *chain.CallEnv) ([]byte, error) {
 		}
 		args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T}, env.Input[4:])
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 		}
 		to := args[0].(ethtypes.Address)
 		id := args[1].(*big.Int).Uint64()

@@ -45,7 +45,7 @@ func (m *Marketplace) Run(env *chain.CallEnv) ([]byte, error) {
 	}
 	args, err := ethabi.Decode([]ethabi.Type{ethabi.AddressT, ethabi.Uint256T, ethabi.Uint256T}, env.Input[4:])
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadCalldata, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadCalldata, err)
 	}
 	token := args[0].(ethtypes.Address)
 	id := args[1].(*big.Int)

@@ -12,13 +12,13 @@ import (
 )
 
 var (
-	admin    = ethtypes.MustAddress("0xad0000000000000000000000000000000000000d")
-	victim   = ethtypes.MustAddress("0x1c00000000000000000000000000000000000001")
-	operator = ethtypes.MustAddress("0x0e00000000000000000000000000000000000002")
-	drainer  = ethtypes.MustAddress("0xd000000000000000000000000000000000000003")
-	usdcAddr = ethtypes.MustAddress("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
-	nftAddr  = ethtypes.MustAddress("0xbc4ca0eda7647a8ab7c2061c2e118a18a936f13d")
-	mktAddr  = ethtypes.MustAddress("0x000000000000ad05ccc4f10045630fb830b95127")
+	admin    = ethtypes.Addr("0xad0000000000000000000000000000000000000d")
+	victim   = ethtypes.Addr("0x1c00000000000000000000000000000000000001")
+	operator = ethtypes.Addr("0x0e00000000000000000000000000000000000002")
+	drainer  = ethtypes.Addr("0xd000000000000000000000000000000000000003")
+	usdcAddr = ethtypes.Addr("0xa0b86991c6218b36c1d19d4a2e9eb0ce3606eb48")
+	nftAddr  = ethtypes.Addr("0xbc4ca0eda7647a8ab7c2061c2e118a18a936f13d")
+	mktAddr  = ethtypes.Addr("0x000000000000ad05ccc4f10045630fb830b95127")
 )
 
 func ts() time.Time { return time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC) }

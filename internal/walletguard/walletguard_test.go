@@ -14,10 +14,10 @@ import (
 )
 
 var (
-	operator  = ethtypes.MustAddress("0x0e00000000000000000000000000000000000001")
-	affiliate = ethtypes.MustAddress("0xaf00000000000000000000000000000000000002")
-	victim    = ethtypes.MustAddress("0x1c00000000000000000000000000000000000003")
-	friend    = ethtypes.MustAddress("0xf100000000000000000000000000000000000004")
+	operator  = ethtypes.Addr("0x0e00000000000000000000000000000000000001")
+	affiliate = ethtypes.Addr("0xaf00000000000000000000000000000000000002")
+	victim    = ethtypes.Addr("0x1c00000000000000000000000000000000000003")
+	friend    = ethtypes.Addr("0xf100000000000000000000000000000000000004")
 )
 
 func ts() time.Time { return time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC) }

@@ -105,9 +105,13 @@ func Build(plan *Plan) (*World, error) {
 	}
 	b := &builder{w: w, rng: rng}
 	b.setupInfrastructure()
-	b.deployContracts()
+	if err := b.deployContracts(); err != nil {
+		return nil, err
+	}
 	b.plantOperatorLinks()
-	b.deploySplitters()
+	if err := b.deploySplitters(); err != nil {
+		return nil, err
+	}
 	if err := b.runTimeline(); err != nil {
 		return nil, err
 	}
@@ -164,7 +168,7 @@ func (b *builder) setupInfrastructure() {
 
 // deployContracts creates every profit-sharing contract at its planned
 // start time and records ground truth.
-func (b *builder) deployContracts() {
+func (b *builder) deployContracts() error {
 	w := b.w
 	w.Truth.ContractAddrs = make([][]ethtypes.Address, len(w.Plan.Families))
 	for fi, fam := range w.Plan.Families {
@@ -187,18 +191,19 @@ func (b *builder) deployContracts() {
 			}
 			initcode, err := contracts.Deploy(spec)
 			if err != nil {
-				panic(fmt.Sprintf("worldgen: bad contract spec: %v", err))
+				return fmt.Errorf("worldgen: bad contract spec: %w", err)
 			}
 			deployer := fam.Operators[cp.Operator].Addr
 			_, rs := w.Chain.Mine(cp.Start, &chain.Transaction{From: deployer, Data: initcode})
 			if !rs[0].Status {
-				panic("worldgen: contract deployment failed: " + rs[0].Err)
+				return fmt.Errorf("worldgen: contract deployment failed: %s", rs[0].Err)
 			}
 			addr := rs[0].ContractAddress
 			w.Truth.ContractAddrs[fi][ci] = addr
 			w.Truth.ContractFamily[addr] = fi
 		}
 	}
+	return nil
 }
 
 // plantOperatorLinks executes the planned clustering edges.
@@ -231,7 +236,7 @@ func (b *builder) plantOperatorLinks() {
 }
 
 // deploySplitters creates the benign payment splitters.
-func (b *builder) deploySplitters() {
+func (b *builder) deploySplitters() error {
 	w := b.w
 	for i := range w.Plan.Benign.Splitters {
 		sp := &w.Plan.Benign.Splitters[i]
@@ -244,7 +249,7 @@ func (b *builder) deploySplitters() {
 		}
 		initcode, err := contracts.Deploy(spec)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("worldgen: bad splitter spec: %w", err)
 		}
 		_, rs := w.Chain.Mine(sp.Payments[0].Add(-24*time.Hour),
 			&chain.Transaction{From: sp.Payer, Data: initcode})
@@ -254,6 +259,7 @@ func (b *builder) deploySplitters() {
 			w.Truth.CollidingSplitters = append(w.Truth.CollidingSplitters, addr)
 		}
 	}
+	return nil
 }
 
 // timelineEvent is anything scheduled on the world clock.

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-2 verification gate. Tier-1 (go build ./... && go test ./...) is
+# the minimum bar for every commit; this script layers the slower checks
+# on top: vet, the race detector, and the repo's own linter.
+#
+# Usage: ./scripts/check.sh   (from the repository root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> reprolint ./..."
+go run ./cmd/reprolint ./...
+
+echo "All tier-2 checks passed."
