@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ethtypes"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rpc"
 	"repro/internal/worldgen"
@@ -29,17 +30,33 @@ import (
 
 func main() {
 	var (
-		rpcURL  = flag.String("rpc", "", "chainsim JSON-RPC endpoint (empty = generate a local world)")
-		seed    = flag.Uint64("seed", 1910, "local world seed")
-		scale   = flag.Float64("scale", 0.02, "local world scale")
-		outPath = flag.String("o", "", "output path for dataset export (dataset subcommand)")
-		asCSV   = flag.Bool("csv", false, "export the dataset as CSV instead of JSON")
-		verbose = flag.Bool("v", false, "trace pipeline progress")
+		rpcURL      = flag.String("rpc", "", "chainsim JSON-RPC endpoint (empty = generate a local world)")
+		seed        = flag.Uint64("seed", 1910, "local world seed")
+		scale       = flag.Float64("scale", 0.02, "local world scale")
+		outPath     = flag.String("o", "", "output path for dataset export (dataset subcommand)")
+		asCSV       = flag.Bool("csv", false, "export the dataset as CSV instead of JSON")
+		verbose     = flag.Bool("v", false, "trace pipeline progress")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the duration of the run")
+		traceRun    = flag.Bool("trace", false, "record tracing spans and structured progress logs (stderr); prints span tree and metrics summary at the end")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "study"
+	}
+
+	reg := obs.Default()
+	var spans *obs.Recorder
+	if *traceRun {
+		spans = obs.NewRecorder()
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("obs: serving http://%s/metrics (+ /debug/vars, /debug/pprof)", addr)
 	}
 
 	// inspect works offline from an exported file; everything else
@@ -52,10 +69,31 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *verbose {
-			client.Trace = func(format string, args ...any) { log.Printf(format, args...) }
+		client.Metrics = reg
+		client.Spans = spans
+		if *verbose || *traceRun {
+			client.Logger = obs.New(os.Stderr, obs.LevelDebug)
+		}
+		// Remote sources additionally report wire-level latency.
+		if rc, ok := client.Source().(*rpc.Client); ok {
+			rc.Metrics = reg
 		}
 	}
+	defer func() {
+		if *metricsAddr == "" && !*traceRun {
+			return
+		}
+		fmt.Println("\n== Observability summary ==")
+		if err := reg.WriteSummary(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if spans != nil {
+			fmt.Println("\nrecorded spans:")
+			if err := spans.WriteTree(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
 
 	switch cmd {
 	case "dataset":

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ethtypes"
 	"repro/internal/flowgraph"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sitehunt"
 	"repro/internal/toolkit"
@@ -34,12 +35,30 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 1910, "world seed")
-		scale  = flag.Float64("scale", 0.1, "on-chain population scale (1.0 = paper scale)")
-		nSites = flag.Int("sites", 3300, "phishing websites for the §8.2 experiment (paper: 32,819)")
+		seed        = flag.Uint64("seed", 1910, "world seed")
+		scale       = flag.Float64("scale", 0.1, "on-chain population scale (1.0 = paper scale)")
+		nSites      = flag.Int("sites", 3300, "phishing websites for the §8.2 experiment (paper: 32,819)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the duration of the run")
+		traceRun    = flag.Bool("trace", false, "record tracing spans and structured progress logs (stderr); prints the span tree at the end")
 	)
 	flag.Parse()
 	w := os.Stdout
+
+	reg := obs.Default()
+	var spans *obs.Recorder
+	var logger *obs.Logger
+	if *traceRun {
+		spans = obs.NewRecorder()
+		logger = obs.New(os.Stderr, obs.LevelDebug)
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "[obs] serving http://%s/metrics (+ /debug/vars, /debug/pprof)\n", addr)
+	}
 
 	fmt.Fprintf(w, "DaaS reproduction harness — seed %d, chain scale %.2f, %d phishing sites\n",
 		*seed, *scale, *nSites)
@@ -56,6 +75,9 @@ func main() {
 	fmt.Fprintf(w, "[world] %d transactions in %s\n\n", world.Chain.TxCount(), time.Since(start).Round(time.Millisecond))
 
 	client := daas.New(core.LocalSource{Chain: world.Chain}, world.Labels, world.Oracle)
+	client.Metrics = reg
+	client.Logger = logger
+	client.Spans = spans
 	start = time.Now()
 	study, err := client.StudyWith(daas.StudyOptions{
 		DatasetEnd:         worldgen.DatasetEnd,
@@ -78,7 +100,28 @@ func main() {
 	sectionTable3(w, world, study)
 	sectionSec81(w, study)
 	sectionLaundering(w, world)
-	sectionSec82AndTable4(w, *seed, *nSites)
+	sectionSec82AndTable4(w, *seed, *nSites, reg, logger)
+
+	if *metricsAddr != "" || *traceRun {
+		sectionObservability(w, reg, spans)
+	}
+}
+
+// sectionObservability prints the end-of-run metrics summary — the
+// same numbers /metrics serves — and the recorded span tree.
+func sectionObservability(w *os.File, reg *obs.Registry, spans *obs.Recorder) {
+	h(w, "Observability: End-of-run Metrics Summary")
+	if err := reg.WriteSummary(w); err != nil {
+		log.Fatal(err)
+	}
+	if spans != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "recorded spans:")
+		if err := spans.WriteTree(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintln(w)
 }
 
 // sectionLaundering quantifies the §8.1 cash-out observation with the
@@ -288,7 +331,7 @@ func sectionSec81(w *os.File, study *daas.Study) {
 	fmt.Fprintln(w)
 }
 
-func sectionSec82AndTable4(w *os.File, seed uint64, nSites int) {
+func sectionSec82AndTable4(w *os.File, seed uint64, nSites int, reg *obs.Registry, logger *obs.Logger) {
 	h(w, "§8.2 + Table 4: Toolkit-based Website Detection")
 	fleet := website.GenerateFleet(website.FleetConfig{
 		Seed: seed, Phishing: nSites, Benign: nSites / 3, Bait: nSites / 20,
@@ -314,10 +357,14 @@ func sectionSec82AndTable4(w *os.File, seed uint64, nSites int) {
 	ctSrv := httptest.NewServer(ctLog.Handler())
 	defer ctSrv.Close()
 
+	ctClient := ct.NewClient(ctSrv.URL)
+	ctClient.Metrics = reg
 	detector := &sitehunt.Detector{
-		CT:      ct.NewClient(ctSrv.URL),
+		CT:      ctClient,
 		Crawler: crawler.New(hostSrv.URL),
 		Corpus:  toolkit.BuildCorpus(seed, 867),
+		Metrics: reg,
+		Logger:  logger,
 	}
 	start := time.Now()
 	rep, err := detector.Run()

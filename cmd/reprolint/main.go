@@ -8,7 +8,13 @@
 //     code does not write to stdout;
 //   - fmt.Errorf calls that pass an error argument must wrap it with
 //     %w, not stringify it with %v/%s/%q — otherwise errors.Is/As
-//     cannot see through the wrap.
+//     cannot see through the wrap;
+//   - no direct progress logging in internal/ packages outside
+//     internal/obs: fmt.Fprint* to os.Stdout/os.Stderr and any use of
+//     the std log package must route through obs.Logger instead, so
+//     every progress line carries structure and honors the configured
+//     sink. (Writing tables to a caller-provided io.Writer is fine —
+//     the rule only fires on the process-global streams.)
 //
 // Usage: go run ./cmd/reprolint ./...
 //
@@ -157,6 +163,7 @@ func lintPackage(p *listedPackage, imp types.Importer) ([]string, error) {
 		info:        info,
 		banPanic:    strings.HasPrefix(rel, "internal/"),
 		banPrinting: !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/"),
+		banProgress: strings.HasPrefix(rel, "internal/") && rel != "internal/obs",
 	}
 	for _, f := range files {
 		ast.Inspect(f, l.inspect)
@@ -170,6 +177,7 @@ type linter struct {
 	info        *types.Info
 	banPanic    bool
 	banPrinting bool
+	banProgress bool
 	findings    []string
 }
 
@@ -193,6 +201,24 @@ func (l *linter) inspect(n ast.Node) bool {
 	}
 
 	fn, pkg := l.calledFunc(call)
+
+	// Rule 4: no progress logging in internal/ outside internal/obs —
+	// fmt.Fprint* aimed at the process-global streams, or the std log
+	// package (which writes to stderr), must go through obs.Logger.
+	if l.banProgress {
+		if pkg == "log" {
+			l.reportf(call.Pos(), "log.%s in internal package: route progress logging through internal/obs (obs.Logger)", fn)
+		}
+		if pkg == "fmt" && len(call.Args) > 0 {
+			switch fn {
+			case "Fprint", "Fprintf", "Fprintln":
+				if stream := l.stdStream(call.Args[0]); stream != "" {
+					l.reportf(call.Pos(), "fmt.%s to os.%s in internal package: route progress logging through internal/obs (obs.Logger)", fn, stream)
+				}
+			}
+		}
+	}
+
 	if pkg != "fmt" {
 		return true
 	}
@@ -210,6 +236,23 @@ func (l *linter) inspect(n ast.Node) bool {
 		l.checkErrorf(call)
 	}
 	return true
+}
+
+// stdStream reports whether the expression is os.Stdout or os.Stderr,
+// returning the variable name ("" otherwise).
+func (l *linter) stdStream(e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := l.info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return ""
+	}
+	if name := obj.Name(); name == "Stdout" || name == "Stderr" {
+		return name
+	}
+	return ""
 }
 
 // calledFunc resolves a call to (function name, defining package name)

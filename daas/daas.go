@@ -15,6 +15,7 @@
 package daas
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/ethtypes"
 	"repro/internal/labels"
 	"repro/internal/measure"
+	"repro/internal/obs"
 	"repro/internal/prices"
 	"repro/internal/rpc"
 )
@@ -66,7 +68,19 @@ type Client struct {
 	// Classifier lets callers tune ratio set and tolerance before
 	// calling BuildDataset.
 	Classifier Classifier
-	// Trace, when set, receives pipeline progress lines.
+	// Logger receives structured pipeline progress events; when nil the
+	// legacy Trace callback (if any) is adapted instead.
+	Logger *obs.Logger
+	// Metrics, when set, receives per-stage counters and latency
+	// histograms from every pipeline layer; the chain source is then
+	// transparently wrapped so per-method request metrics are recorded
+	// whether it is in-process or remote.
+	Metrics *obs.Registry
+	// Spans, when set, records hierarchical tracing spans across the
+	// dataset build.
+	Spans *obs.Recorder
+	// Trace, when set, receives pipeline progress lines. Deprecated
+	// shim: new code should set Logger.
 	Trace func(format string, args ...any)
 }
 
@@ -102,12 +116,26 @@ func (c *Client) Labels() *labels.Directory { return c.labels }
 // BuildDataset runs seed collection and snowball expansion (§5.1).
 func (c *Client) BuildDataset() (*Dataset, error) {
 	p := &core.Pipeline{
-		Source:     c.source,
+		Source:     c.instrumentedSource(),
 		Labels:     c.labels,
 		Classifier: c.Classifier,
+		Logger:     c.Logger,
+		Metrics:    c.Metrics,
+		Spans:      c.Spans,
 		Trace:      c.Trace,
 	}
 	return p.Build()
+}
+
+// instrumentedSource wraps the chain source with per-method request
+// metrics when observability is enabled. Source() keeps returning the
+// raw source, so type assertions on it (e.g. for local-chain access)
+// are unaffected.
+func (c *Client) instrumentedSource() core.ChainSource {
+	if c.Metrics == nil {
+		return c.source
+	}
+	return core.NewInstrumentedSource(c.source, c.Metrics)
 }
 
 // Validate runs the §5.2 sampling validation over a dataset.
@@ -118,7 +146,7 @@ func (c *Client) Validate(ds *Dataset) (*ValidationReport, error) {
 
 // Cluster groups the dataset into DaaS families (§7.1).
 func (c *Client) Cluster(ds *Dataset) ([]*Family, error) {
-	cl := cluster.Clusterer{Source: c.source, Labels: c.labels}
+	cl := cluster.Clusterer{Source: c.instrumentedSource(), Labels: c.labels, Metrics: c.Metrics}
 	return cl.Cluster(ds)
 }
 
@@ -161,21 +189,34 @@ func (c *Client) StudyWith(opts StudyOptions) (*Study, error) {
 	if c.oracle == nil {
 		return nil, fmt.Errorf("daas: client has no price oracle")
 	}
+	ctx := context.Background()
+	if c.Spans != nil {
+		ctx = obs.WithRecorder(ctx, c.Spans)
+	}
 	ds, err := c.BuildDataset()
 	if err != nil {
 		return nil, fmt.Errorf("daas: building dataset: %w", err)
 	}
 	out := &Study{Dataset: ds}
 	if !opts.SkipValidation {
-		if out.Validation, err = c.Validate(ds); err != nil {
+		_, sp := obs.Start(ctx, "study.validate")
+		out.Validation, err = c.Validate(ds)
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("daas: validating: %w", err)
 		}
 	}
-	if out.Families, err = c.Cluster(ds); err != nil {
+	_, sp := obs.Start(ctx, "study.cluster")
+	out.Families, err = c.Cluster(ds)
+	sp.SetAttr("families", len(out.Families))
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("daas: clustering: %w", err)
 	}
-	an := &measure.Analyzer{Source: c.source, Oracle: c.oracle, Labels: c.labels}
+	_, sp = obs.Start(ctx, "study.measure")
+	an := &measure.Analyzer{Source: c.instrumentedSource(), Oracle: c.oracle, Labels: c.labels}
 	corpus, err := an.BuildCorpus(ds)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("daas: measuring: %w", err)
 	}

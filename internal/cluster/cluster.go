@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ethtypes"
 	"repro/internal/labels"
+	"repro/internal/obs"
 )
 
 // Family is one recovered DaaS family.
@@ -41,6 +42,9 @@ type Clusterer struct {
 	// DisableDirectEdges drops direct operator-to-operator transfers;
 	// used by the ablation bench.
 	DisableDirectEdges bool
+	// Metrics, when set, records union-find merge counts per §7.1 edge
+	// kind and the resulting family count (daas_cluster_* names).
+	Metrics *obs.Registry
 }
 
 // Cluster runs the two clustering steps and returns families sorted by
@@ -49,6 +53,8 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 	if c.Source == nil {
 		return nil, fmt.Errorf("cluster: Source is required")
 	}
+	merges := c.Metrics.CounterVec("daas_cluster_union_merges_total", "operator union-find merges per §7.1 edge kind", "edge")
+	familyGauge := c.Metrics.Gauge("daas_cluster_families", "recovered DaaS families")
 	ops := make([]ethtypes.Address, 0, len(ds.Operators))
 	for _, rec := range ds.SortedOperators() {
 		ops = append(ops, rec.Address)
@@ -76,7 +82,9 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 				_, fromOp := ds.Operators[from]
 				_, toOp := ds.Operators[to]
 				if fromOp && toOp {
-					uf.union(from, to)
+					if uf.union(from, to) {
+						merges.With("direct").Inc()
+					}
 					continue
 				}
 			}
@@ -97,7 +105,9 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 				continue
 			}
 			if first, seen := sharedOwner[counterparty]; seen {
-				uf.union(first, op)
+				if uf.union(first, op) {
+					merges.With("shared_counterparty").Inc()
+				}
 			} else {
 				sharedOwner[counterparty] = op
 			}
@@ -169,6 +179,7 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 		c.nameFamily(fam, ds)
 	}
 
+	familyGauge.Set(int64(len(byRoot)))
 	out := make([]*Family, 0, len(byRoot))
 	for _, fam := range byRoot {
 		out = append(out, fam)
@@ -263,13 +274,14 @@ func (uf *unionFind) find(a ethtypes.Address) (ethtypes.Address, bool) {
 	return root, true
 }
 
-// union merges the sets of a and b; unknown members are ignored unless
-// both are known.
-func (uf *unionFind) union(a, b ethtypes.Address) {
+// union merges the sets of a and b, reporting whether two distinct sets
+// were actually joined; unknown members are ignored unless both are
+// known.
+func (uf *unionFind) union(a, b ethtypes.Address) bool {
 	ra, okA := uf.find(a)
 	rb, okB := uf.find(b)
 	if !okA || !okB || ra == rb {
-		return
+		return false
 	}
 	if uf.rank[ra] < uf.rank[rb] {
 		ra, rb = rb, ra
@@ -278,6 +290,7 @@ func (uf *unionFind) union(a, b ethtypes.Address) {
 	if uf.rank[ra] == uf.rank[rb] {
 		uf.rank[ra]++
 	}
+	return true
 }
 
 func sortAddrs(addrs []ethtypes.Address) {

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ethtypes"
+	"repro/internal/obs"
+
+	"repro/internal/chain"
+)
+
+// InstrumentedSource decorates a ChainSource with per-method request
+// counters and latency histograms, so both the in-process simulator
+// and a remote JSON-RPC endpoint report through the same metric names:
+//
+//	daas_chain_requests_total{method=…}
+//	daas_chain_request_errors_total{method=…}
+//	daas_chain_request_duration_seconds{method=…}
+type InstrumentedSource struct {
+	src      ChainSource
+	requests *obs.CounterVec
+	errors   *obs.CounterVec
+	latency  *obs.HistogramVec
+}
+
+// NewInstrumentedSource wraps src, registering its instruments in r.
+func NewInstrumentedSource(src ChainSource, r *obs.Registry) *InstrumentedSource {
+	return &InstrumentedSource{
+		src:      src,
+		requests: r.CounterVec("daas_chain_requests_total", "chain source requests by method", "method"),
+		errors:   r.CounterVec("daas_chain_request_errors_total", "failed chain source requests by method", "method"),
+		latency:  r.HistogramVec("daas_chain_request_duration_seconds", "chain source request latency by method", nil, "method"),
+	}
+}
+
+// Unwrap returns the underlying source.
+func (s *InstrumentedSource) Unwrap() ChainSource { return s.src }
+
+// observe records one call's outcome.
+func (s *InstrumentedSource) observe(method string, start time.Time, err error) {
+	s.requests.With(method).Inc()
+	s.latency.With(method).ObserveDuration(time.Since(start))
+	if err != nil {
+		s.errors.With(method).Inc()
+	}
+}
+
+// TransactionsOf implements ChainSource.
+func (s *InstrumentedSource) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
+	start := time.Now()
+	out, err := s.src.TransactionsOf(addr)
+	s.observe("TransactionsOf", start, err)
+	return out, err
+}
+
+// Transaction implements ChainSource.
+func (s *InstrumentedSource) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	start := time.Now()
+	out, err := s.src.Transaction(h)
+	s.observe("Transaction", start, err)
+	return out, err
+}
+
+// Receipt implements ChainSource.
+func (s *InstrumentedSource) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	start := time.Now()
+	out, err := s.src.Receipt(h)
+	s.observe("Receipt", start, err)
+	return out, err
+}
+
+// IsContract implements ChainSource.
+func (s *InstrumentedSource) IsContract(addr ethtypes.Address) (bool, error) {
+	start := time.Now()
+	out, err := s.src.IsContract(addr)
+	s.observe("IsContract", start, err)
+	return out, err
+}
+
+// Code implements CodeSource when the underlying source does; the
+// static pre-filter treats the error as "keep the candidate".
+func (s *InstrumentedSource) Code(addr ethtypes.Address) ([]byte, error) {
+	cs, ok := s.src.(CodeSource)
+	if !ok {
+		return nil, fmt.Errorf("core: source %T does not serve bytecode", s.src)
+	}
+	start := time.Now()
+	out, err := cs.Code(addr)
+	s.observe("Code", start, err)
+	return out, err
+}

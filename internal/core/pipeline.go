@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/chain"
 	"repro/internal/ethtypes"
 	"repro/internal/labels"
+	"repro/internal/obs"
 )
 
 // Pipeline runs the four-step dataset construction of §5.1.
@@ -33,8 +36,67 @@ type Pipeline struct {
 	// keeps everything sequential. Classification itself stays
 	// deterministic regardless.
 	Concurrency int
-	// Trace, when set, receives progress lines.
+	// Logger receives structured progress events. When nil, the legacy
+	// Trace callback (if any) is adapted into a logger, so existing
+	// Trace users keep working unchanged.
+	Logger *obs.Logger
+	// Metrics, when set, receives per-stage counters, gauges, and
+	// histograms (see the README's Observability section for names).
+	Metrics *obs.Registry
+	// Spans, when set, records hierarchical tracing spans for the build
+	// and each expansion iteration.
+	Spans *obs.Recorder
+	// Trace, when set, receives progress lines. Deprecated shim: new
+	// code should set Logger; Trace is wrapped in an obs.Logger adapter
+	// when Logger is nil.
 	Trace func(format string, args ...any)
+
+	traceOnce sync.Once
+	traceLog  *obs.Logger
+	pm        pipelineMetrics
+}
+
+// pipelineMetrics caches the pipeline's instruments so hot loops touch
+// only atomics. All fields are nil (no-op) when Metrics is unset.
+type pipelineMetrics struct {
+	iterations      *obs.Counter
+	frontier        *obs.Gauge
+	accountsScanned *obs.Counter
+	txFetched       *obs.Counter
+	txClassified    *obs.Counter
+	prefilterSkips  *obs.Counter
+	splits          *obs.CounterVec
+	contracts       *obs.CounterVec
+	fetchBatch      *obs.Histogram
+	fetchWorkers    *obs.Gauge
+}
+
+func newPipelineMetrics(r *obs.Registry) pipelineMetrics {
+	return pipelineMetrics{
+		iterations:      r.Counter("daas_pipeline_iterations_total", "expansion iterations executed (§5.1 step 4)"),
+		frontier:        r.Gauge("daas_pipeline_frontier_accounts", "accounts in the most recent expansion frontier"),
+		accountsScanned: r.Counter("daas_pipeline_accounts_scanned_total", "operator/affiliate accounts whose histories were walked"),
+		txFetched:       r.Counter("daas_pipeline_tx_fetched_total", "transactions (with receipts) fetched from the chain source"),
+		txClassified:    r.Counter("daas_pipeline_tx_classified_total", "transactions run through the profit-sharing classifier"),
+		prefilterSkips:  r.Counter("daas_pipeline_prefilter_skips_total", "candidate contracts skipped by the static pre-filter"),
+		splits:          r.CounterVec("daas_classifier_splits_total", "profit-sharing splits matched per operator-share ratio (§4.3)", "ratio_pm"),
+		contracts:       r.CounterVec("daas_pipeline_contracts_admitted_total", "profit-sharing contracts admitted to the dataset", "discovery"),
+		fetchBatch:      r.Histogram("daas_pipeline_fetch_batch_size", "transactions per fetchAll batch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}),
+		fetchWorkers:    r.Gauge("daas_pipeline_fetch_workers", "parallel fetch workers used by the most recent batch"),
+	}
+}
+
+// logger returns the structured logger, adapting the legacy Trace
+// callback when no Logger is set. A nil result is safe to log to.
+func (p *Pipeline) logger() *obs.Logger {
+	if p.Logger != nil {
+		return p.Logger
+	}
+	if p.Trace == nil {
+		return nil
+	}
+	p.traceOnce.Do(func() { p.traceLog = obs.NewCallback(p.Trace) })
+	return p.traceLog
 }
 
 // fetched pairs one transaction with its receipt.
@@ -47,24 +109,25 @@ type fetched struct {
 // in order, using up to Concurrency parallel fetchers.
 func (p *Pipeline) fetchAll(hashes []ethtypes.Hash) ([]fetched, error) {
 	out := make([]fetched, len(hashes))
+	if len(hashes) > 0 {
+		p.pm.fetchBatch.Observe(float64(len(hashes)))
+	}
 	workers := p.Concurrency
 	if workers <= 1 || len(hashes) < 2 {
+		p.pm.fetchWorkers.Set(1)
 		for i, h := range hashes {
-			tx, err := p.Source.Transaction(h)
+			pair, err := p.fetchOne(h)
 			if err != nil {
 				return nil, err
 			}
-			rec, err := p.Source.Receipt(h)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = fetched{tx, rec}
+			out[i] = pair
 		}
 		return out, nil
 	}
 	if workers > len(hashes) {
 		workers = len(hashes)
 	}
+	p.pm.fetchWorkers.Set(int64(workers))
 	var wg sync.WaitGroup
 	idx := make(chan int, len(hashes))
 	for i := range hashes {
@@ -77,17 +140,12 @@ func (p *Pipeline) fetchAll(hashes []ethtypes.Hash) ([]fetched, error) {
 		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				tx, err := p.Source.Transaction(hashes[i])
+				pair, err := p.fetchOne(hashes[i])
 				if err != nil {
 					errs[w] = err
 					return
 				}
-				rec, err := p.Source.Receipt(hashes[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = fetched{tx, rec}
+				out[i] = pair
 			}
 		}(w)
 	}
@@ -100,39 +158,86 @@ func (p *Pipeline) fetchAll(hashes []ethtypes.Hash) ([]fetched, error) {
 	return out, nil
 }
 
+// fetchOne retrieves one transaction+receipt pair, wrapping any failure
+// with the hash and method so a failed worker is attributable.
+func (p *Pipeline) fetchOne(h ethtypes.Hash) (fetched, error) {
+	tx, err := p.Source.Transaction(h)
+	if err != nil {
+		return fetched{}, fmt.Errorf("core: fetching transaction %s: %w", h, err)
+	}
+	rec, err := p.Source.Receipt(h)
+	if err != nil {
+		return fetched{}, fmt.Errorf("core: fetching receipt %s: %w", h, err)
+	}
+	p.pm.txFetched.Inc()
+	return fetched{tx, rec}, nil
+}
+
+// classify runs the classifier over one transaction, recording
+// per-ratio match outcomes.
+func (p *Pipeline) classify(tx *chain.Transaction, r *chain.Receipt) []Split {
+	p.pm.txClassified.Inc()
+	splits := p.Classifier.Classify(tx, r)
+	for _, sp := range splits {
+		p.pm.splits.With(strconv.FormatInt(sp.RatioPM, 10)).Inc()
+	}
+	return splits
+}
+
 // Build runs seed collection, seed dataset construction, and iterative
 // expansion, returning the final dataset.
 func (p *Pipeline) Build() (*Dataset, error) {
 	if p.Source == nil || p.Labels == nil {
 		return nil, fmt.Errorf("core: pipeline needs a Source and Labels")
 	}
+	p.pm = newPipelineMetrics(p.Metrics)
+	ctx := context.Background()
+	if p.Spans != nil {
+		ctx = obs.WithRecorder(ctx, p.Spans)
+	}
+	ctx, root := obs.Start(ctx, "pipeline.build")
+	defer root.End()
+
 	ds := NewDataset()
 	scannedAccounts := make(map[ethtypes.Address]bool)
 	classified := make(map[ethtypes.Hash]bool)
 
 	// Step 1: collect phishing reports from the public sources and keep
 	// the contracts.
+	_, collect := obs.Start(ctx, "pipeline.seed.collect")
 	var seedContracts []ethtypes.Address
 	for _, addr := range p.Labels.AllPhishing() {
 		isContract, err := p.Source.IsContract(addr)
 		if err != nil {
+			collect.End()
 			return nil, fmt.Errorf("core: step 1: %w", err)
 		}
 		if isContract {
 			seedContracts = append(seedContracts, addr)
 		}
 	}
-	p.tracef("step 1: %d labeled phishing contracts", len(seedContracts))
+	collect.SetAttr("contracts", len(seedContracts))
+	collect.End()
+	p.logger().Info("step 1: labeled phishing contracts collected", "contracts", len(seedContracts))
 
 	// Step 2 + 3: identify profit-sharing contracts among the reports
 	// and extract operator/affiliate accounts — the seed dataset.
+	_, absorb := obs.Start(ctx, "pipeline.seed.absorb")
 	for _, addr := range seedContracts {
 		if err := p.absorbContract(ds, addr, DiscoverySeed, classified); err != nil {
+			absorb.End()
 			return nil, fmt.Errorf("core: step 2: %w", err)
 		}
 	}
 	ds.SeedStats = ds.Stats()
-	p.tracef("step 3: seed dataset: %+v", ds.SeedStats)
+	absorb.SetAttr("contracts", ds.SeedStats.Contracts)
+	absorb.SetAttr("profit_txs", ds.SeedStats.ProfitTxs)
+	absorb.End()
+	p.logger().Info("step 3: seed dataset built",
+		"contracts", ds.SeedStats.Contracts,
+		"operators", ds.SeedStats.Operators,
+		"affiliates", ds.SeedStats.Affiliates,
+		"profit_txs", ds.SeedStats.ProfitTxs)
 
 	// Step 4: snowball expansion until fixpoint.
 	for iter := 0; iter < p.maxIter(); iter++ {
@@ -141,13 +246,20 @@ func (p *Pipeline) Build() (*Dataset, error) {
 		// affiliate account for profit-sharing transactions invoking
 		// unknown contracts.
 		frontier := p.unscannedAccounts(ds, scannedAccounts)
+		p.pm.frontier.Set(int64(len(frontier)))
 		if len(frontier) == 0 {
 			break
 		}
+		p.pm.iterations.Inc()
+		_, iterSpan := obs.Start(ctx, "pipeline.expand.iter")
+		iterSpan.SetAttr("iter", iter+1)
+		iterSpan.SetAttr("frontier", len(frontier))
 		for _, acct := range frontier {
 			scannedAccounts[acct] = true
+			p.pm.accountsScanned.Inc()
 			hashes, err := p.Source.TransactionsOf(acct)
 			if err != nil {
+				iterSpan.End()
 				return nil, fmt.Errorf("core: step 4: %w", err)
 			}
 			fresh := hashes[:0:0]
@@ -158,6 +270,7 @@ func (p *Pipeline) Build() (*Dataset, error) {
 			}
 			pairs, err := p.fetchAll(fresh)
 			if err != nil {
+				iterSpan.End()
 				return nil, err
 			}
 			for pi, h := range fresh {
@@ -165,7 +278,7 @@ func (p *Pipeline) Build() (*Dataset, error) {
 					continue // classified by an earlier absorb this pass
 				}
 				tx, r := pairs[pi].tx, pairs[pi].rec
-				splits := p.Classifier.Classify(tx, r)
+				splits := p.classify(tx, r)
 				if len(splits) == 0 {
 					continue
 				}
@@ -185,12 +298,22 @@ func (p *Pipeline) Build() (*Dataset, error) {
 					}
 				}
 				if err := p.absorbContract(ds, contract, DiscoveryExpansion, classified); err != nil {
+					iterSpan.End()
 					return nil, err
 				}
 			}
 		}
 		after := ds.Stats()
-		p.tracef("step 4 iteration %d: %+v", iter+1, after)
+		iterSpan.SetAttr("contracts", after.Contracts)
+		iterSpan.SetAttr("profit_txs", after.ProfitTxs)
+		iterSpan.End()
+		p.logger().Info("step 4: expansion iteration finished",
+			"iter", iter+1,
+			"frontier", len(frontier),
+			"contracts", after.Contracts,
+			"operators", after.Operators,
+			"affiliates", after.Affiliates,
+			"profit_txs", after.ProfitTxs)
 		if after == before {
 			break
 		}
@@ -239,7 +362,9 @@ func (p *Pipeline) absorbContract(ds *Dataset, addr ethtypes.Address, found Disc
 		return nil
 	}
 	if p.staticSkip(addr) {
-		p.tracef("static pre-filter: %s cannot split value, skipping history scan", addr.Short())
+		p.pm.prefilterSkips.Inc()
+		p.logger().Debug("static pre-filter: contract cannot split value, skipping history scan",
+			"contract", addr.Short())
 		return nil
 	}
 	hashes, err := p.Source.TransactionsOf(addr)
@@ -253,7 +378,7 @@ func (p *Pipeline) absorbContract(ds *Dataset, addr ethtypes.Address, found Disc
 	}
 	for pi, h := range hashes {
 		tx, r := pairs[pi].tx, pairs[pi].rec
-		splits := p.Classifier.Classify(tx, r)
+		splits := p.classify(tx, r)
 		// Only splits invoked through this contract count toward it.
 		var own []Split
 		for _, sp := range splits {
@@ -267,6 +392,7 @@ func (p *Pipeline) absorbContract(ds *Dataset, addr ethtypes.Address, found Disc
 		if rec == nil {
 			rec = &ContractRecord{Address: addr, Found: found, FirstSeen: r.Timestamp, LastSeen: r.Timestamp}
 			ds.Contracts[addr] = rec
+			p.pm.contracts.With(string(found)).Inc()
 			if found == DiscoverySeed {
 				for _, l := range p.Labels.Of(addr) {
 					rec.Sources = append(rec.Sources, string(l.Source))
@@ -301,10 +427,4 @@ func (p *Pipeline) maxIter() int {
 		return p.MaxIterations
 	}
 	return 50
-}
-
-func (p *Pipeline) tracef(format string, args ...any) {
-	if p.Trace != nil {
-		p.Trace(format, args...)
-	}
 }

@@ -19,6 +19,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Entry is one log entry: a DER-encoded certificate and its index.
@@ -163,8 +165,34 @@ type Client struct {
 	HTTPClient *http.Client
 	// BatchSize bounds one get-entries window (default 256).
 	BatchSize int64
+	// Metrics, when set, records poll counts, ingested entries, and
+	// poll latency (daas_ct_* metric names).
+	Metrics *obs.Registry
 
-	next int64
+	next        int64
+	metricsOnce sync.Once
+	cm          clientMetrics
+}
+
+// clientMetrics caches the client's instruments; all nil (no-op) when
+// Metrics is unset.
+type clientMetrics struct {
+	polls    *obs.Counter
+	entries  *obs.Counter
+	errors   *obs.Counter
+	duration *obs.Histogram
+}
+
+func (c *Client) metrics() *clientMetrics {
+	c.metricsOnce.Do(func() {
+		c.cm = clientMetrics{
+			polls:    c.Metrics.Counter("daas_ct_polls_total", "CT log poll round trips (§8.2 step 1)"),
+			entries:  c.Metrics.Counter("daas_ct_entries_total", "certificate entries ingested from the CT log"),
+			errors:   c.Metrics.Counter("daas_ct_poll_errors_total", "failed CT log polls"),
+			duration: c.Metrics.Histogram("daas_ct_poll_duration_seconds", "CT poll latency", nil),
+		}
+	})
+	return &c.cm
 }
 
 // NewClient returns a client starting at entry 0.
@@ -183,7 +211,18 @@ func (c *Client) TreeSize() (int64, error) {
 
 // Poll fetches entries the client has not seen yet, advancing its
 // cursor. It returns nil when caught up.
-func (c *Client) Poll() ([]Entry, error) {
+func (c *Client) Poll() (entries []Entry, err error) {
+	cm := c.metrics()
+	cm.polls.Inc()
+	start := time.Now()
+	defer func() {
+		cm.duration.ObserveDuration(time.Since(start))
+		if err != nil {
+			cm.errors.Inc()
+		} else {
+			cm.entries.Add(uint64(len(entries)))
+		}
+	}()
 	size, err := c.TreeSize()
 	if err != nil {
 		return nil, err
@@ -200,7 +239,7 @@ func (c *Client) Poll() ([]Entry, error) {
 	if err := c.get(path, &out); err != nil {
 		return nil, err
 	}
-	entries := make([]Entry, 0, len(out.Entries))
+	entries = make([]Entry, 0, len(out.Entries))
 	for _, we := range out.Entries {
 		der, err := base64.StdEncoding.DecodeString(we.LeafCert)
 		if err != nil {

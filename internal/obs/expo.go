@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE headers followed
+// by one sample line per child, with histogram children expanded into
+// cumulative _bucket{le=…}, _sum, and _count series. Output order is
+// registration order, so repeated scrapes of a quiescent registry are
+// byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	families := make([]*family, 0, len(names))
+	for _, name := range names {
+		families = append(families, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range families {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, c := range f.snapshot() {
+		if err := f.writeChild(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshot returns children in creation order.
+func (f *family) snapshot() []*child {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*child, 0, len(f.order))
+	for _, key := range f.order {
+		out = append(out, f.children[key])
+	}
+	return out
+}
+
+func (f *family) writeChild(w io.Writer, c *child) error {
+	labels := labelString(f.labels, c.labelValues, "", "")
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, c.count.Load())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, c.gauge.Load())
+		return err
+	case KindHistogram:
+		var cum uint64
+		for i, upper := range c.hist.upper {
+			cum += c.hist.buckets[i].Load()
+			le := labelString(f.labels, c.labelValues, "le", formatFloat(upper))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+				return err
+			}
+		}
+		cum += c.hist.buckets[len(c.hist.upper)].Load()
+		le := labelString(f.labels, c.labelValues, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(c.hist.sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, c.count.Load())
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",…}, optionally appending one extra pair
+// (the histogram le label). Empty when there are no labels at all.
+func labelString(keys, values []string, extraKey, extraValue string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteSummary renders a human-readable end-of-run table: one row per
+// sample, with histograms condensed to count, mean, and sum. Rows with
+// zero activity are skipped so the table only shows what the run
+// actually touched.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	families := make([]*family, 0, len(names))
+	for _, name := range names {
+		families = append(families, r.families[name])
+	}
+	r.mu.Unlock()
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "metric\tvalue\n")
+	for _, f := range families {
+		children := f.snapshot()
+		// Deterministic summary order: sort labeled children by value
+		// descending, then label.
+		if len(f.labels) > 0 {
+			sort.SliceStable(children, func(i, j int) bool {
+				a, b := summaryWeight(f, children[i]), summaryWeight(f, children[j])
+				if a != b {
+					return a > b
+				}
+				return strings.Join(children[i].labelValues, ",") < strings.Join(children[j].labelValues, ",")
+			})
+		}
+		for _, c := range children {
+			name := f.name + labelString(f.labels, c.labelValues, "", "")
+			switch f.kind {
+			case KindCounter:
+				if v := c.count.Load(); v > 0 {
+					fmt.Fprintf(tw, "%s\t%d\n", name, v)
+				}
+			case KindGauge:
+				if v := c.gauge.Load(); v != 0 {
+					fmt.Fprintf(tw, "%s\t%d\n", name, v)
+				}
+			case KindHistogram:
+				n := c.count.Load()
+				if n == 0 {
+					continue
+				}
+				sum := c.hist.sum()
+				fmt.Fprintf(tw, "%s\tcount=%d mean=%s sum=%s\n",
+					name, n, formatFloat(sum/float64(n)), formatFloat(sum))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+func summaryWeight(f *family, c *child) uint64 {
+	if f.kind == KindGauge {
+		v := c.gauge.Load()
+		if v < 0 {
+			return 0
+		}
+		return uint64(v)
+	}
+	return c.count.Load()
+}

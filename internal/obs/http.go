@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux returns the introspection mux: /metrics (Prometheus text),
+// /debug/vars (expvar, with the registry bridged in as "daas_metrics"),
+// and the /debug/pprof profiling endpoints.
+func NewMux(r *Registry) *http.ServeMux {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var expvarMu sync.Mutex
+
+// publishExpvar bridges the registry into expvar exactly once per
+// process (expvar.Publish rejects duplicate names). The first registry
+// wired into a mux wins; in practice that is the Default registry.
+func publishExpvar(r *Registry) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get("daas_metrics") != nil {
+		return
+	}
+	expvar.Publish("daas_metrics", expvar.Func(func() any { return r.snapshotMap() }))
+}
+
+// snapshotMap flattens the registry into name{labels} -> value for the
+// expvar JSON view. Histograms surface as count/sum pairs.
+func (r *Registry) snapshotMap() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		families = append(families, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range families {
+		for _, c := range f.snapshot() {
+			name := f.name + labelString(f.labels, c.labelValues, "", "")
+			switch f.kind {
+			case KindCounter:
+				out[name] = c.count.Load()
+			case KindGauge:
+				out[name] = c.gauge.Load()
+			case KindHistogram:
+				out[name+"_count"] = c.count.Load()
+				out[name+"_sum"] = c.hist.sum()
+			}
+		}
+	}
+	return out
+}
+
+// Serve starts the introspection server on addr in a background
+// goroutine and returns the server (for Close) and the bound address,
+// which differs from addr when it asked for an ephemeral port.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

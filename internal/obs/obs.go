@@ -1,0 +1,73 @@
+// Package obs is the repo's stdlib-only observability substrate: a
+// structured leveled logger (key=value lines over a pluggable sink), a
+// concurrent-safe metrics registry (counters, gauges, histograms with
+// fixed bucket boundaries and atomic hot paths), and hierarchical
+// tracing spans. A text exporter renders the registry in Prometheus
+// exposition format, and an optional net/http mux serves /metrics,
+// /debug/vars (expvar bridge), and /debug/pprof for runtime
+// introspection.
+//
+// Every instrument tolerates a nil receiver: instrumented code can run
+// with observability disabled at zero configuration cost, since a nil
+// *Registry hands out nil instruments whose methods are no-ops.
+//
+// Metric names follow Prometheus conventions (snake_case, _total for
+// counters, _seconds for durations) under the daas_ prefix; see the
+// README's Observability section for the full name inventory and
+// DESIGN.md for the mapping from metric to paper section.
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Attr is one key/value attribute attached to a log line or span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// attrsFromKV pairs up a variadic key/value list. A trailing key
+// without a value is kept with the placeholder "(MISSING)"; non-string
+// keys are stringified.
+func attrsFromKV(kv []any) []Attr {
+	if len(kv) == 0 {
+		return nil
+	}
+	out := make([]Attr, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		var val any = "(MISSING)"
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		}
+		out = append(out, Attr{Key: key, Value: val})
+	}
+	return out
+}
+
+// formatValue renders an attribute value for key=value output, quoting
+// strings that would break the format.
+func formatValue(v any) string {
+	s, isString := v.(string)
+	if !isString {
+		if err, isErr := v.(error); isErr && err != nil {
+			s, isString = err.Error(), true
+		} else {
+			s = fmt.Sprint(v)
+		}
+	}
+	if needsQuoting(s) || (isString && s == "") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func needsQuoting(s string) bool {
+	return strings.ContainsAny(s, " \t\n\"=")
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder collects finished root spans for end-of-run reporting. A nil
+// *Recorder disables tracing: Start returns a nil span whose methods
+// are no-ops, so instrumented code pays only a context lookup.
+type Recorder struct {
+	mu    sync.Mutex
+	roots []*Span
+	// MaxRoots caps retained root spans (default 256); older roots are
+	// dropped first so a long-running watch loop cannot grow without
+	// bound.
+	MaxRoots int
+}
+
+// NewRecorder returns an empty span recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+)
+
+// WithRecorder attaches a recorder to the context; spans started under
+// it (and their descendants) are recorded.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// Start begins a span named name, parented to the span already in ctx
+// if any. It returns a derived context carrying the new span. When ctx
+// has neither a parent span nor a recorder, tracing is disabled and the
+// returned span is nil (all span methods tolerate nil).
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	var rec *Recorder
+	if parent == nil {
+		rec, _ = ctx.Value(recorderKey).(*Recorder)
+		if rec == nil {
+			return ctx, nil
+		}
+	}
+	sp := &Span{name: name, start: time.Now(), parent: parent, rec: rec}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// Span is one timed region of work. Spans form a tree: children are
+// attached to their parent when they End, and parentless spans register
+// with the Recorder.
+type Span struct {
+	name   string
+	start  time.Time
+	parent *Span
+	rec    *Recorder
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	dur      time.Duration
+	ended    bool
+}
+
+// Name returns the span name ("" on a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End stops the span, records its duration, and attaches it to its
+// parent (or recorder for roots). End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if s.parent != nil {
+		s.parent.addChild(s)
+		return
+	}
+	if s.rec != nil {
+		s.rec.addRoot(s)
+	}
+}
+
+// Duration returns the recorded duration (0 until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Attrs returns a copy of the span's attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a copy of the ended child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.children = append(s.children, c)
+}
+
+func (r *Recorder) addRoot(s *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.roots = append(r.roots, s)
+	maxRoots := r.MaxRoots
+	if maxRoots <= 0 {
+		maxRoots = 256
+	}
+	if n := len(r.roots) - maxRoots; n > 0 {
+		r.roots = append(r.roots[:0:0], r.roots[n:]...)
+	}
+}
+
+// Roots returns the recorded root spans, oldest first.
+func (r *Recorder) Roots() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Span(nil), r.roots...)
+}
+
+// WriteTree renders every recorded root span and its descendants as an
+// indented tree with durations and attributes.
+func (r *Recorder) WriteTree(w io.Writer) error {
+	for _, root := range r.Roots() {
+		if err := writeSpan(w, root, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpan(w io.Writer, s *Span, depth int) error {
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.Name())
+	fmt.Fprintf(&b, "  %s", s.Duration().Round(time.Microsecond))
+	for _, a := range s.Attrs() {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(formatValue(a.Value))
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := writeSpan(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

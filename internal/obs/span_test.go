@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSpanDisabledWithoutRecorder(t *testing.T) {
+	ctx, sp := Start(context.Background(), "root")
+	if sp != nil {
+		t.Fatal("Start without a recorder should return a nil span")
+	}
+	// And nil spans must be inert through the whole API.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if _, child := Start(ctx, "child"); child != nil {
+		t.Fatal("child of a disabled context should also be nil")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+
+	ctx, root := Start(ctx, "pipeline.build")
+	root.SetAttr("seed", 1910)
+	ctx2, child := Start(ctx, "expand.iter")
+	child.SetAttr("iter", 1)
+	_, grand := Start(ctx2, "fetch")
+	grand.End()
+	child.End()
+	// Sibling started from the root context, after the first child ended.
+	_, sib := Start(ctx, "cluster")
+	sib.End()
+	root.End()
+
+	roots := rec.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	r := roots[0]
+	if r.Name() != "pipeline.build" {
+		t.Fatalf("root name = %q", r.Name())
+	}
+	attrs := r.Attrs()
+	if len(attrs) != 1 || attrs[0].Key != "seed" {
+		t.Fatalf("root attrs = %v", attrs)
+	}
+	kids := r.Children()
+	if len(kids) != 2 || kids[0].Name() != "expand.iter" || kids[1].Name() != "cluster" {
+		names := make([]string, len(kids))
+		for i, k := range kids {
+			names[i] = k.Name()
+		}
+		t.Fatalf("children = %v, want [expand.iter cluster]", names)
+	}
+	gk := kids[0].Children()
+	if len(gk) != 1 || gk[0].Name() != "fetch" {
+		t.Fatalf("grandchildren = %v", gk)
+	}
+	if r.Duration() <= 0 {
+		t.Fatal("ended root has zero duration")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	_, sp := Start(ctx, "once")
+	sp.End()
+	sp.End()
+	if got := len(rec.Roots()); got != 1 {
+		t.Fatalf("double End registered %d roots, want 1", got)
+	}
+}
+
+func TestRecorderMaxRoots(t *testing.T) {
+	rec := NewRecorder()
+	rec.MaxRoots = 3
+	ctx := WithRecorder(context.Background(), rec)
+	for i := 0; i < 5; i++ {
+		_, sp := Start(ctx, "span"+string(rune('a'+i)))
+		sp.End()
+	}
+	roots := rec.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("got %d roots, want cap of 3", len(roots))
+	}
+	if roots[0].Name() != "spanc" || roots[2].Name() != "spane" {
+		t.Fatalf("oldest roots not dropped: first=%q last=%q", roots[0].Name(), roots[2].Name())
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := Start(ctx, "study")
+	_, child := Start(ctx, "study.cluster")
+	child.SetAttr("families", 4)
+	child.End()
+	root.End()
+
+	var b strings.Builder
+	if err := rec.WriteTree(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "study ") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  study.cluster ") || !strings.Contains(lines[1], "families=4") {
+		t.Errorf("child line = %q", lines[1])
+	}
+}

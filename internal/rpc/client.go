@@ -8,12 +8,14 @@ import (
 	"math/big"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/chain"
 	"repro/internal/ethtypes"
 	"repro/internal/labels"
+	"repro/internal/obs"
 )
 
 // Client talks JSON-RPC to a Server and satisfies core.ChainSource.
@@ -22,8 +24,32 @@ type Client struct {
 	URL string
 	// HTTPClient defaults to a client with a 30s timeout.
 	HTTPClient *http.Client
+	// Metrics, when set, records per-method request counts, errors, and
+	// latency histograms (daas_rpc_* metric names).
+	Metrics *obs.Registry
 
-	nextID atomic.Int64
+	nextID      atomic.Int64
+	metricsOnce sync.Once
+	cm          clientMetrics
+}
+
+// clientMetrics caches the client's instruments; all nil (no-op) when
+// Metrics is unset.
+type clientMetrics struct {
+	requests *obs.CounterVec
+	errors   *obs.CounterVec
+	latency  *obs.HistogramVec
+}
+
+func (c *Client) metrics() *clientMetrics {
+	c.metricsOnce.Do(func() {
+		c.cm = clientMetrics{
+			requests: c.Metrics.CounterVec("daas_rpc_requests_total", "JSON-RPC requests by method", "method"),
+			errors:   c.Metrics.CounterVec("daas_rpc_request_errors_total", "failed JSON-RPC requests by method", "method"),
+			latency:  c.Metrics.HistogramVec("daas_rpc_request_duration_seconds", "JSON-RPC request latency by method", nil, "method"),
+		}
+	})
+	return &c.cm
 }
 
 // NewClient returns a client for the endpoint.
@@ -31,7 +57,16 @@ func NewClient(url string) *Client {
 	return &Client{URL: url, HTTPClient: &http.Client{Timeout: 30 * time.Second}}
 }
 
-func (c *Client) call(method string, params any, result any) error {
+func (c *Client) call(method string, params any, result any) (err error) {
+	cm := c.metrics()
+	cm.requests.With(method).Inc()
+	start := time.Now()
+	defer func() {
+		cm.latency.With(method).ObserveDuration(time.Since(start))
+		if err != nil {
+			cm.errors.With(method).Inc()
+		}
+	}()
 	raw, err := json.Marshal(params)
 	if err != nil {
 		return fmt.Errorf("rpc: encoding params: %w", err)

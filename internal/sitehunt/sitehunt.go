@@ -9,11 +9,13 @@ package sitehunt
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/crawler"
 	"repro/internal/ct"
 	"repro/internal/domains"
+	"repro/internal/obs"
 	"repro/internal/toolkit"
 )
 
@@ -47,8 +49,57 @@ type Detector struct {
 	Corpus  *toolkit.Corpus
 	// SimilarityThreshold defaults to domains.SimilarityThreshold.
 	SimilarityThreshold float64
-	// Trace, when set, receives progress lines.
+	// Logger receives structured progress events. When nil, the legacy
+	// Trace callback (if any) is adapted, so existing Trace users keep
+	// working unchanged.
+	Logger *obs.Logger
+	// Metrics, when set, receives the §8.2 funnel counters
+	// (daas_funnel_* metric names): every stage from CT certificate
+	// ingestion down to confirmed toolkit matches.
+	Metrics *obs.Registry
+	// Trace, when set, receives progress lines. Deprecated shim: new
+	// code should set Logger.
 	Trace func(format string, args ...any)
+
+	traceOnce sync.Once
+	traceLog  *obs.Logger
+}
+
+// funnelMetrics caches the detector's instruments; all nil (no-op)
+// when Metrics is unset.
+type funnelMetrics struct {
+	certs      *obs.Counter
+	domains    *obs.Counter
+	suspicious *obs.Counter
+	crawled    *obs.Counter
+	crawlFails *obs.Counter
+	matches    *obs.CounterVec
+	detections *obs.Counter
+}
+
+func newFunnelMetrics(r *obs.Registry) funnelMetrics {
+	return funnelMetrics{
+		certs:      r.Counter("daas_funnel_ct_certs_total", "certificates ingested from CT (§8.2 step 1)"),
+		domains:    r.Counter("daas_funnel_domains_total", "unique domains extracted from certificates"),
+		suspicious: r.Counter("daas_funnel_suspicious_total", "domains passing the keyword/similarity filter"),
+		crawled:    r.Counter("daas_funnel_crawled_total", "suspicious domains successfully crawled (§8.2 step 2)"),
+		crawlFails: r.Counter("daas_funnel_crawl_failures_total", "suspicious domains that failed to crawl"),
+		matches:    r.CounterVec("daas_funnel_toolkit_matches_total", "toolkit fingerprint matches per drainer family (§8.2 step 3)", "family"),
+		detections: r.Counter("daas_funnel_detections_total", "confirmed phishing websites"),
+	}
+}
+
+// logger returns the structured logger, adapting the legacy Trace
+// callback when no Logger is set.
+func (d *Detector) logger() *obs.Logger {
+	if d.Logger != nil {
+		return d.Logger
+	}
+	if d.Trace == nil {
+		return nil
+	}
+	d.traceOnce.Do(func() { d.traceLog = obs.NewCallback(d.Trace) })
+	return d.traceLog
 }
 
 // Run drains the CT log and processes every new certificate, returning
@@ -57,6 +108,7 @@ func (d *Detector) Run() (*Report, error) {
 	if d.CT == nil || d.Crawler == nil || d.Corpus == nil {
 		return nil, fmt.Errorf("sitehunt: Detector needs CT, Crawler, and Corpus")
 	}
+	fm := newFunnelMetrics(d.Metrics)
 	threshold := d.SimilarityThreshold
 	if threshold == 0 {
 		threshold = domains.SimilarityThreshold
@@ -74,6 +126,7 @@ func (d *Detector) Run() (*Report, error) {
 			break
 		}
 		report.CertsSeen += len(entries)
+		fm.certs.Add(uint64(len(entries)))
 		for _, e := range entries {
 			names, err := e.Domains()
 			if err != nil {
@@ -85,21 +138,27 @@ func (d *Detector) Run() (*Report, error) {
 				}
 				seen[domain] = true
 				report.DomainsSeen++
+				fm.domains.Inc()
 				match, suspicious := domains.Suspicious(domain, threshold)
 				if !suspicious {
 					continue
 				}
 				report.SuspiciousCount++
+				fm.suspicious.Inc()
 				page, err := d.Crawler.Fetch(domain)
 				if err != nil {
 					report.CrawlFailures++
+					fm.crawlFails.Inc()
 					continue
 				}
 				report.Crawled++
+				fm.crawled.Inc()
 				verdict, hit := d.Corpus.MatchSite(page.Files)
 				if !hit {
 					continue
 				}
+				fm.matches.With(verdict.Family).Inc()
+				fm.detections.Inc()
 				report.Detections = append(report.Detections, Detection{
 					Domain:  domain,
 					Family:  verdict.Family,
@@ -107,18 +166,13 @@ func (d *Detector) Run() (*Report, error) {
 					Keyword: match.Keyword,
 				})
 				phishingDomains = append(phishingDomains, domain)
-				d.tracef("detected %s (%s via %s)", domain, verdict.Family, match.Keyword)
+				d.logger().Info("phishing website detected",
+					"domain", domain, "family", verdict.Family, "keyword", match.Keyword)
 			}
 		}
 	}
 	report.TLDs = domains.TLDDistribution(phishingDomains)
 	return report, nil
-}
-
-func (d *Detector) tracef(format string, args ...any) {
-	if d.Trace != nil {
-		d.Trace(format, args...)
-	}
 }
 
 // Watch runs the detector continuously: every interval it polls the CT

@@ -13,6 +13,9 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+echo "==> go test -race ./internal/obs/..."
+go test -race ./internal/obs/...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
