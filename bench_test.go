@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -482,6 +483,61 @@ func BenchmarkAblation_DomainSimilarity(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(flagged), "flagged")
+		})
+	}
+}
+
+// ----- Parallel snowball expansion -----
+
+// latencySource injects a fixed per-call delay on the hot fetch
+// methods, simulating a remote RPC endpoint. It deliberately does not
+// implement BatchSource, so the benchmark isolates what the frontier
+// worker pool alone buys.
+type latencySource struct {
+	src   core.LocalSource
+	delay time.Duration
+}
+
+func (s latencySource) TransactionsOf(a ethtypes.Address) ([]ethtypes.Hash, error) {
+	return s.src.TransactionsOf(a)
+}
+
+func (s latencySource) IsContract(a ethtypes.Address) (bool, error) {
+	return s.src.IsContract(a)
+}
+
+func (s latencySource) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	time.Sleep(s.delay)
+	return s.src.Transaction(h)
+}
+
+func (s latencySource) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	time.Sleep(s.delay)
+	return s.src.Receipt(h)
+}
+
+// BenchmarkPipelineConcurrency sweeps the dataset build's worker count
+// against a 1ms-latency chain source. The dataset is byte-identical at
+// every setting (see internal/core tests); only wall-clock moves.
+func BenchmarkPipelineConcurrency(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.TestConfig(1910))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := latencySource{src: core.LocalSource{Chain: w.Chain}, delay: time.Millisecond}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				p := &core.Pipeline{Source: src, Labels: w.Labels, Concurrency: workers}
+				ds, err := p.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = ds.Stats()
+			}
+			b.ReportMetric(float64(stats.ProfitTxs), "profit-txs")
 		})
 	}
 }

@@ -36,6 +36,8 @@ func main() {
 		outPath     = flag.String("o", "", "output path for dataset export (dataset subcommand)")
 		asCSV       = flag.Bool("csv", false, "export the dataset as CSV instead of JSON")
 		verbose     = flag.Bool("v", false, "trace pipeline progress")
+		concurrency = flag.Int("concurrency", 1, "parallel frontier scanners for the dataset build (output is identical at any setting)")
+		cacheSize   = flag.Int("cache-size", 0, "entries in the sharded tx+receipt fetch cache (0 = disabled)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the duration of the run")
 		traceRun    = flag.Bool("trace", false, "record tracing spans and structured progress logs (stderr); prints span tree and metrics summary at the end")
 	)
@@ -71,6 +73,8 @@ func main() {
 		}
 		client.Metrics = reg
 		client.Spans = spans
+		client.Concurrency = *concurrency
+		client.CacheSize = *cacheSize
 		if *verbose || *traceRun {
 			client.Logger = obs.New(os.Stderr, obs.LevelDebug)
 		}

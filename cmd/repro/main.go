@@ -40,6 +40,8 @@ func main() {
 		nSites      = flag.Int("sites", 3300, "phishing websites for the §8.2 experiment (paper: 32,819)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the duration of the run")
 		traceRun    = flag.Bool("trace", false, "record tracing spans and structured progress logs (stderr); prints the span tree at the end")
+		concurrency = flag.Int("concurrency", 1, "parallel frontier scanners for the dataset build (output is identical at any setting)")
+		cacheSize   = flag.Int("cache-size", 0, "entries in the sharded tx+receipt fetch cache (0 = disabled)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -78,6 +80,8 @@ func main() {
 	client.Metrics = reg
 	client.Logger = logger
 	client.Spans = spans
+	client.Concurrency = *concurrency
+	client.CacheSize = *cacheSize
 	start = time.Now()
 	study, err := client.StudyWith(daas.StudyOptions{
 		DatasetEnd:         worldgen.DatasetEnd,

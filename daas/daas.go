@@ -22,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ethtypes"
+	"repro/internal/fetchcache"
 	"repro/internal/labels"
 	"repro/internal/measure"
 	"repro/internal/obs"
@@ -68,6 +69,16 @@ type Client struct {
 	// Classifier lets callers tune ratio set and tolerance before
 	// calling BuildDataset.
 	Classifier Classifier
+	// Concurrency sets the parallel frontier scanners and fetch workers
+	// of the dataset build (0 or 1 = fully serial). The dataset is
+	// byte-identical at any setting; concurrency only buys wall-clock
+	// against high-latency sources.
+	Concurrency int
+	// CacheSize, when positive, interposes a sharded single-flight
+	// transaction+receipt cache of that many entries between the
+	// pipeline and the chain source, so overlapping scans and repeat
+	// expansion passes never fetch the same hash twice.
+	CacheSize int
 	// Logger receives structured pipeline progress events; when nil the
 	// legacy Trace callback (if any) is adapted instead.
 	Logger *obs.Logger
@@ -116,15 +127,27 @@ func (c *Client) Labels() *labels.Directory { return c.labels }
 // BuildDataset runs seed collection and snowball expansion (§5.1).
 func (c *Client) BuildDataset() (*Dataset, error) {
 	p := &core.Pipeline{
-		Source:     c.instrumentedSource(),
-		Labels:     c.labels,
-		Classifier: c.Classifier,
-		Logger:     c.Logger,
-		Metrics:    c.Metrics,
-		Spans:      c.Spans,
-		Trace:      c.Trace,
+		Source:      c.pipelineSource(),
+		Labels:      c.labels,
+		Classifier:  c.Classifier,
+		Concurrency: c.Concurrency,
+		Logger:      c.Logger,
+		Metrics:     c.Metrics,
+		Spans:       c.Spans,
+		Trace:       c.Trace,
 	}
 	return p.Build()
+}
+
+// pipelineSource layers the build decorators: metrics innermost (so
+// daas_chain_* counts real fetches, not cache hits), the fetch cache
+// outermost.
+func (c *Client) pipelineSource() core.ChainSource {
+	src := c.instrumentedSource()
+	if c.CacheSize > 0 {
+		src = fetchcache.New(src, c.CacheSize, c.Metrics)
+	}
+	return src
 }
 
 // instrumentedSource wraps the chain source with per-method request

@@ -9,6 +9,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/ethtypes"
+	"repro/internal/fetchcache"
 	"repro/internal/worldgen"
 )
 
@@ -331,5 +332,57 @@ func TestDatasetCSVExport(t *testing.T) {
 	}
 	if got, want := countLines(sections[1]), len(ds.Contracts)+1; got != want {
 		t.Errorf("contract rows = %d, want %d", got, want)
+	}
+}
+
+// exportJSON builds a dataset at the given concurrency (optionally
+// behind a fetch cache) and returns its canonical JSON export.
+func exportJSON(t *testing.T, w *worldgen.World, workers, cacheSize int) []byte {
+	t.Helper()
+	var src core.ChainSource = core.LocalSource{Chain: w.Chain}
+	if cacheSize > 0 {
+		src = fetchcache.New(src, cacheSize, nil)
+	}
+	p := &core.Pipeline{
+		Source:      src,
+		Labels:      w.Labels,
+		Concurrency: workers,
+	}
+	ds, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestConcurrentBuildIsByteIdentical is the tentpole guarantee: the
+// parallel frontier scanner is speculative-but-deterministic, so the
+// exported dataset must match the serial build byte for byte — with
+// and without the fetch cache interposed.
+func TestConcurrentBuildIsByteIdentical(t *testing.T) {
+	w := sharedWorld
+	serial := exportJSON(t, w, 1, 0)
+	if len(serial) == 0 {
+		t.Fatal("empty serial export")
+	}
+	for _, tc := range []struct {
+		name             string
+		workers, cacheSz int
+	}{
+		{"workers=8", 8, 0},
+		{"workers=8+cache", 8, 1 << 12},
+		{"workers=3", 3, 0},
+		{"workers=1+cache", 1, 1 << 12},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := exportJSON(t, w, tc.workers, tc.cacheSz)
+			if !bytes.Equal(got, serial) {
+				t.Errorf("export differs from serial build (%d vs %d bytes)", len(got), len(serial))
+			}
+		})
 	}
 }

@@ -165,12 +165,14 @@ func hashLess(a, b ethtypes.Hash) bool {
 	return false
 }
 
-// touchAccount updates or creates an account record with a sighting.
-func touchAccount(m map[ethtypes.Address]*AccountRecord, a ethtypes.Address, t time.Time, found Discovery) {
+// touchAccount updates or creates an account record with a sighting,
+// reporting whether the account is new to the map (the pipeline's
+// frontier tracker keys off creations).
+func touchAccount(m map[ethtypes.Address]*AccountRecord, a ethtypes.Address, t time.Time, found Discovery) bool {
 	rec, ok := m[a]
 	if !ok {
 		m[a] = &AccountRecord{Address: a, Found: found, FirstSeen: t, LastSeen: t}
-		return
+		return true
 	}
 	if t.Before(rec.FirstSeen) {
 		rec.FirstSeen = t
@@ -178,4 +180,5 @@ func touchAccount(m map[ethtypes.Address]*AccountRecord, a ethtypes.Address, t t
 	if t.After(rec.LastSeen) {
 		rec.LastSeen = t
 	}
+	return false
 }

@@ -78,6 +78,50 @@ func (s *InstrumentedSource) IsContract(addr ethtypes.Address) (bool, error) {
 	return out, err
 }
 
+// BatchTransactions implements BatchSource. When the wrapped source
+// batches natively the call is forwarded whole and observed as one
+// "BatchTransactions" request; otherwise it degrades to per-item
+// fetches through the instrumented Transaction method, so the
+// per-method counters keep reporting the calls that actually reach
+// the source. Either way wrapping never hides a source's batching
+// ability from the pipeline (which detects BatchSource by assertion).
+func (s *InstrumentedSource) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error) {
+	if bs, ok := s.src.(BatchSource); ok {
+		start := time.Now()
+		out, err := bs.BatchTransactions(hs)
+		s.observe("BatchTransactions", start, err)
+		return out, err
+	}
+	out := make([]*chain.Transaction, len(hs))
+	for i, h := range hs {
+		tx, err := s.Transaction(h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tx
+	}
+	return out, nil
+}
+
+// BatchReceipts implements BatchSource; see BatchTransactions.
+func (s *InstrumentedSource) BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error) {
+	if bs, ok := s.src.(BatchSource); ok {
+		start := time.Now()
+		out, err := bs.BatchReceipts(hs)
+		s.observe("BatchReceipts", start, err)
+		return out, err
+	}
+	out := make([]*chain.Receipt, len(hs))
+	for i, h := range hs {
+		rec, err := s.Receipt(h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec
+	}
+	return out, nil
+}
+
 // Code implements CodeSource when the underlying source does; the
 // static pre-filter treats the error as "keep the candidate".
 func (s *InstrumentedSource) Code(addr ethtypes.Address) ([]byte, error) {

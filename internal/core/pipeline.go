@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"maps"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -30,12 +32,19 @@ type Pipeline struct {
 	// cannot split value, saving their full history scan. Purely an
 	// optimization: it never changes what the pipeline admits.
 	StaticPreFilter bool
-	// Concurrency sets the number of parallel transaction+receipt
-	// fetches per account scan. It matters when Source is a remote
-	// JSON-RPC endpoint (each fetch is a network round trip); 0 or 1
-	// keeps everything sequential. Classification itself stays
-	// deterministic regardless.
+	// Concurrency sets the number of frontier accounts scanned in
+	// parallel and the number of parallel transaction+receipt fetches
+	// per scan. It matters when Source is a remote JSON-RPC endpoint
+	// (each fetch is a network round trip); 0 or 1 keeps everything
+	// sequential. The dataset is byte-identical either way: scans run
+	// speculatively, but their results are merged by a single goroutine
+	// in deterministic frontier order, so admission decisions and the
+	// expansion gate see exactly the serial pipeline's state.
 	Concurrency int
+	// BatchSize caps the per-call batch when Source implements
+	// BatchSource (default 128). Larger batches mean fewer round trips
+	// but bigger responses.
+	BatchSize int
 	// Logger receives structured progress events. When nil, the legacy
 	// Trace callback (if any) is adapted into a logger, so existing
 	// Trace users keep working unchanged.
@@ -69,6 +78,7 @@ type pipelineMetrics struct {
 	contracts       *obs.CounterVec
 	fetchBatch      *obs.Histogram
 	fetchWorkers    *obs.Gauge
+	scanWorkers     *obs.Gauge
 }
 
 func newPipelineMetrics(r *obs.Registry) pipelineMetrics {
@@ -83,6 +93,7 @@ func newPipelineMetrics(r *obs.Registry) pipelineMetrics {
 		contracts:       r.CounterVec("daas_pipeline_contracts_admitted_total", "profit-sharing contracts admitted to the dataset", "discovery"),
 		fetchBatch:      r.Histogram("daas_pipeline_fetch_batch_size", "transactions per fetchAll batch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}),
 		fetchWorkers:    r.Gauge("daas_pipeline_fetch_workers", "parallel fetch workers used by the most recent batch"),
+		scanWorkers:     r.Gauge("daas_pipeline_scan_workers", "parallel frontier scanners used by the most recent expansion iteration"),
 	}
 }
 
@@ -105,57 +116,144 @@ type fetched struct {
 	rec *chain.Receipt
 }
 
-// fetchAll retrieves transactions and receipts for the given hashes,
-// in order, using up to Concurrency parallel fetchers.
-func (p *Pipeline) fetchAll(hashes []ethtypes.Hash) ([]fetched, error) {
-	out := make([]fetched, len(hashes))
-	if len(hashes) > 0 {
-		p.pm.fetchBatch.Observe(float64(len(hashes)))
+// defaultBatchSize caps one BatchSource call when BatchSize is unset.
+const defaultBatchSize = 128
+
+func (p *Pipeline) batchSize() int {
+	if p.BatchSize > 0 {
+		return p.BatchSize
 	}
-	workers := p.Concurrency
-	if workers <= 1 || len(hashes) < 2 {
-		p.pm.fetchWorkers.Set(1)
-		for i, h := range hashes {
-			pair, err := p.fetchOne(h)
-			if err != nil {
-				return nil, err
+	return defaultBatchSize
+}
+
+// runWorkers executes fn over n indexed jobs with up to workers
+// goroutines, cancelling the remaining jobs as soon as one fails. It
+// returns the first error in completion order (the caller's result
+// slices keep per-index determinism regardless).
+func runWorkers(ctx context.Context, n, workers int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			out[i] = pair
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	jobs := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// fetchAll retrieves transactions and receipts for the given hashes, in
+// order. When Source can batch, the hashes collapse into a handful of
+// round trips; otherwise up to Concurrency workers fetch in parallel.
+// Outstanding work is cancelled as soon as any fetch fails.
+func (p *Pipeline) fetchAll(ctx context.Context, hashes []ethtypes.Hash) ([]fetched, error) {
+	out := make([]fetched, len(hashes))
+	if len(hashes) == 0 {
+		return out, nil
+	}
+	p.pm.fetchBatch.Observe(float64(len(hashes)))
+	if bs, ok := p.Source.(BatchSource); ok {
+		if err := p.fetchBatched(ctx, bs, hashes, out); err != nil {
+			return nil, err
 		}
 		return out, nil
+	}
+	workers := p.Concurrency
+	if workers < 1 {
+		workers = 1
 	}
 	if workers > len(hashes) {
 		workers = len(hashes)
 	}
 	p.pm.fetchWorkers.Set(int64(workers))
-	var wg sync.WaitGroup
-	idx := make(chan int, len(hashes))
-	for i := range hashes {
-		idx <- i
-	}
-	close(idx)
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range idx {
-				pair, err := p.fetchOne(hashes[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = pair
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runWorkers(ctx, len(hashes), workers, func(i int) error {
+		pair, err := p.fetchOne(hashes[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		out[i] = pair
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// fetchBatched fills out[i] for hashes[i] through a BatchSource,
+// splitting the request into BatchSize chunks fetched by up to
+// Concurrency workers.
+func (p *Pipeline) fetchBatched(ctx context.Context, bs BatchSource, hashes []ethtypes.Hash, out []fetched) error {
+	size := p.batchSize()
+	chunks := (len(hashes) + size - 1) / size
+	workers := p.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	p.pm.fetchWorkers.Set(int64(min(workers, chunks)))
+	return runWorkers(ctx, chunks, workers, func(c int) error {
+		lo := c * size
+		hi := min(lo+size, len(hashes))
+		chunk := hashes[lo:hi]
+		txs, err := bs.BatchTransactions(chunk)
+		if err != nil {
+			return fmt.Errorf("core: batch-fetching %d transactions: %w", len(chunk), err)
+		}
+		recs, err := bs.BatchReceipts(chunk)
+		if err != nil {
+			return fmt.Errorf("core: batch-fetching %d receipts: %w", len(chunk), err)
+		}
+		if len(txs) != len(chunk) || len(recs) != len(chunk) {
+			return fmt.Errorf("core: batch source returned %d txs / %d receipts for %d hashes", len(txs), len(recs), len(chunk))
+		}
+		for i := range chunk {
+			out[lo+i] = fetched{txs[i], recs[i]}
+		}
+		p.pm.txFetched.Add(uint64(len(chunk)))
+		return nil
+	})
 }
 
 // fetchOne retrieves one transaction+receipt pair, wrapping any failure
@@ -174,7 +272,8 @@ func (p *Pipeline) fetchOne(h ethtypes.Hash) (fetched, error) {
 }
 
 // classify runs the classifier over one transaction, recording
-// per-ratio match outcomes.
+// per-ratio match outcomes. Safe for concurrent use: the classifier is
+// read-only and the instruments are atomic.
 func (p *Pipeline) classify(tx *chain.Transaction, r *chain.Receipt) []Split {
 	p.pm.txClassified.Inc()
 	splits := p.Classifier.Classify(tx, r)
@@ -182,6 +281,59 @@ func (p *Pipeline) classify(tx *chain.Transaction, r *chain.Receipt) []Split {
 		p.pm.splits.With(strconv.FormatInt(sp.RatioPM, 10)).Inc()
 	}
 	return splits
+}
+
+// frontierTracker records operator/affiliate accounts added to the
+// dataset since the last frontier was computed, replacing the
+// per-iteration full re-sort of both account maps with an incremental
+// delta. The ordering contract matches the historical computation
+// exactly: new operators sorted by address, then new affiliates sorted
+// by address (an address added in both roles appears twice, as it did
+// when both sorted maps were walked).
+type frontierTracker struct {
+	ops  map[ethtypes.Address]bool
+	affs map[ethtypes.Address]bool
+}
+
+func newFrontierTracker() *frontierTracker {
+	return &frontierTracker{
+		ops:  make(map[ethtypes.Address]bool),
+		affs: make(map[ethtypes.Address]bool),
+	}
+}
+
+// next drains the pending accounts into the next frontier, dropping any
+// already scanned (an account scanned under one role is never
+// re-scanned under another, mirroring the address-keyed scanned set).
+func (t *frontierTracker) next(scanned map[ethtypes.Address]bool) []ethtypes.Address {
+	out := make([]ethtypes.Address, 0, len(t.ops)+len(t.affs))
+	out = appendSortedUnscanned(out, t.ops, scanned)
+	out = appendSortedUnscanned(out, t.affs, scanned)
+	t.ops = make(map[ethtypes.Address]bool)
+	t.affs = make(map[ethtypes.Address]bool)
+	return out
+}
+
+func appendSortedUnscanned(dst []ethtypes.Address, pending, scanned map[ethtypes.Address]bool) []ethtypes.Address {
+	start := len(dst)
+	for a := range pending {
+		if !scanned[a] {
+			dst = append(dst, a)
+		}
+	}
+	fresh := dst[start:]
+	sort.Slice(fresh, func(i, j int) bool { return addrLess(fresh[i], fresh[j]) })
+	return dst
+}
+
+// scanOutcome is one frontier account's speculative scan: its
+// unclassified history and the classifier's verdict per hash. Scans
+// touch no shared state, so any number can run concurrently; the
+// merger decides what the results mean.
+type scanOutcome struct {
+	fresh  []ethtypes.Hash
+	splits [][]Split
+	err    error
 }
 
 // Build runs seed collection, seed dataset construction, and iterative
@@ -201,6 +353,7 @@ func (p *Pipeline) Build() (*Dataset, error) {
 	ds := NewDataset()
 	scannedAccounts := make(map[ethtypes.Address]bool)
 	classified := make(map[ethtypes.Hash]bool)
+	tracker := newFrontierTracker()
 
 	// Step 1: collect phishing reports from the public sources and keep
 	// the contracts.
@@ -224,7 +377,7 @@ func (p *Pipeline) Build() (*Dataset, error) {
 	// and extract operator/affiliate accounts — the seed dataset.
 	_, absorb := obs.Start(ctx, "pipeline.seed.absorb")
 	for _, addr := range seedContracts {
-		if err := p.absorbContract(ds, addr, DiscoverySeed, classified); err != nil {
+		if err := p.absorbContract(ctx, ds, addr, DiscoverySeed, classified, tracker); err != nil {
 			absorb.End()
 			return nil, fmt.Errorf("core: step 2: %w", err)
 		}
@@ -245,7 +398,7 @@ func (p *Pipeline) Build() (*Dataset, error) {
 		// Scan the history of every not-yet-scanned operator and
 		// affiliate account for profit-sharing transactions invoking
 		// unknown contracts.
-		frontier := p.unscannedAccounts(ds, scannedAccounts)
+		frontier := tracker.next(scannedAccounts)
 		p.pm.frontier.Set(int64(len(frontier)))
 		if len(frontier) == 0 {
 			break
@@ -254,54 +407,9 @@ func (p *Pipeline) Build() (*Dataset, error) {
 		_, iterSpan := obs.Start(ctx, "pipeline.expand.iter")
 		iterSpan.SetAttr("iter", iter+1)
 		iterSpan.SetAttr("frontier", len(frontier))
-		for _, acct := range frontier {
-			scannedAccounts[acct] = true
-			p.pm.accountsScanned.Inc()
-			hashes, err := p.Source.TransactionsOf(acct)
-			if err != nil {
-				iterSpan.End()
-				return nil, fmt.Errorf("core: step 4: %w", err)
-			}
-			fresh := hashes[:0:0]
-			for _, h := range hashes {
-				if !classified[h] {
-					fresh = append(fresh, h)
-				}
-			}
-			pairs, err := p.fetchAll(fresh)
-			if err != nil {
-				iterSpan.End()
-				return nil, err
-			}
-			for pi, h := range fresh {
-				if classified[h] {
-					continue // classified by an earlier absorb this pass
-				}
-				tx, r := pairs[pi].tx, pairs[pi].rec
-				splits := p.classify(tx, r)
-				if len(splits) == 0 {
-					continue
-				}
-				contract := splits[0].Contract
-				if _, known := ds.Contracts[contract]; known {
-					// Known contract, possibly new counterparties.
-					p.recordSplits(ds, splits, DiscoveryExpansion)
-					classified[h] = true
-					continue
-				}
-				// Expansion gate: the invoked contract must have
-				// interacted with an account already in the dataset —
-				// here, the frontier account whose history surfaced it.
-				if !p.DisableExpansionGate {
-					if !p.interactsWithDataset(ds, splits, acct) {
-						continue
-					}
-				}
-				if err := p.absorbContract(ds, contract, DiscoveryExpansion, classified); err != nil {
-					iterSpan.End()
-					return nil, err
-				}
-			}
+		if err := p.expandIteration(ctx, ds, frontier, scannedAccounts, classified, tracker); err != nil {
+			iterSpan.End()
+			return nil, err
 		}
 		after := ds.Stats()
 		iterSpan.SetAttr("contracts", after.Contracts)
@@ -321,21 +429,150 @@ func (p *Pipeline) Build() (*Dataset, error) {
 	return ds, nil
 }
 
-// unscannedAccounts returns dataset operators and affiliates whose
-// histories have not been walked yet, in deterministic order.
-func (p *Pipeline) unscannedAccounts(ds *Dataset, scanned map[ethtypes.Address]bool) []ethtypes.Address {
-	var out []ethtypes.Address
-	for _, rec := range ds.SortedOperators() {
-		if !scanned[rec.Address] {
-			out = append(out, rec.Address)
+// expandIteration scans one frontier. With Concurrency ≤ 1 each
+// account is scanned and merged inline, exactly the historical serial
+// walk. Otherwise a pool of scanners works ahead speculatively while a
+// single merger applies outcomes in frontier order: scanning (fetch +
+// classify) is pure, and every stateful decision — admission, the
+// expansion gate, the classified set — happens only in the merger, so
+// the dataset is identical to the serial build.
+func (p *Pipeline) expandIteration(ctx context.Context, ds *Dataset, frontier []ethtypes.Address,
+	scanned map[ethtypes.Address]bool, classified map[ethtypes.Hash]bool, tracker *frontierTracker) error {
+
+	workers := p.Concurrency
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	if workers <= 1 {
+		p.pm.scanWorkers.Set(1)
+		for _, acct := range frontier {
+			scanned[acct] = true
+			p.pm.accountsScanned.Inc()
+			out := p.scanAccount(ctx, acct, classified)
+			if out.err != nil {
+				return out.err
+			}
+			if err := p.mergeScan(ctx, ds, acct, out, classified, tracker); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	p.pm.scanWorkers.Set(int64(workers))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Scanners filter against a snapshot of the classified set: the
+	// live set advances as the merger absorbs contracts, so a snapshot
+	// scan may fetch and classify a few hashes the serial walk would
+	// have skipped. The merger re-checks the live set before using any
+	// result, which is also what makes the speculation safe.
+	snapshot := maps.Clone(classified)
+	results := make([]chan scanOutcome, len(frontier))
+	for i := range results {
+		results[i] = make(chan scanOutcome, 1)
+	}
+	// The window keeps scanners at most 2×workers accounts ahead of
+	// the merger, bounding buffered speculative results; slots are
+	// released by the merger as it consumes.
+	window := make(chan struct{}, 2*workers)
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i, acct := range frontier {
+			select {
+			case window <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			go func(i int, acct ethtypes.Address) {
+				defer func() { <-sem }()
+				results[i] <- p.scanAccount(ctx, acct, snapshot)
+			}(i, acct)
+		}
+	}()
+
+	for i, acct := range frontier {
+		out := <-results[i]
+		<-window
+		if out.err != nil {
+			return out.err
+		}
+		scanned[acct] = true
+		p.pm.accountsScanned.Inc()
+		if err := p.mergeScan(ctx, ds, acct, out, classified, tracker); err != nil {
+			return err
 		}
 	}
-	for _, rec := range ds.SortedAffiliates() {
-		if !scanned[rec.Address] {
-			out = append(out, rec.Address)
+	return nil
+}
+
+// scanAccount walks one frontier account's history: list, filter
+// already-classified hashes, fetch, classify. It reads skip (which
+// must not be mutated concurrently) and shared immutable state only.
+func (p *Pipeline) scanAccount(ctx context.Context, acct ethtypes.Address, skip map[ethtypes.Hash]bool) scanOutcome {
+	if err := ctx.Err(); err != nil {
+		return scanOutcome{err: err}
+	}
+	hashes, err := p.Source.TransactionsOf(acct)
+	if err != nil {
+		return scanOutcome{err: fmt.Errorf("core: step 4: %w", err)}
+	}
+	fresh := hashes[:0:0]
+	for _, h := range hashes {
+		if !skip[h] {
+			fresh = append(fresh, h)
 		}
 	}
-	return out
+	pairs, err := p.fetchAll(ctx, fresh)
+	if err != nil {
+		return scanOutcome{err: err}
+	}
+	splits := make([][]Split, len(fresh))
+	for i := range fresh {
+		splits[i] = p.classify(pairs[i].tx, pairs[i].rec)
+	}
+	return scanOutcome{fresh: fresh, splits: splits}
+}
+
+// mergeScan applies one account's scan outcome to the dataset. Always
+// called from a single goroutine, in frontier order.
+func (p *Pipeline) mergeScan(ctx context.Context, ds *Dataset, acct ethtypes.Address, out scanOutcome,
+	classified map[ethtypes.Hash]bool, tracker *frontierTracker) error {
+
+	for i, h := range out.fresh {
+		if classified[h] {
+			continue // classified by an earlier absorb this pass
+		}
+		splits := out.splits[i]
+		if len(splits) == 0 {
+			continue
+		}
+		contract := splits[0].Contract
+		if _, known := ds.Contracts[contract]; known {
+			// Known contract, possibly new counterparties.
+			p.recordSplits(ds, splits, DiscoveryExpansion, tracker)
+			classified[h] = true
+			continue
+		}
+		// Expansion gate: the invoked contract must have interacted
+		// with an account already in the dataset — here, the frontier
+		// account whose history surfaced it.
+		if !p.DisableExpansionGate {
+			if !p.interactsWithDataset(ds, splits, acct) {
+				continue
+			}
+		}
+		if err := p.absorbContract(ctx, ds, contract, DiscoveryExpansion, classified, tracker); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // interactsWithDataset checks the expansion gate: some party of the
@@ -354,10 +591,15 @@ func (p *Pipeline) interactsWithDataset(ds *Dataset, splits []Split, frontier et
 	return false
 }
 
-// absorbContract classifies the full history of a candidate contract;
-// if any profit-sharing transaction is found the contract and its
-// split counterparties join the dataset.
-func (p *Pipeline) absorbContract(ds *Dataset, addr ethtypes.Address, found Discovery, classified map[ethtypes.Hash]bool) error {
+// absorbContract classifies the history of a candidate contract; if
+// any profit-sharing transaction is found the contract and its split
+// counterparties join the dataset. Hashes already classified in prior
+// passes are skipped the same way the frontier walk skips them: their
+// splits are on record, and re-classifying them would both waste
+// fetches and duplicate split records.
+func (p *Pipeline) absorbContract(ctx context.Context, ds *Dataset, addr ethtypes.Address, found Discovery,
+	classified map[ethtypes.Hash]bool, tracker *frontierTracker) error {
+
 	if _, known := ds.Contracts[addr]; known {
 		return nil
 	}
@@ -371,12 +613,18 @@ func (p *Pipeline) absorbContract(ds *Dataset, addr ethtypes.Address, found Disc
 	if err != nil {
 		return err
 	}
+	fresh := hashes[:0:0]
+	for _, h := range hashes {
+		if !classified[h] {
+			fresh = append(fresh, h)
+		}
+	}
 	var rec *ContractRecord
-	pairs, err := p.fetchAll(hashes)
+	pairs, err := p.fetchAll(ctx, fresh)
 	if err != nil {
 		return err
 	}
-	for pi, h := range hashes {
+	for pi, h := range fresh {
 		tx, r := pairs[pi].tx, pairs[pi].rec
 		splits := p.classify(tx, r)
 		// Only splits invoked through this contract count toward it.
@@ -407,18 +655,23 @@ func (p *Pipeline) absorbContract(ds *Dataset, addr ethtypes.Address, found Disc
 		}
 		rec.TxCount++
 		classified[h] = true
-		p.recordSplits(ds, own, found)
+		p.recordSplits(ds, own, found, tracker)
 	}
 	return nil
 }
 
 // recordSplits stores splits and registers their operator and
-// affiliate accounts.
-func (p *Pipeline) recordSplits(ds *Dataset, splits []Split, found Discovery) {
+// affiliate accounts, feeding newly created accounts to the frontier
+// tracker.
+func (p *Pipeline) recordSplits(ds *Dataset, splits []Split, found Discovery, tracker *frontierTracker) {
 	for _, sp := range splits {
 		ds.Splits[sp.TxHash] = append(ds.Splits[sp.TxHash], sp)
-		touchAccount(ds.Operators, sp.Operator, sp.Time, found)
-		touchAccount(ds.Affiliates, sp.Affiliate, sp.Time, found)
+		if touchAccount(ds.Operators, sp.Operator, sp.Time, found) {
+			tracker.ops[sp.Operator] = true
+		}
+		if touchAccount(ds.Affiliates, sp.Affiliate, sp.Time, found) {
+			tracker.affs[sp.Affiliate] = true
+		}
 	}
 }
 

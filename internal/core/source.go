@@ -27,6 +27,20 @@ type ChainSource interface {
 	IsContract(addr ethtypes.Address) (bool, error)
 }
 
+// BatchSource is an optional ChainSource extension: sources that can
+// serve many transactions or receipts in one round trip (JSON-RPC
+// array batching, bulk DB reads). The pipeline's fetchAll detects it
+// and collapses a frontier scan's N fetches into a handful of calls.
+//
+// Implementations must return exactly one result per requested hash,
+// in request order. Decorators (metrics, caches) implement it
+// unconditionally and degrade to per-item calls when the source they
+// wrap cannot batch, so detection composes through wrapping.
+type BatchSource interface {
+	BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error)
+	BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error)
+}
+
 // LocalSource adapts an in-process chain to ChainSource.
 type LocalSource struct {
 	Chain *chain.Chain

@@ -1,0 +1,335 @@
+// Package fetchcache decorates a core.ChainSource with a sharded,
+// size-bounded transaction+receipt cache with single-flight
+// deduplication. The snowball pipeline re-reads the same hashes across
+// expansion passes (a contract absorb walks a history the frontier
+// scan partially fetched moments earlier), and with parallel scanners
+// two workers can race toward the same hash; the cache turns both into
+// at most one fetch per object.
+//
+// Only immutable objects are cached: a confirmed transaction and its
+// receipt never change, so entries need no TTL. Account histories
+// (TransactionsOf) and code/contract checks grow with the chain and
+// pass straight through.
+package fetchcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/obs"
+)
+
+// nShards fixes the mutex striping; a power of two so the shard pick
+// is a mask. 32 stripes keep contention negligible at the pipeline's
+// worker counts (≤ dozens) without bloating the struct.
+const nShards = 32
+
+// DefaultCapacity bounds the cache when New is given a non-positive
+// capacity: 64k entries ≈ 32k tx+receipt pairs, a few hundred MB worst
+// case on mainnet-sized receipts and far below it on typical ones.
+const DefaultCapacity = 1 << 16
+
+const (
+	kindTx byte = iota
+	kindReceipt
+)
+
+type key struct {
+	kind byte
+	h    ethtypes.Hash
+}
+
+// entry is one cached or in-flight fetch. ready is closed once val/err
+// are settled; waiters hold the pointer, so eviction never invalidates
+// a read in progress.
+type entry struct {
+	ready chan struct{}
+	val   any // *chain.Transaction or *chain.Receipt
+	err   error
+	elem  *list.Element // LRU position; nil while in flight
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[key]*entry
+	lru     *list.List // of key; front = most recently used
+}
+
+// Source wraps a core.ChainSource with the cache. It implements
+// core.ChainSource, core.BatchSource, and (by delegation)
+// core.CodeSource, so it can stand in for the raw source anywhere in
+// the pipeline.
+type Source struct {
+	src         core.ChainSource
+	shards      [nShards]shard
+	perShardCap int
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+// New builds a cache over src holding at most capacity entries (one
+// entry per transaction or receipt; non-positive means
+// DefaultCapacity), registering hit/miss/eviction counters in reg
+// (nil reg means no-op instruments).
+func New(src core.ChainSource, capacity int, reg *obs.Registry) *Source {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	per := (capacity + nShards - 1) / nShards
+	if per < 1 {
+		per = 1
+	}
+	s := &Source{
+		src:         src,
+		perShardCap: per,
+		hits:        reg.Counter("daas_cache_hits_total", "fetch cache hits (including waits on an in-flight fetch)"),
+		misses:      reg.Counter("daas_cache_misses_total", "fetch cache misses (fetches issued to the wrapped source)"),
+		evictions:   reg.Counter("daas_cache_evictions_total", "fetch cache entries evicted by the size bound"),
+	}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[key]*entry)
+		s.shards[i].lru = list.New()
+	}
+	return s
+}
+
+// Unwrap returns the wrapped source.
+func (s *Source) Unwrap() core.ChainSource { return s.src }
+
+// Len reports the number of settled entries currently cached.
+func (s *Source) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (s *Source) shard(k key) *shard {
+	return &s.shards[int(k.h[0]^k.kind)&(nShards-1)]
+}
+
+// lookup returns the entry for k, creating an in-flight one when
+// absent. owned reports whether the caller created it and must settle
+// it (single-flight: exactly one caller owns a given fetch).
+func (s *Source) lookup(k key) (e *entry, owned bool) {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		if e.elem != nil {
+			sh.lru.MoveToFront(e.elem)
+		}
+		sh.mu.Unlock()
+		s.hits.Inc()
+		return e, false
+	}
+	e = &entry{ready: make(chan struct{})}
+	sh.entries[k] = e
+	sh.mu.Unlock()
+	s.misses.Inc()
+	return e, true
+}
+
+// settle publishes an owned entry's result: failures are dropped from
+// the map (waiters still observe the error; later callers retry),
+// successes enter the LRU, evicting from the cold end past capacity.
+func (s *Source) settle(k key, e *entry, val any, err error) {
+	e.val, e.err = val, err
+	sh := s.shard(k)
+	sh.mu.Lock()
+	if err != nil {
+		if sh.entries[k] == e {
+			delete(sh.entries, k)
+		}
+	} else if sh.entries[k] == e {
+		e.elem = sh.lru.PushFront(k)
+		for sh.lru.Len() > s.perShardCap {
+			cold := sh.lru.Back()
+			ck := cold.Value.(key)
+			sh.lru.Remove(cold)
+			delete(sh.entries, ck)
+			s.evictions.Inc()
+		}
+	}
+	sh.mu.Unlock()
+	close(e.ready)
+}
+
+// get is the single-fetch read path.
+func (s *Source) get(k key, fetch func() (any, error)) (any, error) {
+	e, owned := s.lookup(k)
+	if owned {
+		val, err := fetch()
+		s.settle(k, e, val, err)
+		return val, err
+	}
+	<-e.ready
+	return e.val, e.err
+}
+
+// Transaction implements core.ChainSource.
+func (s *Source) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	v, err := s.get(key{kindTx, h}, func() (any, error) { return s.src.Transaction(h) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chain.Transaction), nil
+}
+
+// Receipt implements core.ChainSource.
+func (s *Source) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	v, err := s.get(key{kindReceipt, h}, func() (any, error) { return s.src.Receipt(h) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chain.Receipt), nil
+}
+
+// TransactionsOf implements core.ChainSource; histories are mutable
+// and are never cached.
+func (s *Source) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
+	return s.src.TransactionsOf(addr)
+}
+
+// IsContract implements core.ChainSource, uncached.
+func (s *Source) IsContract(addr ethtypes.Address) (bool, error) {
+	return s.src.IsContract(addr)
+}
+
+// Code implements core.CodeSource when the wrapped source does; the
+// static pre-filter treats the error as "keep the candidate".
+func (s *Source) Code(addr ethtypes.Address) ([]byte, error) {
+	cs, ok := s.src.(core.CodeSource)
+	if !ok {
+		return nil, fmt.Errorf("fetchcache: source %T does not serve bytecode", s.src)
+	}
+	return cs.Code(addr)
+}
+
+// BatchTransactions implements core.BatchSource: cached hashes are
+// served locally, each missing hash is claimed single-flight, and only
+// the claimed remainder goes to the wrapped source — batched when it
+// can batch, per item otherwise.
+func (s *Source) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error) {
+	vals, err := s.getBatch(kindTx, hs,
+		func(miss []ethtypes.Hash) ([]any, error) {
+			if bs, ok := s.src.(core.BatchSource); ok {
+				txs, err := bs.BatchTransactions(miss)
+				return anySlice(txs), err
+			}
+			out := make([]any, len(miss))
+			for i, h := range miss {
+				tx, err := s.src.Transaction(h)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = tx
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*chain.Transaction, len(vals))
+	for i, v := range vals {
+		out[i] = v.(*chain.Transaction)
+	}
+	return out, nil
+}
+
+// BatchReceipts implements core.BatchSource; see BatchTransactions.
+func (s *Source) BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error) {
+	vals, err := s.getBatch(kindReceipt, hs,
+		func(miss []ethtypes.Hash) ([]any, error) {
+			if bs, ok := s.src.(core.BatchSource); ok {
+				recs, err := bs.BatchReceipts(miss)
+				return anySlice(recs), err
+			}
+			out := make([]any, len(miss))
+			for i, h := range miss {
+				rec, err := s.src.Receipt(h)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = rec
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*chain.Receipt, len(vals))
+	for i, v := range vals {
+		out[i] = v.(*chain.Receipt)
+	}
+	return out, nil
+}
+
+// getBatch resolves hs[i] → result, claiming misses single-flight and
+// fetching only the claimed ones through fetchMissing. Waiting on
+// entries owned by other goroutines happens only after our own are
+// settled, so two overlapping batches never deadlock on each other.
+func (s *Source) getBatch(kind byte, hs []ethtypes.Hash, fetchMissing func([]ethtypes.Hash) ([]any, error)) ([]any, error) {
+	out := make([]any, len(hs))
+	waits := make(map[int]*entry)
+	var (
+		ownedIdx []int
+		owned    []*entry
+		missing  []ethtypes.Hash
+	)
+	for i, h := range hs {
+		e, own := s.lookup(key{kind, h})
+		if own {
+			ownedIdx = append(ownedIdx, i)
+			owned = append(owned, e)
+			missing = append(missing, h)
+			continue
+		}
+		waits[i] = e
+	}
+	var firstErr error
+	if len(missing) > 0 {
+		vals, err := fetchMissing(missing)
+		if err != nil || len(vals) != len(missing) {
+			if err == nil {
+				err = fmt.Errorf("fetchcache: source returned %d results for %d hashes", len(vals), len(missing))
+			}
+			for j, e := range owned {
+				s.settle(key{kind, missing[j]}, e, nil, err)
+			}
+			return nil, err
+		}
+		for j, e := range owned {
+			s.settle(key{kind, missing[j]}, e, vals[j], nil)
+			out[ownedIdx[j]] = vals[j]
+		}
+	}
+	for i, e := range waits {
+		<-e.ready
+		if e.err != nil && firstErr == nil {
+			firstErr = e.err
+		}
+		out[i] = e.val
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+func anySlice[T any](in []T) []any {
+	out := make([]any, len(in))
+	for i, v := range in {
+		out[i] = v
+	}
+	return out
+}

@@ -36,17 +36,27 @@ type Client struct {
 // clientMetrics caches the client's instruments; all nil (no-op) when
 // Metrics is unset.
 type clientMetrics struct {
-	requests *obs.CounterVec
-	errors   *obs.CounterVec
-	latency  *obs.HistogramVec
+	requests  *obs.CounterVec
+	errors    *obs.CounterVec
+	latency   *obs.HistogramVec
+	batchSize *obs.Histogram
 }
 
+// noopClientMetrics serves calls made before Metrics is assigned (e.g.
+// the probe requests of daas.Dial); nil instruments are no-ops. The
+// real instruments are latched on first use after assignment.
+var noopClientMetrics clientMetrics
+
 func (c *Client) metrics() *clientMetrics {
+	if c.Metrics == nil {
+		return &noopClientMetrics
+	}
 	c.metricsOnce.Do(func() {
 		c.cm = clientMetrics{
-			requests: c.Metrics.CounterVec("daas_rpc_requests_total", "JSON-RPC requests by method", "method"),
-			errors:   c.Metrics.CounterVec("daas_rpc_request_errors_total", "failed JSON-RPC requests by method", "method"),
-			latency:  c.Metrics.HistogramVec("daas_rpc_request_duration_seconds", "JSON-RPC request latency by method", nil, "method"),
+			requests:  c.Metrics.CounterVec("daas_rpc_requests_total", "JSON-RPC requests by method", "method"),
+			errors:    c.Metrics.CounterVec("daas_rpc_request_errors_total", "failed JSON-RPC requests by method", "method"),
+			latency:   c.Metrics.HistogramVec("daas_rpc_request_duration_seconds", "JSON-RPC request latency by method", nil, "method"),
+			batchSize: c.Metrics.Histogram("daas_rpc_batch_size", "requests per JSON-RPC batch call", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
 		}
 	})
 	return &c.cm
@@ -99,6 +109,135 @@ func (c *Client) call(method string, params any, result any) (err error) {
 		return nil
 	}
 	return json.Unmarshal(out.Result, result)
+}
+
+// post sends one request body and returns the HTTP response body
+// reader; the caller must close it.
+func (c *Client) post(body []byte) (*http.Response, error) {
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := httpClient.Post(c.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("http %d", resp.StatusCode)
+	}
+	return resp, nil
+}
+
+// callBatch issues n same-method requests as one spec-compliant
+// JSON-RPC batch (a JSON array), matching responses to requests by id
+// (the spec lets servers reorder). decode is invoked once per request
+// index with its result payload.
+func (c *Client) callBatch(method string, n int, params func(i int) any, decode func(i int, raw json.RawMessage) error) (err error) {
+	if n == 0 {
+		return nil
+	}
+	cm := c.metrics()
+	cm.requests.With(method).Add(uint64(n))
+	cm.batchSize.Observe(float64(n))
+	start := time.Now()
+	defer func() {
+		cm.latency.With(method).ObserveDuration(time.Since(start))
+		if err != nil {
+			cm.errors.With(method).Inc()
+		}
+	}()
+	reqs := make([]request, n)
+	baseID := c.nextID.Add(int64(n)) - int64(n) + 1
+	for i := range reqs {
+		raw, err := json.Marshal(params(i))
+		if err != nil {
+			return fmt.Errorf("rpc: encoding batch params: %w", err)
+		}
+		reqs[i] = request{JSONRPC: "2.0", ID: baseID + int64(i), Method: method, Params: raw}
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return err
+	}
+	resp, err := c.post(body)
+	if err != nil {
+		return fmt.Errorf("rpc: %s batch of %d: %w", method, n, err)
+	}
+	defer resp.Body.Close()
+	var outs []response
+	if err := json.NewDecoder(resp.Body).Decode(&outs); err != nil {
+		// A parse/invalid-request failure comes back as a single error
+		// object rather than an array; surface it if it does.
+		return fmt.Errorf("rpc: %s batch: decoding response: %w", method, err)
+	}
+	if len(outs) != n {
+		return fmt.Errorf("rpc: %s batch: %d responses for %d requests", method, len(outs), n)
+	}
+	byID := make(map[int64]*response, n)
+	for i := range outs {
+		byID[outs[i].ID] = &outs[i]
+	}
+	for i := 0; i < n; i++ {
+		out, ok := byID[baseID+int64(i)]
+		if !ok {
+			return fmt.Errorf("rpc: %s batch: response for request %d missing", method, i)
+		}
+		if out.Error != nil {
+			return fmt.Errorf("rpc: %s batch item %d: %w", method, i, out.Error)
+		}
+		if err := decode(i, out.Result); err != nil {
+			return fmt.Errorf("rpc: %s batch item %d: %w", method, i, err)
+		}
+	}
+	return nil
+}
+
+// BatchTransactions implements core.BatchSource: one round trip for
+// the whole hash list.
+func (c *Client) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error) {
+	out := make([]*chain.Transaction, len(hs))
+	err := c.callBatch("eth_getTransactionByHash", len(hs),
+		func(i int) any { return []string{hs[i].Hex()} },
+		func(i int, raw json.RawMessage) error {
+			var tj txJSON
+			if err := json.Unmarshal(raw, &tj); err != nil {
+				return err
+			}
+			tx, err := fromTxJSON(tj)
+			if err != nil {
+				return err
+			}
+			out[i] = tx
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchReceipts implements core.BatchSource.
+func (c *Client) BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error) {
+	out := make([]*chain.Receipt, len(hs))
+	err := c.callBatch("repro_getReceipt", len(hs),
+		func(i int) any { return []string{hs[i].Hex()} },
+		func(i int, raw json.RawMessage) error {
+			var rj receiptJSON
+			if err := json.Unmarshal(raw, &rj); err != nil {
+				return err
+			}
+			rec, err := fromReceiptJSON(rj)
+			if err != nil {
+				return err
+			}
+			out[i] = rec
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // BlockNumber returns the head block number.

@@ -1,6 +1,7 @@
 package rpc_test
 
 import (
+	"encoding/json"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -239,6 +240,132 @@ func TestConcurrentPipelineOverRPC(t *testing.T) {
 		if len(parDS.Splits[h]) != len(seqDS.Splits[h]) {
 			t.Fatalf("split records differ at %s", h)
 		}
+	}
+}
+
+// TestBatchRoundTrip fetches a pile of transactions and receipts in
+// one round trip each and checks fidelity against single-item calls.
+func TestBatchRoundTrip(t *testing.T) {
+	client, done := newPair(t)
+	defer done()
+
+	var hs []ethtypes.Hash
+	for h := range world.Truth.ProfitTxs {
+		hs = append(hs, h)
+		if len(hs) == 5 {
+			break
+		}
+	}
+	txs, err := client.BatchTransactions(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := client.BatchReceipts(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != len(hs) || len(recs) != len(hs) {
+		t.Fatalf("batch sizes: %d txs, %d receipts for %d hashes", len(txs), len(recs), len(hs))
+	}
+	for i, h := range hs {
+		single, err := client.Transaction(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if txs[i].Hash() != single.Hash() || txs[i].Hash() != h {
+			t.Errorf("batch tx %d hash mismatch: %s vs %s", i, txs[i].Hash(), h)
+		}
+		if recs[i].TxHash != h {
+			t.Errorf("batch receipt %d for wrong tx: %s", i, recs[i].TxHash)
+		}
+		if len(recs[i].Transfers) == 0 {
+			t.Errorf("batch receipt %d lost its transfers", i)
+		}
+	}
+	// Empty batch: no HTTP call, no error, empty result.
+	empty, err := client.BatchTransactions(nil)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty batch: %v, %d results", err, len(empty))
+	}
+}
+
+// TestBatchItemError ensures one unknown hash fails the whole batch
+// with an attributable error.
+func TestBatchItemError(t *testing.T) {
+	client, done := newPair(t)
+	defer done()
+
+	var known ethtypes.Hash
+	for h := range world.Truth.ProfitTxs {
+		known = h
+		break
+	}
+	_, err := client.BatchTransactions([]ethtypes.Hash{known, {0xde, 0xad}})
+	if err == nil {
+		t.Fatal("batch with unknown hash succeeded")
+	}
+	if !strings.Contains(err.Error(), "item 1") {
+		t.Errorf("error does not attribute the failing item: %v", err)
+	}
+}
+
+// TestMalformedBatches exercises the server's array-body error paths:
+// unparsable arrays and empty batches earn a single JSON-RPC error
+// object, not an array.
+func TestMalformedBatches(t *testing.T) {
+	srv := httptest.NewServer(rpc.NewServer(world.Chain, world.Labels))
+	defer srv.Close()
+
+	post := func(body string) map[string]any {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("response is not a single object: %v", err)
+		}
+		return out
+	}
+	errCode := func(out map[string]any) float64 {
+		t.Helper()
+		e, ok := out["error"].(map[string]any)
+		if !ok {
+			t.Fatalf("no error object in %v", out)
+		}
+		return e["code"].(float64)
+	}
+	if code := errCode(post(`[{"jsonrpc":"2.0","id":1,`)); code != -32700 {
+		t.Errorf("truncated batch: code %v, want -32700", code)
+	}
+	if code := errCode(post(`[]`)); code != -32600 {
+		t.Errorf("empty batch: code %v, want -32600", code)
+	}
+	if code := errCode(post(`[1,2]`)); code != -32700 {
+		t.Errorf("non-object batch items: code %v, want -32700", code)
+	}
+	// A batch with an unknown method still answers per item, inside an
+	// array.
+	resp, err := srv.Client().Post(srv.URL, "application/json",
+		strings.NewReader(`[{"jsonrpc":"2.0","id":7,"method":"no_such_method","params":[]}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var arr []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&arr); err != nil {
+		t.Fatalf("batch response is not an array: %v", err)
+	}
+	if len(arr) != 1 || arr[0]["id"].(float64) != 7 {
+		t.Fatalf("unexpected batch response: %v", arr)
+	}
+	if errCode(arr[0]) != -32601 {
+		t.Errorf("unknown method in batch: code %v, want -32601", errCode(arr[0]))
 	}
 }
 

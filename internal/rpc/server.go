@@ -1,8 +1,10 @@
 package rpc
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/chain"
@@ -22,17 +24,55 @@ func NewServer(c *chain.Chain, l *labels.Directory) *Server {
 	return &Server{Chain: c, Labels: l}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. A body whose first token is a
+// JSON array is a spec-compliant batch (JSON-RPC 2.0 §6): every
+// element is dispatched and the responses come back as an array, in
+// request order.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var req request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
 		return
 	}
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		s.serveBatch(w, trimmed)
+		return
+	}
+	var req request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
+		return
+	}
+	writeResponse(w, s.handle(req))
+}
+
+// serveBatch answers one JSON array of requests. Per the spec, a batch
+// that fails to parse or is empty earns a single error object, not an
+// array.
+func (s *Server) serveBatch(w http.ResponseWriter, body []byte) {
+	var reqs []request
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
+		return
+	}
+	if len(reqs) == 0 {
+		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeInvalidRequest, Message: "empty batch"}})
+		return
+	}
+	out := make([]response, len(reqs))
+	for i, req := range reqs {
+		out[i] = s.handle(req)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handle dispatches one request into one response envelope.
+func (s *Server) handle(req request) response {
 	resp := response{JSONRPC: "2.0", ID: req.ID}
 	result, rpcErr := s.dispatch(req.Method, req.Params)
 	if rpcErr != nil {
@@ -45,7 +85,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			resp.Result = raw
 		}
 	}
-	writeResponse(w, resp)
+	return resp
 }
 
 func writeResponse(w http.ResponseWriter, resp response) {

@@ -16,8 +16,14 @@ go build ./...
 echo "==> go test -race ./internal/obs/..."
 go test -race ./internal/obs/...
 
+echo "==> go test -race ./internal/core/... ./internal/fetchcache/... ./internal/rpc/..."
+go test -race ./internal/core/... ./internal/fetchcache/... ./internal/rpc/...
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> bench smoke: BenchmarkPipelineConcurrency"
+go test -run=NONE -bench=BenchmarkPipelineConcurrency -benchtime=1x .
 
 echo "==> reprolint ./..."
 go run ./cmd/reprolint ./...
