@@ -40,6 +40,8 @@ func main() {
 		cacheSize   = flag.Int("cache-size", 0, "entries in the sharded tx+receipt fetch cache (0 = disabled)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address for the duration of the run")
 		traceRun    = flag.Bool("trace", false, "record tracing spans and structured progress logs (stderr); prints span tree and metrics summary at the end")
+		checkpoint  = flag.String("checkpoint", "", "persist dataset-build state to this file at iteration boundaries (resume with -resume)")
+		resume      = flag.Bool("resume", false, "resume the dataset build from -checkpoint when the file exists; the result is byte-identical to an uninterrupted run")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -75,6 +77,8 @@ func main() {
 		client.Spans = spans
 		client.Concurrency = *concurrency
 		client.CacheSize = *cacheSize
+		client.CheckpointPath = *checkpoint
+		client.Resume = *resume
 		if *verbose || *traceRun {
 			client.Logger = obs.New(os.Stderr, obs.LevelDebug)
 		}

@@ -42,6 +42,8 @@ func main() {
 		traceRun    = flag.Bool("trace", false, "record tracing spans and structured progress logs (stderr); prints the span tree at the end")
 		concurrency = flag.Int("concurrency", 1, "parallel frontier scanners for the dataset build (output is identical at any setting)")
 		cacheSize   = flag.Int("cache-size", 0, "entries in the sharded tx+receipt fetch cache (0 = disabled)")
+		checkpoint  = flag.String("checkpoint", "", "persist dataset-build state to this file at iteration boundaries (resume with -resume)")
+		resume      = flag.Bool("resume", false, "resume the dataset build from -checkpoint when the file exists; the result is byte-identical to an uninterrupted run")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -82,6 +84,8 @@ func main() {
 	client.Spans = spans
 	client.Concurrency = *concurrency
 	client.CacheSize = *cacheSize
+	client.CheckpointPath = *checkpoint
+	client.Resume = *resume
 	start = time.Now()
 	study, err := client.StudyWith(daas.StudyOptions{
 		DatasetEnd:         worldgen.DatasetEnd,

@@ -27,6 +27,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/prices"
+	"repro/internal/retry"
 	"repro/internal/rpc"
 )
 
@@ -79,6 +80,23 @@ type Client struct {
 	// pipeline and the chain source, so overlapping scans and repeat
 	// expansion passes never fetch the same hash twice.
 	CacheSize int
+	// RetryPolicy, when set, retries transient chain-source failures
+	// (timeouts, 5xx, 429, resets) with deterministic exponential
+	// backoff, optionally behind a circuit breaker. It wraps the source
+	// between the cache and the per-method metrics, so retried attempts
+	// are counted and failed results are never cached.
+	RetryPolicy *retry.Policy
+	// CheckpointPath, when set, makes BuildDataset persist its state
+	// atomically to this file at iteration boundaries, so an
+	// interrupted build can continue with Resume to a byte-identical
+	// dataset.
+	CheckpointPath string
+	// CheckpointEvery writes a checkpoint every N expansion iterations
+	// (default 1).
+	CheckpointEvery int
+	// Resume restores CheckpointPath (when the file exists) and
+	// continues the build from it.
+	Resume bool
 	// Logger receives structured pipeline progress events; when nil the
 	// legacy Trace callback (if any) is adapted instead.
 	Logger *obs.Logger
@@ -101,9 +119,13 @@ func New(source core.ChainSource, dir *labels.Directory, oracle *prices.Oracle) 
 }
 
 // Dial connects to a JSON-RPC chain endpoint (see cmd/chainsim),
-// downloading the public label directory from the same server.
+// downloading the public label directory from the same server. The
+// connection retries transient failures under the default policy —
+// live gateways shed load routinely, and a cold dial is exactly when a
+// 503 is most likely.
 func Dial(url string) (*Client, error) {
 	rc := rpc.NewClient(url)
+	rc.Retry = retry.Default()
 	if _, err := rc.BlockNumber(); err != nil {
 		return nil, fmt.Errorf("daas: connecting to %s: %w", url, err)
 	}
@@ -126,24 +148,38 @@ func (c *Client) Labels() *labels.Directory { return c.labels }
 
 // BuildDataset runs seed collection and snowball expansion (§5.1).
 func (c *Client) BuildDataset() (*Dataset, error) {
+	// Dial attaches the default retry policy before the caller can set
+	// Metrics; wire the registry in now so daas_retry_* covers the RPC
+	// transport too.
+	if rc, ok := c.source.(*rpc.Client); ok && rc.Retry != nil && rc.Retry.Metrics == nil {
+		rc.Retry.Metrics = c.Metrics
+	}
 	p := &core.Pipeline{
-		Source:      c.pipelineSource(),
-		Labels:      c.labels,
-		Classifier:  c.Classifier,
-		Concurrency: c.Concurrency,
-		Logger:      c.Logger,
-		Metrics:     c.Metrics,
-		Spans:       c.Spans,
-		Trace:       c.Trace,
+		Source:          c.pipelineSource(),
+		Labels:          c.labels,
+		Classifier:      c.Classifier,
+		Concurrency:     c.Concurrency,
+		CheckpointPath:  c.CheckpointPath,
+		CheckpointEvery: c.CheckpointEvery,
+		Resume:          c.Resume,
+		Logger:          c.Logger,
+		Metrics:         c.Metrics,
+		Spans:           c.Spans,
+		Trace:           c.Trace,
 	}
 	return p.Build()
 }
 
 // pipelineSource layers the build decorators: metrics innermost (so
-// daas_chain_* counts real fetches, not cache hits), the fetch cache
-// outermost.
+// daas_chain_* counts real fetches, not cache hits), retries in the
+// middle (each wire attempt is counted; an exhausted retry surfaces
+// one failure), the fetch cache outermost (so a failed-then-retried
+// fetch is never cached and a cache hit spends no retry budget).
 func (c *Client) pipelineSource() core.ChainSource {
 	src := c.instrumentedSource()
+	if c.RetryPolicy != nil {
+		src = retry.WrapSource(src, c.RetryPolicy)
+	}
 	if c.CacheSize > 0 {
 		src = fetchcache.New(src, c.CacheSize, c.Metrics)
 	}

@@ -1,0 +1,101 @@
+package daas_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/daas"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/retry"
+)
+
+// quickPolicy retries without real sleeps, keeping the matrix fast.
+func quickPolicy(reg *obs.Registry) *retry.Policy {
+	return &retry.Policy{
+		MaxAttempts: 6,
+		Metrics:     reg,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+func exportWith(t *testing.T, src core.ChainSource, configure func(*daas.Client)) []byte {
+	t.Helper()
+	c := daas.New(src, world.Labels, world.Oracle)
+	if configure != nil {
+		configure(c)
+	}
+	ds, err := c.BuildDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFaultMatrixBuildIsByteIdentical runs the snowball build under
+// several seeded transient-fault schedules, with the retry policy
+// between the fault injector and the pipeline. Every faulted run must
+// converge to the fault-free export byte for byte — transient faults
+// cost wall-clock, never data.
+func TestFaultMatrixBuildIsByteIdentical(t *testing.T) {
+	clean := exportWith(t, core.LocalSource{Chain: world.Chain}, nil)
+	if len(clean) == 0 {
+		t.Fatal("empty clean export")
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		reg := obs.NewRegistry()
+		inj := faults.NewInjector(faults.Plan{Seed: seed, Rate: 0.05}, reg)
+		src := faults.WrapSource(core.LocalSource{Chain: world.Chain}, inj)
+		got := exportWith(t, src, func(c *daas.Client) {
+			c.RetryPolicy = quickPolicy(reg)
+			c.CacheSize = 1 << 12
+			c.Concurrency = 4
+			c.Metrics = reg
+		})
+		if !bytes.Equal(got, clean) {
+			t.Errorf("seed %d: faulted export differs from clean build (%d vs %d bytes)", seed, len(got), len(clean))
+		}
+		if inj.Faults() == 0 {
+			t.Errorf("seed %d: schedule injected no faults; the matrix tested nothing", seed)
+		}
+	}
+}
+
+// TestFaultedCheckpointResumeThroughClient exercises the full wiring a
+// CLI run uses: a build with fault injection and checkpointing dies on
+// a planted fatal fault; a second Client with -resume semantics
+// finishes the build to the byte-identical export.
+func TestFaultedCheckpointResumeThroughClient(t *testing.T) {
+	clean := exportWith(t, core.LocalSource{Chain: world.Chain}, nil)
+	path := filepath.Join(t.TempDir(), "daas.ckpt")
+
+	// Count ops to plant the kill late in the run.
+	counter := faults.NewInjector(faults.Plan{Seed: 9}, nil)
+	exportWith(t, faults.WrapSource(core.LocalSource{Chain: world.Chain}, counter), nil)
+	kill := counter.Ops() - 1
+
+	inj := faults.NewInjector(faults.Plan{Seed: 9, Rate: 0.02, FatalAfterOps: kill}, nil)
+	src := faults.WrapSource(core.LocalSource{Chain: world.Chain}, inj)
+	c := daas.New(src, world.Labels, world.Oracle)
+	c.RetryPolicy = quickPolicy(nil)
+	c.CheckpointPath = path
+	if _, err := c.BuildDataset(); err == nil {
+		t.Fatal("build survived its planted fatal fault")
+	}
+
+	got := exportWith(t, core.LocalSource{Chain: world.Chain}, func(c *daas.Client) {
+		c.CheckpointPath = path
+		c.Resume = true
+	})
+	if !bytes.Equal(got, clean) {
+		t.Errorf("resumed export differs from clean build (%d vs %d bytes)", len(got), len(clean))
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/ethtypes"
+)
+
+// checkpointVersion guards the on-disk format; a mismatch refuses the
+// resume rather than silently building on a different state shape.
+const checkpointVersion = 1
+
+// checkpointJSON is the serialized expansion state at an iteration
+// boundary: the dataset so far plus exactly the loop-carried state of
+// Build (scanned accounts, classified hashes, the frontier tracker's
+// pending accounts, and the completed-iteration count). Restoring it
+// and continuing the loop is byte-for-byte equivalent to never having
+// stopped, because every admission decision depends only on this
+// state and the (immutable) chain.
+type checkpointJSON struct {
+	Version    int             `json:"version"`
+	Iterations int             `json:"iterations_done"`
+	Dataset    json.RawMessage `json:"dataset"`
+	Scanned    []string        `json:"scanned_accounts"`
+	Classified []string        `json:"classified_txs"`
+	// PendingOperators/PendingAffiliates are the frontier tracker's
+	// not-yet-drained discoveries, preserved in the role split the
+	// tracker's ordering contract requires.
+	PendingOperators  []string `json:"pending_operators"`
+	PendingAffiliates []string `json:"pending_affiliates"`
+}
+
+// buildState is the restartable portion of one Build run.
+type buildState struct {
+	ds         *Dataset
+	scanned    map[ethtypes.Address]bool
+	classified map[ethtypes.Hash]bool
+	tracker    *frontierTracker
+	iterations int // completed expansion iterations (seed phase = 0)
+}
+
+// writeCheckpoint serializes st to path atomically: the bytes are
+// written to a temp file in the same directory and renamed into place,
+// so a crash mid-write leaves either the previous checkpoint or none —
+// never a torn file.
+func writeCheckpoint(path string, st *buildState) (int64, error) {
+	buf, err := marshalCheckpoint(st)
+	if err != nil {
+		return 0, err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("core: creating checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("core: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("core: publishing checkpoint: %w", err)
+	}
+	return int64(len(buf)), nil
+}
+
+func marshalCheckpoint(st *buildState) ([]byte, error) {
+	var ds bytes.Buffer
+	if err := st.ds.WriteJSON(&ds); err != nil {
+		return nil, fmt.Errorf("core: serializing checkpoint dataset: %w", err)
+	}
+	cp := checkpointJSON{
+		Version:           checkpointVersion,
+		Iterations:        st.iterations,
+		Dataset:           json.RawMessage(ds.Bytes()),
+		Scanned:           sortedAddrHex(st.scanned),
+		Classified:        sortedHashHex(st.classified),
+		PendingOperators:  sortedAddrHex(st.tracker.ops),
+		PendingAffiliates: sortedAddrHex(st.tracker.affs),
+	}
+	buf, err := json.MarshalIndent(cp, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("core: serializing checkpoint: %w", err)
+	}
+	return buf, nil
+}
+
+// readCheckpoint loads and validates a checkpoint written by
+// writeCheckpoint.
+func readCheckpoint(r io.Reader) (*buildState, error) {
+	var cp checkpointJSON
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	ds, err := ReadJSON(bytes.NewReader(cp.Dataset))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint dataset: %w", err)
+	}
+	st := &buildState{
+		ds:         ds,
+		scanned:    make(map[ethtypes.Address]bool, len(cp.Scanned)),
+		classified: make(map[ethtypes.Hash]bool, len(cp.Classified)),
+		tracker:    newFrontierTracker(),
+		iterations: cp.Iterations,
+	}
+	for _, s := range cp.Scanned {
+		a, err := ethtypes.HexToAddress(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint scanned account: %w", err)
+		}
+		st.scanned[a] = true
+	}
+	for _, s := range cp.Classified {
+		h, err := ethtypes.HexToHash(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint classified tx: %w", err)
+		}
+		st.classified[h] = true
+	}
+	for _, s := range cp.PendingOperators {
+		a, err := ethtypes.HexToAddress(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint pending operator: %w", err)
+		}
+		st.tracker.ops[a] = true
+	}
+	for _, s := range cp.PendingAffiliates {
+		a, err := ethtypes.HexToAddress(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint pending affiliate: %w", err)
+		}
+		st.tracker.affs[a] = true
+	}
+	return st, nil
+}
+
+// loadCheckpoint opens path and restores the state; a missing file
+// returns (nil, nil) so a resume run with no checkpoint degrades to a
+// fresh build.
+func loadCheckpoint(path string) (*buildState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return readCheckpoint(f)
+}
+
+func sortedAddrHex(m map[ethtypes.Address]bool) []string {
+	out := make([]string, 0, len(m))
+	for a := range m {
+		out = append(out, a.Hex())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedHashHex(m map[ethtypes.Hash]bool) []string {
+	out := make([]string, 0, len(m))
+	for h := range m {
+		out = append(out, h.Hex())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -66,6 +67,25 @@ func (s *InstrumentedSource) Transaction(h ethtypes.Hash) (*chain.Transaction, e
 func (s *InstrumentedSource) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
 	start := time.Now()
 	out, err := s.src.Receipt(h)
+	s.observe("Receipt", start, err)
+	return out, err
+}
+
+// TransactionContext implements ContextSource, forwarding the context
+// when the wrapped source accepts one. Observed under the same method
+// name as Transaction: the instrument measures the wire call, not how
+// the caller delivered its cancellation.
+func (s *InstrumentedSource) TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error) {
+	start := time.Now()
+	out, err := SourceTransaction(ctx, s.src, h)
+	s.observe("Transaction", start, err)
+	return out, err
+}
+
+// ReceiptContext implements ContextSource; see TransactionContext.
+func (s *InstrumentedSource) ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error) {
+	start := time.Now()
+	out, err := SourceReceipt(ctx, s.src, h)
 	s.observe("Receipt", start, err)
 	return out, err
 }

@@ -45,6 +45,21 @@ type Pipeline struct {
 	// BatchSource (default 128). Larger batches mean fewer round trips
 	// but bigger responses.
 	BatchSize int
+	// CheckpointPath, when set, makes Build serialize its state
+	// (dataset + expansion frontier) atomically to this file after the
+	// seed phase and after expansion iterations, so an interrupted
+	// multi-hour build — crash, SIGKILL, fatal source fault — can
+	// continue with Resume instead of starting over. A resumed build
+	// produces a byte-identical dataset.
+	CheckpointPath string
+	// CheckpointEvery writes a checkpoint every N completed expansion
+	// iterations (default 1: every iteration). The seed-phase
+	// checkpoint is always written.
+	CheckpointEvery int
+	// Resume makes Build restore CheckpointPath (when the file exists)
+	// and continue from it instead of rebuilding from the seed. With no
+	// checkpoint file present the build runs fresh.
+	Resume bool
 	// Logger receives structured progress events. When nil, the legacy
 	// Trace callback (if any) is adapted into a logger, so existing
 	// Trace users keep working unchanged.
@@ -79,6 +94,10 @@ type pipelineMetrics struct {
 	fetchBatch      *obs.Histogram
 	fetchWorkers    *obs.Gauge
 	scanWorkers     *obs.Gauge
+	ckptWrites      *obs.Counter
+	ckptBytes       *obs.Gauge
+	ckptResumes     *obs.Counter
+	ckptLastIter    *obs.Gauge
 }
 
 func newPipelineMetrics(r *obs.Registry) pipelineMetrics {
@@ -94,6 +113,10 @@ func newPipelineMetrics(r *obs.Registry) pipelineMetrics {
 		fetchBatch:      r.Histogram("daas_pipeline_fetch_batch_size", "transactions per fetchAll batch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}),
 		fetchWorkers:    r.Gauge("daas_pipeline_fetch_workers", "parallel fetch workers used by the most recent batch"),
 		scanWorkers:     r.Gauge("daas_pipeline_scan_workers", "parallel frontier scanners used by the most recent expansion iteration"),
+		ckptWrites:      r.Counter("daas_checkpoint_writes_total", "pipeline checkpoints written to disk"),
+		ckptBytes:       r.Gauge("daas_checkpoint_bytes", "size of the most recent checkpoint file"),
+		ckptResumes:     r.Counter("daas_checkpoint_resumes_total", "builds resumed from an on-disk checkpoint"),
+		ckptLastIter:    r.Gauge("daas_checkpoint_last_iteration", "expansion iterations completed at the most recent checkpoint"),
 	}
 }
 
@@ -209,7 +232,7 @@ func (p *Pipeline) fetchAll(ctx context.Context, hashes []ethtypes.Hash) ([]fetc
 	}
 	p.pm.fetchWorkers.Set(int64(workers))
 	err := runWorkers(ctx, len(hashes), workers, func(i int) error {
-		pair, err := p.fetchOne(hashes[i])
+		pair, err := p.fetchOne(ctx, hashes[i])
 		if err != nil {
 			return err
 		}
@@ -257,13 +280,15 @@ func (p *Pipeline) fetchBatched(ctx context.Context, bs BatchSource, hashes []et
 }
 
 // fetchOne retrieves one transaction+receipt pair, wrapping any failure
-// with the hash and method so a failed worker is attributable.
-func (p *Pipeline) fetchOne(h ethtypes.Hash) (fetched, error) {
-	tx, err := p.Source.Transaction(h)
+// with the hash and method so a failed worker is attributable. The
+// context reaches the wire when Source implements ContextSource, so
+// cancel-on-first-error aborts in-flight HTTP instead of waiting it out.
+func (p *Pipeline) fetchOne(ctx context.Context, h ethtypes.Hash) (fetched, error) {
+	tx, err := SourceTransaction(ctx, p.Source, h)
 	if err != nil {
 		return fetched{}, fmt.Errorf("core: fetching transaction %s: %w", h, err)
 	}
-	rec, err := p.Source.Receipt(h)
+	rec, err := SourceReceipt(ctx, p.Source, h)
 	if err != nil {
 		return fetched{}, fmt.Errorf("core: fetching receipt %s: %w", h, err)
 	}
@@ -337,7 +362,9 @@ type scanOutcome struct {
 }
 
 // Build runs seed collection, seed dataset construction, and iterative
-// expansion, returning the final dataset.
+// expansion, returning the final dataset. With CheckpointPath set, the
+// state is persisted at iteration boundaries; with Resume, an existing
+// checkpoint is restored and the build continues from it.
 func (p *Pipeline) Build() (*Dataset, error) {
 	if p.Source == nil || p.Labels == nil {
 		return nil, fmt.Errorf("core: pipeline needs a Source and Labels")
@@ -350,10 +377,85 @@ func (p *Pipeline) Build() (*Dataset, error) {
 	ctx, root := obs.Start(ctx, "pipeline.build")
 	defer root.End()
 
-	ds := NewDataset()
-	scannedAccounts := make(map[ethtypes.Address]bool)
-	classified := make(map[ethtypes.Hash]bool)
-	tracker := newFrontierTracker()
+	st, err := p.restoreOrSeed(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: snowball expansion until fixpoint. On resume the loop
+	// picks up at the checkpoint's completed-iteration count; the
+	// frontier is the tracker's restored pending accounts.
+	for iter := st.iterations; iter < p.maxIter(); iter++ {
+		before := st.ds.Stats()
+		// Scan the history of every not-yet-scanned operator and
+		// affiliate account for profit-sharing transactions invoking
+		// unknown contracts.
+		frontier := st.tracker.next(st.scanned)
+		p.pm.frontier.Set(int64(len(frontier)))
+		if len(frontier) == 0 {
+			break
+		}
+		p.pm.iterations.Inc()
+		_, iterSpan := obs.Start(ctx, "pipeline.expand.iter")
+		iterSpan.SetAttr("iter", iter+1)
+		iterSpan.SetAttr("frontier", len(frontier))
+		if err := p.expandIteration(ctx, st.ds, frontier, st.scanned, st.classified, st.tracker); err != nil {
+			iterSpan.End()
+			return nil, err
+		}
+		after := st.ds.Stats()
+		iterSpan.SetAttr("contracts", after.Contracts)
+		iterSpan.SetAttr("profit_txs", after.ProfitTxs)
+		iterSpan.End()
+		p.logger().Info("step 4: expansion iteration finished",
+			"iter", iter+1,
+			"frontier", len(frontier),
+			"contracts", after.Contracts,
+			"operators", after.Operators,
+			"affiliates", after.Affiliates,
+			"profit_txs", after.ProfitTxs)
+		st.iterations = iter + 1
+		if st.iterations%p.checkpointEvery() == 0 {
+			if err := p.checkpoint(st); err != nil {
+				return nil, err
+			}
+		}
+		if after == before {
+			break
+		}
+	}
+	return st.ds, nil
+}
+
+// restoreOrSeed produces the expansion loop's starting state: the
+// checkpoint when resuming and one exists, otherwise a fresh seed
+// build (steps 1–3), checkpointed before expansion begins.
+func (p *Pipeline) restoreOrSeed(ctx context.Context) (*buildState, error) {
+	if p.Resume && p.CheckpointPath != "" {
+		st, err := loadCheckpoint(p.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			p.pm.ckptResumes.Inc()
+			p.pm.ckptLastIter.Set(int64(st.iterations))
+			stats := st.ds.Stats()
+			p.logger().Info("resumed from checkpoint",
+				"path", p.CheckpointPath,
+				"iterations_done", st.iterations,
+				"contracts", stats.Contracts,
+				"pending_accounts", len(st.tracker.ops)+len(st.tracker.affs))
+			return st, nil
+		}
+		p.logger().Info("no checkpoint on disk, building from seed", "path", p.CheckpointPath)
+	}
+
+	st := &buildState{
+		ds:         NewDataset(),
+		scanned:    make(map[ethtypes.Address]bool),
+		classified: make(map[ethtypes.Hash]bool),
+		tracker:    newFrontierTracker(),
+	}
 
 	// Step 1: collect phishing reports from the public sources and keep
 	// the contracts.
@@ -377,56 +479,53 @@ func (p *Pipeline) Build() (*Dataset, error) {
 	// and extract operator/affiliate accounts — the seed dataset.
 	_, absorb := obs.Start(ctx, "pipeline.seed.absorb")
 	for _, addr := range seedContracts {
-		if err := p.absorbContract(ctx, ds, addr, DiscoverySeed, classified, tracker); err != nil {
+		if err := p.absorbContract(ctx, st.ds, addr, DiscoverySeed, st.classified, st.tracker); err != nil {
 			absorb.End()
 			return nil, fmt.Errorf("core: step 2: %w", err)
 		}
 	}
-	ds.SeedStats = ds.Stats()
-	absorb.SetAttr("contracts", ds.SeedStats.Contracts)
-	absorb.SetAttr("profit_txs", ds.SeedStats.ProfitTxs)
+	st.ds.SeedStats = st.ds.Stats()
+	absorb.SetAttr("contracts", st.ds.SeedStats.Contracts)
+	absorb.SetAttr("profit_txs", st.ds.SeedStats.ProfitTxs)
 	absorb.End()
 	p.logger().Info("step 3: seed dataset built",
-		"contracts", ds.SeedStats.Contracts,
-		"operators", ds.SeedStats.Operators,
-		"affiliates", ds.SeedStats.Affiliates,
-		"profit_txs", ds.SeedStats.ProfitTxs)
+		"contracts", st.ds.SeedStats.Contracts,
+		"operators", st.ds.SeedStats.Operators,
+		"affiliates", st.ds.SeedStats.Affiliates,
+		"profit_txs", st.ds.SeedStats.ProfitTxs)
 
-	// Step 4: snowball expansion until fixpoint.
-	for iter := 0; iter < p.maxIter(); iter++ {
-		before := ds.Stats()
-		// Scan the history of every not-yet-scanned operator and
-		// affiliate account for profit-sharing transactions invoking
-		// unknown contracts.
-		frontier := tracker.next(scannedAccounts)
-		p.pm.frontier.Set(int64(len(frontier)))
-		if len(frontier) == 0 {
-			break
-		}
-		p.pm.iterations.Inc()
-		_, iterSpan := obs.Start(ctx, "pipeline.expand.iter")
-		iterSpan.SetAttr("iter", iter+1)
-		iterSpan.SetAttr("frontier", len(frontier))
-		if err := p.expandIteration(ctx, ds, frontier, scannedAccounts, classified, tracker); err != nil {
-			iterSpan.End()
-			return nil, err
-		}
-		after := ds.Stats()
-		iterSpan.SetAttr("contracts", after.Contracts)
-		iterSpan.SetAttr("profit_txs", after.ProfitTxs)
-		iterSpan.End()
-		p.logger().Info("step 4: expansion iteration finished",
-			"iter", iter+1,
-			"frontier", len(frontier),
-			"contracts", after.Contracts,
-			"operators", after.Operators,
-			"affiliates", after.Affiliates,
-			"profit_txs", after.ProfitTxs)
-		if after == before {
-			break
-		}
+	// The seed checkpoint is always written: seeding is the longest
+	// single uninterruptible stretch, so losing it hurts the most.
+	if err := p.checkpoint(st); err != nil {
+		return nil, err
 	}
-	return ds, nil
+	return st, nil
+}
+
+// checkpoint persists st when checkpointing is enabled.
+func (p *Pipeline) checkpoint(st *buildState) error {
+	if p.CheckpointPath == "" {
+		return nil
+	}
+	n, err := writeCheckpoint(p.CheckpointPath, st)
+	if err != nil {
+		return err
+	}
+	p.pm.ckptWrites.Inc()
+	p.pm.ckptBytes.Set(n)
+	p.pm.ckptLastIter.Set(int64(st.iterations))
+	p.logger().Debug("checkpoint written",
+		"path", p.CheckpointPath,
+		"bytes", n,
+		"iterations_done", st.iterations)
+	return nil
+}
+
+func (p *Pipeline) checkpointEvery() int {
+	if p.CheckpointEvery > 0 {
+		return p.CheckpointEvery
+	}
+	return 1
 }
 
 // expandIteration scans one frontier. With Concurrency ≤ 1 each

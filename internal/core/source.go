@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/chain"
 	"repro/internal/ethtypes"
 )
@@ -25,6 +27,37 @@ type ChainSource interface {
 	Receipt(h ethtypes.Hash) (*chain.Receipt, error)
 	// IsContract reports whether the address hosts code.
 	IsContract(addr ethtypes.Address) (bool, error)
+}
+
+// ContextSource is an optional ChainSource extension: sources whose
+// single-object fetches can be cancelled mid-flight. The pipeline's
+// fetch workers call the context variants when available, so
+// cancel-on-first-error aborts in-flight HTTP requests instead of
+// letting them run to their transport timeout. Decorators (metrics,
+// caches, retry, fault injection) forward it unconditionally, checking
+// the wrapped source at call time, so the capability survives
+// wrapping.
+type ContextSource interface {
+	TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error)
+	ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error)
+}
+
+// SourceTransaction fetches one transaction through src, using the
+// context-aware path when src supports it.
+func SourceTransaction(ctx context.Context, src ChainSource, h ethtypes.Hash) (*chain.Transaction, error) {
+	if cs, ok := src.(ContextSource); ok {
+		return cs.TransactionContext(ctx, h)
+	}
+	return src.Transaction(h)
+}
+
+// SourceReceipt fetches one receipt through src, using the
+// context-aware path when src supports it.
+func SourceReceipt(ctx context.Context, src ChainSource, h ethtypes.Hash) (*chain.Receipt, error) {
+	if cs, ok := src.(ContextSource); ok {
+		return cs.ReceiptContext(ctx, h)
+	}
+	return src.Receipt(h)
 }
 
 // BatchSource is an optional ChainSource extension: sources that can

@@ -3,6 +3,8 @@
 package crawler
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,7 +12,15 @@ import (
 	"regexp"
 	"strings"
 	"time"
+
+	"repro/internal/retry"
 )
+
+// ErrTruncated reports a file larger than MaxFileBytes. The crawler
+// refuses to return the clipped prefix: drainer detection fingerprints
+// file contents, and a silently truncated file would hash and match as
+// if it were the whole artifact.
+var ErrTruncated = errors.New("crawler: file exceeds MaxFileBytes")
 
 // Page is the crawl result for one domain.
 type Page struct {
@@ -20,6 +30,9 @@ type Page struct {
 	Files map[string][]byte
 	// RemoteRefs lists external (CDN) script URLs that were not fetched.
 	RemoteRefs []string
+	// Truncated lists referenced local scripts skipped because they
+	// exceed MaxFileBytes; their contents are NOT in Files.
+	Truncated []string
 }
 
 // Crawler fetches sites hosted under a path-virtual-hosted base URL
@@ -29,8 +42,13 @@ type Crawler struct {
 	BaseURL string
 	// HTTPClient defaults to a 15s-timeout client.
 	HTTPClient *http.Client
-	// MaxFileBytes caps each fetched file (default 1 MiB).
+	// MaxFileBytes caps each fetched file (default 1 MiB). A file over
+	// the cap fails with ErrTruncated rather than being clipped.
 	MaxFileBytes int64
+	// Retry, when set, retries transient fetch failures (timeouts, 5xx,
+	// 429, connection resets) under the policy. Nil performs each
+	// request exactly once.
+	Retry *retry.Policy
 }
 
 // New returns a crawler for the hosting endpoint.
@@ -41,7 +59,9 @@ func New(baseURL string) *Crawler {
 var scriptSrcRE = regexp.MustCompile(`(?i)<script[^>]+src=["']([^"']+)["']`)
 
 // Fetch crawls one domain: the index page plus every locally
-// referenced script.
+// referenced script. An oversized script is listed in Page.Truncated
+// instead of Files; an oversized index fails the whole fetch, since
+// script references past the cut would be silently lost.
 func (c *Crawler) Fetch(domain string) (*Page, error) {
 	index, err := c.get(domain, "index.html")
 	if err != nil {
@@ -56,6 +76,10 @@ func (c *Crawler) Fetch(domain string) (*Page, error) {
 		}
 		path := strings.TrimPrefix(strings.TrimPrefix(src, "./"), "/")
 		body, err := c.get(domain, path)
+		if errors.Is(err, ErrTruncated) {
+			page.Truncated = append(page.Truncated, baseName(path))
+			continue
+		}
 		if err != nil {
 			// Missing assets are common in the wild; record nothing and
 			// continue.
@@ -66,7 +90,15 @@ func (c *Crawler) Fetch(domain string) (*Page, error) {
 	return page, nil
 }
 
-func (c *Crawler) get(domain, path string) ([]byte, error) {
+func (c *Crawler) get(domain, path string) (body []byte, err error) {
+	err = c.Retry.Do(context.Background(), "crawler.get", func() error {
+		body, err = c.getOnce(domain, path)
+		return err
+	})
+	return body, err
+}
+
+func (c *Crawler) getOnce(domain, path string) ([]byte, error) {
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 15 * time.Second}
@@ -81,13 +113,22 @@ func (c *Crawler) get(domain, path string) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("http %d for %s", resp.StatusCode, u)
+		return nil, fmt.Errorf("GET %s: %w", u, &retry.HTTPError{Status: resp.StatusCode})
 	}
 	limit := c.MaxFileBytes
 	if limit <= 0 {
 		limit = 1 << 20
 	}
-	return io.ReadAll(io.LimitReader(resp.Body, limit))
+	// Read one byte past the cap: exactly-limit files are legitimate,
+	// and the extra byte is what distinguishes them from clipped ones.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("GET %s: %d+ of max %d bytes: %w", u, len(body), limit, ErrTruncated)
+	}
+	return body, nil
 }
 
 func baseName(path string) string {

@@ -1,6 +1,7 @@
 package crawler_test
 
 import (
+	"errors"
 	"math/rand/v2"
 	"net/http/httptest"
 	"strings"
@@ -71,6 +72,12 @@ func TestFetchUnknownDomain(t *testing.T) {
 	}
 }
 
+// TestFetchRespectsSizeLimit is the regression test for the silent
+// truncation bug: get() used to clip a file at exactly MaxFileBytes
+// and return the prefix as if it were the whole artifact, so an
+// oversized drainer script would be fingerprinted against clipped
+// bytes. An oversized script must now be reported in Page.Truncated,
+// not clipped into Files.
 func TestFetchRespectsSizeLimit(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 3))
 	site := website.BuildBenign("coffeetravel.org", rng)
@@ -78,13 +85,36 @@ func TestFetchRespectsSizeLimit(t *testing.T) {
 	srv := newHostServer(t, site)
 
 	c := crawler.New(srv.URL)
-	c.MaxFileBytes = 100
+	c.MaxFileBytes = int64(len(site.Files["index.html"])) // index fits exactly; main.js does not
 	page, err := c.Fetch("coffeetravel.org")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(page.Files["main.js"]) > 100 {
-		t.Errorf("size limit ignored: %d bytes", len(page.Files["main.js"]))
+	if body, ok := page.Files["main.js"]; ok {
+		t.Errorf("oversized script returned (%d bytes) instead of being skipped", len(body))
+	}
+	if len(page.Truncated) != 1 || page.Truncated[0] != "main.js" {
+		t.Errorf("Truncated = %v, want [main.js]", page.Truncated)
+	}
+	// A file exactly at the limit is legitimate and kept whole.
+	if got, want := len(page.Files["index.html"]), len(site.Files["index.html"]); got != want {
+		t.Errorf("exact-limit file clipped: %d of %d bytes", got, want)
+	}
+}
+
+// TestFetchOversizedIndexFails: a truncated index page cannot be
+// trusted (script references past the cut are lost), so the whole
+// fetch fails with ErrTruncated.
+func TestFetchOversizedIndexFails(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	site := website.BuildBenign("coffeetravel.org", rng)
+	srv := newHostServer(t, site)
+
+	c := crawler.New(srv.URL)
+	c.MaxFileBytes = 16
+	_, err := c.Fetch("coffeetravel.org")
+	if !errors.Is(err, crawler.ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
 	}
 }
 

@@ -6,6 +6,7 @@
 package ct
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // Entry is one log entry: a DER-encoded certificate and its index.
@@ -168,6 +170,10 @@ type Client struct {
 	// Metrics, when set, records poll counts, ingested entries, and
 	// poll latency (daas_ct_* metric names).
 	Metrics *obs.Registry
+	// Retry, when set, retries transient poll failures (timeouts, 5xx,
+	// 429, connection resets) under the policy. Nil performs each
+	// request exactly once.
+	Retry *retry.Policy
 
 	next        int64
 	metricsOnce sync.Once
@@ -177,19 +183,31 @@ type Client struct {
 // clientMetrics caches the client's instruments; all nil (no-op) when
 // Metrics is unset.
 type clientMetrics struct {
-	polls    *obs.Counter
-	entries  *obs.Counter
-	errors   *obs.Counter
-	duration *obs.Histogram
+	polls     *obs.Counter
+	entries   *obs.Counter
+	errors    *obs.Counter
+	badLeaves *obs.Counter
+	duration  *obs.Histogram
 }
 
+// noopClientMetrics serves calls made before Metrics is assigned; nil
+// instruments are no-ops.
+var noopClientMetrics clientMetrics
+
 func (c *Client) metrics() *clientMetrics {
+	// The nil guard must precede the once: a client polled before
+	// Metrics is assigned would otherwise latch no-op instruments
+	// forever and record nothing for the rest of its life.
+	if c.Metrics == nil {
+		return &noopClientMetrics
+	}
 	c.metricsOnce.Do(func() {
 		c.cm = clientMetrics{
-			polls:    c.Metrics.Counter("daas_ct_polls_total", "CT log poll round trips (§8.2 step 1)"),
-			entries:  c.Metrics.Counter("daas_ct_entries_total", "certificate entries ingested from the CT log"),
-			errors:   c.Metrics.Counter("daas_ct_poll_errors_total", "failed CT log polls"),
-			duration: c.Metrics.Histogram("daas_ct_poll_duration_seconds", "CT poll latency", nil),
+			polls:     c.Metrics.Counter("daas_ct_polls_total", "CT log poll round trips (§8.2 step 1)"),
+			entries:   c.Metrics.Counter("daas_ct_entries_total", "certificate entries ingested from the CT log"),
+			errors:    c.Metrics.Counter("daas_ct_poll_errors_total", "failed CT log polls"),
+			badLeaves: c.Metrics.Counter("daas_ct_bad_leaves_total", "undecodable CT log entries skipped by the poller"),
+			duration:  c.Metrics.Histogram("daas_ct_poll_duration_seconds", "CT poll latency", nil),
 		}
 	})
 	return &c.cm
@@ -211,6 +229,14 @@ func (c *Client) TreeSize() (int64, error) {
 
 // Poll fetches entries the client has not seen yet, advancing its
 // cursor. It returns nil when caught up.
+//
+// An undecodable entry (a poison pill in the wild: logs do serve
+// mangled leaves) is skipped and counted in daas_ct_bad_leaves_total
+// rather than failing the batch: failing would leave the cursor parked
+// before the bad entry, and every subsequent poll would re-fetch and
+// re-fail the same window, wedging ingestion forever. The cursor always
+// advances past the polled window; when a window is entirely bad the
+// poll moves on to the next one instead of reporting a false catch-up.
 func (c *Client) Poll() (entries []Entry, err error) {
 	cm := c.metrics()
 	cm.polls.Inc()
@@ -227,30 +253,39 @@ func (c *Client) Poll() (entries []Entry, err error) {
 	if err != nil {
 		return nil, err
 	}
-	if c.next >= size {
-		return nil, nil
-	}
-	end := c.next + c.batch() - 1
-	if end >= size {
-		end = size - 1
-	}
-	var out entriesJSON
-	path := fmt.Sprintf("/ct/v1/get-entries?start=%d&end=%d", c.next, end)
-	if err := c.get(path, &out); err != nil {
-		return nil, err
-	}
-	entries = make([]Entry, 0, len(out.Entries))
-	for _, we := range out.Entries {
-		der, err := base64.StdEncoding.DecodeString(we.LeafCert)
-		if err != nil {
-			return nil, fmt.Errorf("ct: bad leaf at %d: %w", we.Index, err)
+	for c.next < size {
+		end := c.next + c.batch() - 1
+		if end >= size {
+			end = size - 1
 		}
-		entries = append(entries, Entry{Index: we.Index, DER: der, Issued: time.Unix(we.Issued, 0).UTC()})
+		var out entriesJSON
+		path := fmt.Sprintf("/ct/v1/get-entries?start=%d&end=%d", c.next, end)
+		if err := c.get(path, &out); err != nil {
+			return nil, err
+		}
+		if len(out.Entries) == 0 {
+			return nil, nil
+		}
+		advanced := c.next
+		for _, we := range out.Entries {
+			if we.Index >= advanced {
+				advanced = we.Index + 1
+			}
+			der, err := base64.StdEncoding.DecodeString(we.LeafCert)
+			if err != nil {
+				cm.badLeaves.Inc()
+				continue
+			}
+			entries = append(entries, Entry{Index: we.Index, DER: der, Issued: time.Unix(we.Issued, 0).UTC()})
+		}
+		c.next = advanced
+		if len(entries) > 0 {
+			return entries, nil
+		}
+		// Whole window was poison; keep going so an all-bad stretch
+		// does not masquerade as "caught up".
 	}
-	if len(entries) > 0 {
-		c.next = entries[len(entries)-1].Index + 1
-	}
-	return entries, nil
+	return nil, nil
 }
 
 func (c *Client) batch() int64 {
@@ -261,6 +296,12 @@ func (c *Client) batch() int64 {
 }
 
 func (c *Client) get(path string, v any) error {
+	return c.Retry.Do(context.Background(), "ct.get", func() error {
+		return c.getOnce(path, v)
+	})
+}
+
+func (c *Client) getOnce(path string, v any) error {
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
@@ -271,7 +312,7 @@ func (c *Client) get(path string, v any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("ct: GET %s: http %d", path, resp.StatusCode)
+		return fmt.Errorf("ct: GET %s: %w", path, &retry.HTTPError{Status: resp.StatusCode})
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
 }

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+)
+
+// Source decorates a core.ChainSource with the injector: every chain
+// read first rolls the fault schedule and errors when a fault lands.
+// It forwards the optional source capabilities (batching, bytecode,
+// context-aware fetches) so the pipeline under test exercises the same
+// code paths it would against the clean source.
+type Source struct {
+	src core.ChainSource
+	inj *Injector
+}
+
+// WrapSource returns src with the injector in front of it.
+func WrapSource(src core.ChainSource, inj *Injector) *Source {
+	return &Source{src: src, inj: inj}
+}
+
+// Unwrap returns the wrapped source.
+func (s *Source) Unwrap() core.ChainSource { return s.src }
+
+// fault rolls the schedule for one operation.
+func (s *Source) fault(op string) error {
+	if kind, fatal, ok := s.inj.roll(); ok {
+		return sourceError(kind, fatal, op)
+	}
+	return nil
+}
+
+// TransactionsOf implements core.ChainSource.
+func (s *Source) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
+	if err := s.fault("TransactionsOf"); err != nil {
+		return nil, err
+	}
+	return s.src.TransactionsOf(addr)
+}
+
+// Transaction implements core.ChainSource.
+func (s *Source) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	if err := s.fault("Transaction"); err != nil {
+		return nil, err
+	}
+	return s.src.Transaction(h)
+}
+
+// Receipt implements core.ChainSource.
+func (s *Source) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	if err := s.fault("Receipt"); err != nil {
+		return nil, err
+	}
+	return s.src.Receipt(h)
+}
+
+// TransactionContext implements core.ContextSource.
+func (s *Source) TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error) {
+	if err := s.fault("Transaction"); err != nil {
+		return nil, err
+	}
+	return core.SourceTransaction(ctx, s.src, h)
+}
+
+// ReceiptContext implements core.ContextSource.
+func (s *Source) ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error) {
+	if err := s.fault("Receipt"); err != nil {
+		return nil, err
+	}
+	return core.SourceReceipt(ctx, s.src, h)
+}
+
+// IsContract implements core.ChainSource.
+func (s *Source) IsContract(addr ethtypes.Address) (bool, error) {
+	if err := s.fault("IsContract"); err != nil {
+		return false, err
+	}
+	return s.src.IsContract(addr)
+}
+
+// Code implements core.CodeSource when the wrapped source does.
+func (s *Source) Code(addr ethtypes.Address) ([]byte, error) {
+	cs, ok := s.src.(core.CodeSource)
+	if !ok {
+		return nil, fmt.Errorf("faults: source %T does not serve bytecode", s.src)
+	}
+	if err := s.fault("Code"); err != nil {
+		return nil, err
+	}
+	return cs.Code(addr)
+}
+
+// BatchTransactions implements core.BatchSource, degrading to per-item
+// fetches when the wrapped source cannot batch (one roll per batch
+// either way — a batch is one wire operation).
+func (s *Source) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error) {
+	if err := s.fault("BatchTransactions"); err != nil {
+		return nil, err
+	}
+	if bs, ok := s.src.(core.BatchSource); ok {
+		return bs.BatchTransactions(hs)
+	}
+	out := make([]*chain.Transaction, len(hs))
+	for i, h := range hs {
+		tx, err := s.src.Transaction(h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tx
+	}
+	return out, nil
+}
+
+// BatchReceipts implements core.BatchSource; see BatchTransactions.
+func (s *Source) BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error) {
+	if err := s.fault("BatchReceipts"); err != nil {
+		return nil, err
+	}
+	if bs, ok := s.src.(core.BatchSource); ok {
+		return bs.BatchReceipts(hs)
+	}
+	out := make([]*chain.Receipt, len(hs))
+	for i, h := range hs {
+		rec, err := s.src.Receipt(h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec
+	}
+	return out, nil
+}

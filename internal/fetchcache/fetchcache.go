@@ -14,6 +14,7 @@ package fetchcache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
@@ -174,6 +175,45 @@ func (s *Source) get(k key, fetch func() (any, error)) (any, error) {
 	}
 	<-e.ready
 	return e.val, e.err
+}
+
+// getCtx is the context-aware single-fetch read path: the owner's
+// fetch carries the caller's context (a cancelled fetch settles as an
+// error, which is never cached — see settle), and a waiter abandons
+// the in-flight entry when its own context is cancelled.
+func (s *Source) getCtx(ctx context.Context, k key, fetch func() (any, error)) (any, error) {
+	e, owned := s.lookup(k)
+	if owned {
+		val, err := fetch()
+		s.settle(k, e, val, err)
+		return val, err
+	}
+	select {
+	case <-e.ready:
+		return e.val, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TransactionContext implements core.ContextSource: a cache miss
+// forwards the context to the wrapped source so cancellation aborts the
+// in-flight fetch instead of waiting it out.
+func (s *Source) TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error) {
+	v, err := s.getCtx(ctx, key{kindTx, h}, func() (any, error) { return core.SourceTransaction(ctx, s.src, h) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chain.Transaction), nil
+}
+
+// ReceiptContext implements core.ContextSource; see TransactionContext.
+func (s *Source) ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error) {
+	v, err := s.getCtx(ctx, key{kindReceipt, h}, func() (any, error) { return core.SourceReceipt(ctx, s.src, h) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chain.Receipt), nil
 }
 
 // Transaction implements core.ChainSource.

@@ -1,0 +1,195 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a circuit breaker state.
+type State int
+
+// Breaker states, ordered so the exported gauge reads naturally:
+// 0 = healthy, 2 = fully open.
+const (
+	StateClosed State = iota
+	StateHalfOpen
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrOpen is returned by Allow while the breaker is open (and by a
+// half-open breaker that already admitted its probe). It classifies as
+// fatal, so policies fail fast instead of backing off against a
+// breaker that will refuse them anyway.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker. Closed, it admits
+// everything; Threshold consecutive transient failures open it; after
+// Cooldown it half-opens and admits a single probe, whose outcome
+// closes or re-opens it. Safe for concurrent use. A nil *Breaker
+// admits everything.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// probe (default 30s).
+	Cooldown time.Duration
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+	// Metrics, when set, exports daas_breaker_state{scope} (0 closed,
+	// 1 half-open, 2 open) and daas_breaker_transitions_total{scope,to}.
+	Metrics *obs.Registry
+	// Scope labels the breaker's metrics (e.g. "rpc", "ct", "crawler").
+	Scope string
+
+	mu       sync.Mutex
+	state    State
+	fails    int
+	openedAt time.Time
+	probing  bool
+
+	metricsOnce sync.Once
+	bm          breakerMetrics
+}
+
+type breakerMetrics struct {
+	state       *obs.Gauge
+	transitions *obs.CounterVec
+}
+
+var noopBreakerMetrics breakerMetrics
+
+func (b *Breaker) metrics() *breakerMetrics {
+	// Nil guard before the once, so late Metrics assignment is not
+	// latched into no-ops.
+	if b.Metrics == nil {
+		return &noopBreakerMetrics
+	}
+	b.metricsOnce.Do(func() {
+		b.bm = breakerMetrics{
+			state:       b.Metrics.GaugeVec("daas_breaker_state", "circuit breaker state (0 closed, 1 half-open, 2 open)", "scope").With(b.Scope),
+			transitions: b.Metrics.CounterVec("daas_breaker_transitions_total", "circuit breaker state transitions", "scope", "to"),
+		}
+	})
+	return &b.bm
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 30 * time.Second
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// transition must be called with b.mu held.
+func (b *Breaker) transition(to State) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	bm := b.metrics()
+	bm.state.Set(int64(to))
+	bm.transitions.With(b.Scope, to.String()).Inc()
+}
+
+// State reports the current state, applying the cooldown (an open
+// breaker past its cooldown reads half-open).
+func (b *Breaker) State() State {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cooldown() {
+		b.transition(StateHalfOpen)
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed: nil when admitted, ErrOpen
+// (wrapped) when the breaker is open or its half-open probe slot is
+// taken. A nil breaker admits everything.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return nil
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return ErrOpen
+		}
+		b.transition(StateHalfOpen)
+		b.probing = true
+		return nil
+	default: // StateHalfOpen
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports one admitted call's outcome. Only transient
+// (infrastructure) failures count toward opening: an application-level
+// error proves the backend is responsive.
+func (b *Breaker) Record(transientFailure bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if transientFailure {
+		b.fails++
+		switch {
+		case b.state == StateHalfOpen:
+			// The probe failed: back to a full cooldown.
+			b.probing = false
+			b.openedAt = b.now()
+			b.transition(StateOpen)
+		case b.state == StateClosed && b.fails >= b.threshold():
+			b.openedAt = b.now()
+			b.transition(StateOpen)
+		}
+		return
+	}
+	b.fails = 0
+	b.probing = false
+	if b.state != StateClosed {
+		b.transition(StateClosed)
+	}
+}

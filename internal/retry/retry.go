@@ -1,0 +1,344 @@
+// Package retry implements the resilience layer of the measurement
+// infrastructure: a deterministic exponential-backoff retry policy
+// with per-error classification, an optional shared retry budget, and
+// a circuit breaker.
+//
+// The live counterparts of this repository's substituted inputs are
+// flaky by nature — public RPC gateways rate-limit and shed load, CT
+// log frontends return 5xx under bursts, and phishing sites vanish
+// mid-crawl — so a single transient fault must never abort a
+// multi-hour snowball build or wedge the CT→crawl funnel. Every
+// network-facing client (internal/rpc, internal/ct, internal/crawler)
+// and, optionally, the pipeline's ChainSource accept a *Policy and
+// route their calls through Do.
+//
+// Backoff is deterministic (no jitter): given the same fault schedule
+// the retry sequence is identical run to run, which keeps the
+// fault-injection tests (internal/faults) reproducible and lets the
+// pipeline's byte-identical-output guarantee extend to faulted runs.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Class is the retry classification of an error.
+type Class int
+
+// Error classes.
+const (
+	// ClassFatal errors are returned immediately: the request is
+	// malformed, the response is a definitive application-level answer
+	// (JSON-RPC error object, HTTP 4xx other than 429), or the caller
+	// cancelled.
+	ClassFatal Class = iota
+	// ClassTransient errors are worth retrying: timeouts, connection
+	// resets, HTTP 5xx and 429, truncated response bodies.
+	ClassTransient
+)
+
+func (c Class) String() string {
+	if c == ClassTransient {
+		return "transient"
+	}
+	return "fatal"
+}
+
+// HTTPError carries an HTTP status code through error wrapping, so the
+// classifier can distinguish a retryable 503 from a definitive 404
+// regardless of which client produced it.
+type HTTPError struct {
+	Status int
+}
+
+func (e *HTTPError) Error() string { return fmt.Sprintf("http %d", e.Status) }
+
+// markedError pins a classification onto a wrapped error, overriding
+// the default classifier.
+type markedError struct {
+	err   error
+	class Class
+}
+
+func (m *markedError) Error() string { return m.err.Error() }
+func (m *markedError) Unwrap() error { return m.err }
+
+// Transient marks err as retryable regardless of its shape.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &markedError{err: err, class: ClassTransient}
+}
+
+// Fatal marks err as non-retryable regardless of its shape.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &markedError{err: err, class: ClassFatal}
+}
+
+// Classify is the default classifier: explicit marks win, then HTTP
+// status (5xx and 429 are transient), then transport-level signals
+// (timeouts, connection resets/refusals, truncated bodies). Everything
+// unrecognized is fatal — retrying an error we cannot attribute to
+// infrastructure risks hammering a server with a request it already
+// rejected for cause.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassFatal
+	}
+	var marked *markedError
+	if errors.As(err, &marked) {
+		return marked.class
+	}
+	var httpErr *HTTPError
+	if errors.As(err, &httpErr) {
+		if httpErr.Status == 429 || httpErr.Status >= 500 {
+			return ClassTransient
+		}
+		return ClassFatal
+	}
+	// A caller-initiated cancel is final. Deadline expiry falls through
+	// to the net.Error timeout check: an HTTP client timeout surfaces
+	// as a *url.Error that is both a deadline and a timeout, and a
+	// timed-out attempt is exactly what backoff exists for.
+	if errors.Is(err, context.Canceled) {
+		return ClassFatal
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return ClassTransient
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ClassTransient
+	}
+	return ClassFatal
+}
+
+// Budget caps the total number of retries (attempts beyond each
+// operation's first try) a group of operations may spend, preventing
+// retry amplification when a whole backend goes down: once the budget
+// is exhausted every operation gets exactly one try. The zero value
+// has no budget to spend; share one *Budget across policies to bound a
+// subsystem.
+type Budget struct {
+	// Max is the total number of retries the budget grants.
+	Max int64
+
+	used atomic.Int64
+}
+
+// take consumes one retry from the budget, reporting whether one was
+// available. A nil budget is unlimited.
+func (b *Budget) take() bool {
+	if b == nil {
+		return true
+	}
+	for {
+		u := b.used.Load()
+		if u >= b.Max {
+			return false
+		}
+		if b.used.CompareAndSwap(u, u+1) {
+			return true
+		}
+	}
+}
+
+// Used reports how many retries the budget has granted so far.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Policy is a deterministic exponential-backoff retry policy. The zero
+// value (and a nil *Policy) performs no retries; Default returns the
+// production configuration. Policies are safe for concurrent use.
+type Policy struct {
+	// MaxAttempts bounds the total tries per operation, first try
+	// included (default 4: one try plus three retries).
+	MaxAttempts int
+	// BaseDelay is the sleep before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per retry (default 2).
+	Multiplier float64
+	// Classify decides which errors are worth retrying (default
+	// Classify).
+	Classify func(error) Class
+	// Budget, when set, bounds total retries across every operation
+	// sharing it.
+	Budget *Budget
+	// Breaker, when set, short-circuits calls while the backend is
+	// failing hard (see Breaker).
+	Breaker *Breaker
+	// Metrics, when set, records daas_retry_attempts_total{op},
+	// daas_retry_retries_total{op}, and daas_retry_giveups_total{op}.
+	Metrics *obs.Registry
+	// Logger, when set, receives one Debug event per retry.
+	Logger *obs.Logger
+	// Sleep is the backoff sleeper, injectable for tests. The default
+	// honors ctx cancellation. It never runs with a zero or negative
+	// duration.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	metricsOnce sync.Once
+	pm          policyMetrics
+}
+
+// policyMetrics caches the policy's instruments; all nil (no-op) when
+// Metrics is unset.
+type policyMetrics struct {
+	attempts *obs.CounterVec
+	retries  *obs.CounterVec
+	giveups  *obs.CounterVec
+}
+
+var noopPolicyMetrics policyMetrics
+
+func (p *Policy) metrics() *policyMetrics {
+	// The nil guard precedes the once: a policy used before Metrics is
+	// assigned must not latch no-op instruments forever (the latch bug
+	// fixed in rpc.Client and ct.Client).
+	if p.Metrics == nil {
+		return &noopPolicyMetrics
+	}
+	p.metricsOnce.Do(func() {
+		p.pm = policyMetrics{
+			attempts: p.Metrics.CounterVec("daas_retry_attempts_total", "tries per retryable operation (first try included)", "op"),
+			retries:  p.Metrics.CounterVec("daas_retry_retries_total", "retries performed after transient failures", "op"),
+			giveups:  p.Metrics.CounterVec("daas_retry_giveups_total", "operations abandoned with attempts or budget exhausted", "op"),
+		}
+	})
+	return &p.pm
+}
+
+// Default returns the production retry policy: 4 attempts, 50ms base
+// delay doubling to a 5s cap.
+func Default() *Policy {
+	return &Policy{}
+}
+
+func (p *Policy) maxAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 4
+}
+
+func (p *Policy) baseDelay() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 50 * time.Millisecond
+}
+
+func (p *Policy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 5 * time.Second
+}
+
+func (p *Policy) multiplier() float64 {
+	if p.Multiplier > 1 {
+		return p.Multiplier
+	}
+	return 2
+}
+
+func (p *Policy) classify(err error) Class {
+	if p.Classify != nil {
+		return p.Classify(err)
+	}
+	return Classify(err)
+}
+
+// Delay returns the deterministic backoff before retry number retry
+// (1-based): BaseDelay·Multiplier^(retry-1), capped at MaxDelay.
+func (p *Policy) Delay(retry int) time.Duration {
+	d := float64(p.baseDelay())
+	mul := p.multiplier()
+	for i := 1; i < retry; i++ {
+		d *= mul
+		if d >= float64(p.maxDelay()) {
+			return p.maxDelay()
+		}
+	}
+	if d >= float64(p.maxDelay()) {
+		return p.maxDelay()
+	}
+	return time.Duration(d)
+}
+
+func (p *Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn under the policy: transient failures are retried with
+// exponential backoff until success, a fatal error, attempt
+// exhaustion, budget exhaustion, an open breaker, or ctx cancellation.
+// The returned error is fn's last error (or the breaker's / context's
+// refusal), never a new synthetic one, so callers' error wrapping and
+// inspection work unchanged. A nil policy runs fn exactly once.
+func (p *Policy) Do(ctx context.Context, op string, fn func() error) error {
+	if p == nil {
+		return fn()
+	}
+	pm := p.metrics()
+	max := p.maxAttempts()
+	for attempt := 1; ; attempt++ {
+		if err := p.Breaker.Allow(); err != nil {
+			pm.giveups.With(op).Inc()
+			return fmt.Errorf("retry: %s: %w", op, err)
+		}
+		pm.attempts.With(op).Inc()
+		err := fn()
+		if err == nil {
+			p.Breaker.Record(false)
+			return nil
+		}
+		class := p.classify(err)
+		p.Breaker.Record(class == ClassTransient)
+		if class != ClassTransient {
+			return err
+		}
+		if attempt >= max || ctx.Err() != nil || !p.Budget.take() {
+			pm.giveups.With(op).Inc()
+			return err
+		}
+		pm.retries.With(op).Inc()
+		delay := p.Delay(attempt)
+		p.Logger.Debug("retrying after transient failure",
+			"op", op, "attempt", attempt, "delay", delay.String(), "err", err.Error())
+		if serr := p.sleep(ctx, delay); serr != nil {
+			return err
+		}
+	}
+}

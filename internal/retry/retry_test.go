@@ -1,0 +1,280 @@
+package retry_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/retry"
+)
+
+// recordedSleeps swaps the policy's sleeper for an instant recorder.
+func recordedSleeps(p *retry.Policy) *[]time.Duration {
+	var sleeps []time.Duration
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps = append(sleeps, d)
+		return nil
+	}
+	return &sleeps
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	p := &retry.Policy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond}
+	sleeps := recordedSleeps(p)
+	calls := 0
+	err := p.Do(context.Background(), "op", func() error {
+		calls++
+		if calls < 3 {
+			return retry.Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", *sleeps, want)
+	}
+	for i, d := range want {
+		if (*sleeps)[i] != d {
+			t.Errorf("sleep %d = %v, want %v (deterministic backoff)", i, (*sleeps)[i], d)
+		}
+	}
+}
+
+func TestDoStopsOnFatal(t *testing.T) {
+	p := &retry.Policy{}
+	recordedSleeps(p)
+	calls := 0
+	fatal := errors.New("definitive rejection")
+	err := p.Do(context.Background(), "op", func() error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) {
+		t.Fatalf("Do = %v, want the fatal error", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (no retry on fatal)", calls)
+	}
+}
+
+func TestDoBoundedAttempts(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := &retry.Policy{MaxAttempts: 3, Metrics: reg}
+	recordedSleeps(p)
+	calls := 0
+	base := errors.New("still down")
+	err := p.Do(context.Background(), "op", func() error {
+		calls++
+		return retry.Transient(base)
+	})
+	if !errors.Is(err, base) {
+		t.Fatalf("Do = %v, want last error", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want MaxAttempts=3", calls)
+	}
+	if got := reg.CounterVec("daas_retry_attempts_total", "", "op").With("op").Value(); got != 3 {
+		t.Errorf("attempts counter = %d, want 3", got)
+	}
+	if got := reg.CounterVec("daas_retry_giveups_total", "", "op").With("op").Value(); got != 1 {
+		t.Errorf("giveups counter = %d, want 1", got)
+	}
+}
+
+func TestDelayCapsAtMaxDelay(t *testing.T) {
+	p := &retry.Policy{BaseDelay: time.Second, MaxDelay: 3 * time.Second}
+	if d := p.Delay(1); d != time.Second {
+		t.Errorf("Delay(1) = %v", d)
+	}
+	if d := p.Delay(2); d != 2*time.Second {
+		t.Errorf("Delay(2) = %v", d)
+	}
+	if d := p.Delay(3); d != 3*time.Second {
+		t.Errorf("Delay(3) = %v, want capped 3s", d)
+	}
+	if d := p.Delay(20); d != 3*time.Second {
+		t.Errorf("Delay(20) = %v, want capped 3s", d)
+	}
+}
+
+func TestNilPolicyRunsOnce(t *testing.T) {
+	var p *retry.Policy
+	calls := 0
+	err := p.Do(context.Background(), "op", func() error {
+		calls++
+		return retry.Transient(errors.New("flaky"))
+	})
+	if err == nil || calls != 1 {
+		t.Errorf("nil policy: calls = %d, err = %v; want 1 call, error through", calls, err)
+	}
+}
+
+func TestBudgetBoundsRetriesAcrossOps(t *testing.T) {
+	budget := &retry.Budget{Max: 2}
+	p := &retry.Policy{MaxAttempts: 10, Budget: budget}
+	recordedSleeps(p)
+	totalCalls := 0
+	for i := 0; i < 3; i++ {
+		_ = p.Do(context.Background(), "op", func() error {
+			totalCalls++
+			return retry.Transient(errors.New("down"))
+		})
+	}
+	// 3 first tries plus the 2 budgeted retries.
+	if totalCalls != 5 {
+		t.Errorf("total calls = %d, want 5 (budget caps retries at 2)", totalCalls)
+	}
+	if budget.Used() != 2 {
+		t.Errorf("budget used = %d, want 2", budget.Used())
+	}
+}
+
+func TestDoRespectsContextCancellation(t *testing.T) {
+	p := &retry.Policy{MaxAttempts: 100}
+	recordedSleeps(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	base := errors.New("down")
+	err := p.Do(ctx, "op", func() error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return retry.Transient(base)
+	})
+	if !errors.Is(err, base) {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (cancel stops the retry loop)", calls)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want retry.Class
+	}{
+		{"http 503", &retry.HTTPError{Status: 503}, retry.ClassTransient},
+		{"http 429", &retry.HTTPError{Status: 429}, retry.ClassTransient},
+		{"http 404", &retry.HTTPError{Status: 404}, retry.ClassFatal},
+		{"wrapped http 500", fmt.Errorf("rpc: call: %w", &retry.HTTPError{Status: 500}), retry.ClassTransient},
+		{"conn reset", fmt.Errorf("read: %w", syscall.ECONNRESET), retry.ClassTransient},
+		{"conn refused", syscall.ECONNREFUSED, retry.ClassTransient},
+		{"truncated body", io.ErrUnexpectedEOF, retry.ClassTransient},
+		{"net timeout", &net.DNSError{IsTimeout: true}, retry.ClassTransient},
+		{"context canceled", context.Canceled, retry.ClassFatal},
+		{"plain error", errors.New("no such method"), retry.ClassFatal},
+		{"marked transient", retry.Transient(errors.New("anything")), retry.ClassTransient},
+		{"marked fatal", retry.Fatal(&retry.HTTPError{Status: 503}), retry.ClassFatal},
+	}
+	for _, tc := range cases {
+		if got := retry.Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBreakerOpensHalfOpensCloses(t *testing.T) {
+	now := time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+	reg := obs.NewRegistry()
+	b := &retry.Breaker{
+		Threshold: 2,
+		Cooldown:  10 * time.Second,
+		Now:       func() time.Time { return now },
+		Metrics:   reg,
+		Scope:     "test",
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+	b.Record(true)
+	b.Record(true) // threshold reached → open
+	if got := b.State(); got != retry.StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("open breaker admitted a call (err = %v)", err)
+	}
+	// Cooldown elapses → half-open, exactly one probe admitted.
+	now = now.Add(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker refused the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("half-open breaker admitted a second probe (err = %v)", err)
+	}
+	// Probe fails → open again for a full cooldown.
+	b.Record(true)
+	if got := b.State(); got != retry.StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	now = now.Add(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	// Probe succeeds → closed.
+	b.Record(false)
+	if got := b.State(); got != retry.StateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+	if got := reg.GaugeVec("daas_breaker_state", "", "scope").With("test").Value(); got != int64(retry.StateClosed) {
+		t.Errorf("daas_breaker_state = %d, want %d", got, retry.StateClosed)
+	}
+}
+
+func TestPolicyFailsFastWhileBreakerOpen(t *testing.T) {
+	now := time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC)
+	b := &retry.Breaker{Threshold: 1, Cooldown: time.Hour, Now: func() time.Time { return now }}
+	p := &retry.Policy{MaxAttempts: 10, Breaker: b}
+	recordedSleeps(p)
+	calls := 0
+	_ = p.Do(context.Background(), "op", func() error {
+		calls++
+		return retry.Transient(errors.New("down"))
+	})
+	// First transient failure trips the Threshold=1 breaker; the retry
+	// loop's next Allow refuses, so only one call lands.
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (breaker opened mid-retry)", calls)
+	}
+	err := p.Do(context.Background(), "op", func() error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("Do under open breaker = %v, want ErrOpen", err)
+	}
+	if calls != 1 {
+		t.Errorf("open breaker still admitted a call")
+	}
+}
+
+func TestLateMetricsAssignmentIsNotLatched(t *testing.T) {
+	p := &retry.Policy{MaxAttempts: 2}
+	recordedSleeps(p)
+	// First use without metrics must not latch no-op instruments.
+	_ = p.Do(context.Background(), "op", func() error { return nil })
+	reg := obs.NewRegistry()
+	p.Metrics = reg
+	_ = p.Do(context.Background(), "op", func() error { return nil })
+	if got := reg.CounterVec("daas_retry_attempts_total", "", "op").With("op").Value(); got != 1 {
+		t.Errorf("attempts after late assignment = %d, want 1", got)
+	}
+}

@@ -1,0 +1,152 @@
+package retry
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+)
+
+// Source decorates a core.ChainSource with the retry policy, so the
+// snowball pipeline survives transient source faults (a gateway 5xx, a
+// dropped connection) without aborting a multi-hour build. It forwards
+// every optional source capability — batching, bytecode, and
+// context-aware fetches — so wrapping never hides them from the
+// pipeline's capability detection.
+type Source struct {
+	src    core.ChainSource
+	policy *Policy
+}
+
+// WrapSource returns src wrapped in the policy; a nil policy returns
+// src unchanged.
+func WrapSource(src core.ChainSource, p *Policy) core.ChainSource {
+	if p == nil {
+		return src
+	}
+	return &Source{src: src, policy: p}
+}
+
+// Unwrap returns the wrapped source.
+func (s *Source) Unwrap() core.ChainSource { return s.src }
+
+// TransactionsOf implements core.ChainSource.
+func (s *Source) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
+	var out []ethtypes.Hash
+	err := s.policy.Do(context.Background(), "TransactionsOf", func() error {
+		var err error
+		out, err = s.src.TransactionsOf(addr)
+		return err
+	})
+	return out, err
+}
+
+// Transaction implements core.ChainSource.
+func (s *Source) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	return s.TransactionContext(context.Background(), h)
+}
+
+// Receipt implements core.ChainSource.
+func (s *Source) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	return s.ReceiptContext(context.Background(), h)
+}
+
+// TransactionContext implements core.ContextSource, retrying under ctx.
+func (s *Source) TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error) {
+	var out *chain.Transaction
+	err := s.policy.Do(ctx, "Transaction", func() error {
+		var err error
+		out, err = core.SourceTransaction(ctx, s.src, h)
+		return err
+	})
+	return out, err
+}
+
+// ReceiptContext implements core.ContextSource, retrying under ctx.
+func (s *Source) ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error) {
+	var out *chain.Receipt
+	err := s.policy.Do(ctx, "Receipt", func() error {
+		var err error
+		out, err = core.SourceReceipt(ctx, s.src, h)
+		return err
+	})
+	return out, err
+}
+
+// IsContract implements core.ChainSource.
+func (s *Source) IsContract(addr ethtypes.Address) (bool, error) {
+	var out bool
+	err := s.policy.Do(context.Background(), "IsContract", func() error {
+		var err error
+		out, err = s.src.IsContract(addr)
+		return err
+	})
+	return out, err
+}
+
+// Code implements core.CodeSource when the wrapped source does.
+func (s *Source) Code(addr ethtypes.Address) ([]byte, error) {
+	cs, ok := s.src.(core.CodeSource)
+	if !ok {
+		return nil, fmt.Errorf("retry: source %T does not serve bytecode", s.src)
+	}
+	var out []byte
+	err := s.policy.Do(context.Background(), "Code", func() error {
+		var err error
+		out, err = cs.Code(addr)
+		return err
+	})
+	return out, err
+}
+
+// BatchTransactions implements core.BatchSource, degrading to per-item
+// fetches when the wrapped source cannot batch. Retrying the whole
+// batch is safe: batch reads are idempotent, and the fetch cache (when
+// layered above) never caches failures, so a retried batch re-fetches
+// exactly the hashes that failed.
+func (s *Source) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error) {
+	bs, ok := s.src.(core.BatchSource)
+	if !ok {
+		out := make([]*chain.Transaction, len(hs))
+		for i, h := range hs {
+			tx, err := s.Transaction(h)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = tx
+		}
+		return out, nil
+	}
+	var out []*chain.Transaction
+	err := s.policy.Do(context.Background(), "BatchTransactions", func() error {
+		var err error
+		out, err = bs.BatchTransactions(hs)
+		return err
+	})
+	return out, err
+}
+
+// BatchReceipts implements core.BatchSource; see BatchTransactions.
+func (s *Source) BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error) {
+	bs, ok := s.src.(core.BatchSource)
+	if !ok {
+		out := make([]*chain.Receipt, len(hs))
+		for i, h := range hs {
+			rec, err := s.Receipt(h)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = rec
+		}
+		return out, nil
+	}
+	var out []*chain.Receipt
+	err := s.policy.Do(context.Background(), "BatchReceipts", func() error {
+		var err error
+		out, err = bs.BatchReceipts(hs)
+		return err
+	})
+	return out, err
+}

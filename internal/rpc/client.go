@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/ethtypes"
 	"repro/internal/labels"
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // Client talks JSON-RPC to a Server and satisfies core.ChainSource.
@@ -27,6 +29,10 @@ type Client struct {
 	// Metrics, when set, records per-method request counts, errors, and
 	// latency histograms (daas_rpc_* metric names).
 	Metrics *obs.Registry
+	// Retry, when set, retries transient request failures (timeouts,
+	// 5xx, 429, connection resets) under the policy. Nil performs each
+	// request exactly once.
+	Retry *retry.Policy
 
 	nextID      atomic.Int64
 	metricsOnce sync.Once
@@ -67,16 +73,15 @@ func NewClient(url string) *Client {
 	return &Client{URL: url, HTTPClient: &http.Client{Timeout: 30 * time.Second}}
 }
 
-func (c *Client) call(method string, params any, result any) (err error) {
-	cm := c.metrics()
-	cm.requests.With(method).Inc()
-	start := time.Now()
-	defer func() {
-		cm.latency.With(method).ObserveDuration(time.Since(start))
-		if err != nil {
-			cm.errors.With(method).Inc()
-		}
-	}()
+func (c *Client) call(method string, params any, result any) error {
+	return c.callContext(context.Background(), method, params, result)
+}
+
+// callContext issues one JSON-RPC request under the retry policy. The
+// context travels down to the HTTP exchange, so cancelling it aborts
+// an in-flight request (and any backoff sleep) instead of waiting out
+// the HTTP client timeout.
+func (c *Client) callContext(ctx context.Context, method string, params any, result any) error {
 	raw, err := json.Marshal(params)
 	if err != nil {
 		return fmt.Errorf("rpc: encoding params: %w", err)
@@ -86,18 +91,29 @@ func (c *Client) call(method string, params any, result any) (err error) {
 	if err != nil {
 		return err
 	}
-	httpClient := c.HTTPClient
-	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
-	}
-	resp, err := httpClient.Post(c.URL, "application/json", bytes.NewReader(body))
+	return c.Retry.Do(ctx, method, func() error {
+		return c.callOnce(ctx, method, body, result)
+	})
+}
+
+// callOnce performs one wire attempt; each attempt is instrumented
+// separately so daas_rpc_requests_total counts what actually hit the
+// server.
+func (c *Client) callOnce(ctx context.Context, method string, body []byte, result any) (err error) {
+	cm := c.metrics()
+	cm.requests.With(method).Inc()
+	start := time.Now()
+	defer func() {
+		cm.latency.With(method).ObserveDuration(time.Since(start))
+		if err != nil {
+			cm.errors.With(method).Inc()
+		}
+	}()
+	resp, err := c.post(ctx, body)
 	if err != nil {
 		return fmt.Errorf("rpc: %s: %w", method, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("rpc: %s: http %d", method, resp.StatusCode)
-	}
 	var out response
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return fmt.Errorf("rpc: %s: decoding response: %w", method, err)
@@ -112,19 +128,26 @@ func (c *Client) call(method string, params any, result any) (err error) {
 }
 
 // post sends one request body and returns the HTTP response body
-// reader; the caller must close it.
-func (c *Client) post(body []byte) (*http.Response, error) {
+// reader; the caller must close it. A non-200 status surfaces as a
+// *retry.HTTPError so the policy can tell a retryable 503 from a
+// definitive 400.
+func (c *Client) post(ctx context.Context, body []byte) (*http.Response, error) {
 	httpClient := c.HTTPClient
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	resp, err := httpClient.Post(c.URL, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := httpClient.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		resp.Body.Close()
-		return nil, fmt.Errorf("http %d", resp.StatusCode)
+		return nil, &retry.HTTPError{Status: resp.StatusCode}
 	}
 	return resp, nil
 }
@@ -133,20 +156,10 @@ func (c *Client) post(body []byte) (*http.Response, error) {
 // JSON-RPC batch (a JSON array), matching responses to requests by id
 // (the spec lets servers reorder). decode is invoked once per request
 // index with its result payload.
-func (c *Client) callBatch(method string, n int, params func(i int) any, decode func(i int, raw json.RawMessage) error) (err error) {
+func (c *Client) callBatch(method string, n int, params func(i int) any, decode func(i int, raw json.RawMessage) error) error {
 	if n == 0 {
 		return nil
 	}
-	cm := c.metrics()
-	cm.requests.With(method).Add(uint64(n))
-	cm.batchSize.Observe(float64(n))
-	start := time.Now()
-	defer func() {
-		cm.latency.With(method).ObserveDuration(time.Since(start))
-		if err != nil {
-			cm.errors.With(method).Inc()
-		}
-	}()
 	reqs := make([]request, n)
 	baseID := c.nextID.Add(int64(n)) - int64(n) + 1
 	for i := range reqs {
@@ -160,7 +173,26 @@ func (c *Client) callBatch(method string, n int, params func(i int) any, decode 
 	if err != nil {
 		return err
 	}
-	resp, err := c.post(body)
+	// The decode callbacks are idempotent per index, so a retried batch
+	// simply overwrites the partial results of the failed attempt.
+	return c.Retry.Do(context.Background(), method, func() error {
+		return c.batchOnce(method, n, baseID, body, decode)
+	})
+}
+
+// batchOnce performs one wire attempt of a batch call.
+func (c *Client) batchOnce(method string, n int, baseID int64, body []byte, decode func(i int, raw json.RawMessage) error) (err error) {
+	cm := c.metrics()
+	cm.requests.With(method).Add(uint64(n))
+	cm.batchSize.Observe(float64(n))
+	start := time.Now()
+	defer func() {
+		cm.latency.With(method).ObserveDuration(time.Since(start))
+		if err != nil {
+			cm.errors.With(method).Inc()
+		}
+	}()
+	resp, err := c.post(context.Background(), body)
 	if err != nil {
 		return fmt.Errorf("rpc: %s batch of %d: %w", method, n, err)
 	}
@@ -266,8 +298,15 @@ func (c *Client) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) 
 
 // Transaction implements core.ChainSource.
 func (c *Client) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	return c.TransactionContext(context.Background(), h)
+}
+
+// TransactionContext implements core.ContextSource: the context aborts
+// the in-flight HTTP request, so the pipeline's cancel-on-first-error
+// stops a doomed batch immediately.
+func (c *Client) TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error) {
 	var raw txJSON
-	if err := c.call("eth_getTransactionByHash", []string{h.Hex()}, &raw); err != nil {
+	if err := c.callContext(ctx, "eth_getTransactionByHash", []string{h.Hex()}, &raw); err != nil {
 		return nil, err
 	}
 	return fromTxJSON(raw)
@@ -275,8 +314,13 @@ func (c *Client) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
 
 // Receipt implements core.ChainSource.
 func (c *Client) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	return c.ReceiptContext(context.Background(), h)
+}
+
+// ReceiptContext implements core.ContextSource; see TransactionContext.
+func (c *Client) ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error) {
 	var raw receiptJSON
-	if err := c.call("repro_getReceipt", []string{h.Hex()}, &raw); err != nil {
+	if err := c.callContext(ctx, "repro_getReceipt", []string{h.Hex()}, &raw); err != nil {
 		return nil, err
 	}
 	return fromReceiptJSON(raw)

@@ -1,0 +1,115 @@
+package rpc_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ethtypes"
+	"repro/internal/obs"
+	"repro/internal/retry"
+	"repro/internal/rpc"
+)
+
+// TestContextCancelAbortsInFlightRequest is the regression test for
+// the context-plumbing gap: Transaction fetches used to go out via
+// http.Client.Post with no request context, so the pipeline's
+// cancel-on-first-error could only wait out the 30s client timeout. A
+// cancelled context must now abort the in-flight HTTP exchange
+// promptly.
+func TestContextCancelAbortsInFlightRequest(t *testing.T) {
+	release := make(chan struct{})
+	var reached atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached.Store(true)
+		<-release // hold the request open until the test ends
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	client := rpc.NewClient(srv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.TransactionContext(ctx, ethtypes.Hash{1})
+		done <- err
+	}()
+	for !reached.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled fetch still in flight after 5s; context not plumbed to the HTTP request")
+	}
+}
+
+// TestClientRetriesTransientServerErrors: a 503 from the gateway is
+// retried under the policy and the call succeeds once the backend
+// recovers; the retry metrics record the extra attempts.
+func TestClientRetriesTransientServerErrors(t *testing.T) {
+	client, done := newPair(t)
+	defer done()
+
+	var failures atomic.Int64
+	failures.Store(2)
+	inner := client.HTTPClient.Transport
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	client.HTTPClient = &http.Client{Transport: roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		if failures.Add(-1) >= 0 {
+			return &http.Response{
+				StatusCode: http.StatusServiceUnavailable,
+				Body:       http.NoBody,
+				Header:     http.Header{},
+				Request:    req,
+			}, nil
+		}
+		return inner.RoundTrip(req)
+	})}
+	reg := obs.NewRegistry()
+	client.Retry = &retry.Policy{
+		MaxAttempts: 4,
+		Metrics:     reg,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	if _, err := client.BlockNumber(); err != nil {
+		t.Fatalf("call did not survive two 503s: %v", err)
+	}
+	if n := reg.CounterVec("daas_retry_retries_total", "", "op").With("eth_blockNumber").Value(); n != 2 {
+		t.Errorf("retries_total = %d, want 2", n)
+	}
+}
+
+// TestClientDoesNotRetryApplicationErrors: a JSON-RPC error object is
+// a definitive answer; retrying it would hammer the server with a
+// request it already rejected for cause.
+func TestClientDoesNotRetryApplicationErrors(t *testing.T) {
+	client, done := newPair(t)
+	defer done()
+	reg := obs.NewRegistry()
+	client.Retry = &retry.Policy{
+		MaxAttempts: 4,
+		Metrics:     reg,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+	}
+	if _, err := client.Transaction(ethtypes.Hash{0xde, 0xad}); err == nil {
+		t.Fatal("unknown hash lookup succeeded")
+	}
+	if n := reg.CounterVec("daas_retry_attempts_total", "", "op").With("eth_getTransactionByHash").Value(); n != 1 {
+		t.Errorf("attempts_total = %d, want 1 (no retries of an application error)", n)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }

@@ -30,6 +30,7 @@ type Detection struct {
 // Report summarizes one detector run.
 type Report struct {
 	CertsSeen       int
+	BadCerts        int
 	DomainsSeen     int
 	SuspiciousCount int
 	Crawled         int
@@ -69,6 +70,7 @@ type Detector struct {
 // when Metrics is unset.
 type funnelMetrics struct {
 	certs      *obs.Counter
+	badCerts   *obs.Counter
 	domains    *obs.Counter
 	suspicious *obs.Counter
 	crawled    *obs.Counter
@@ -80,6 +82,7 @@ type funnelMetrics struct {
 func newFunnelMetrics(r *obs.Registry) funnelMetrics {
 	return funnelMetrics{
 		certs:      r.Counter("daas_funnel_ct_certs_total", "certificates ingested from CT (§8.2 step 1)"),
+		badCerts:   r.Counter("daas_funnel_bad_certs_total", "CT entries skipped because their certificate would not parse"),
 		domains:    r.Counter("daas_funnel_domains_total", "unique domains extracted from certificates"),
 		suspicious: r.Counter("daas_funnel_suspicious_total", "domains passing the keyword/similarity filter"),
 		crawled:    r.Counter("daas_funnel_crawled_total", "suspicious domains successfully crawled (§8.2 step 2)"),
@@ -130,7 +133,12 @@ func (d *Detector) Run() (*Report, error) {
 		for _, e := range entries {
 			names, err := e.Domains()
 			if err != nil {
-				return nil, err
+				// One unparseable certificate must not kill a run that
+				// monitors a live log; skip it and keep the count.
+				report.BadCerts++
+				fm.badCerts.Inc()
+				d.logger().Debug("skipping unparseable certificate", "index", e.Index, "err", err.Error())
+				continue
 			}
 			for _, domain := range names {
 				if seen[domain] {

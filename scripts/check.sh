@@ -25,6 +25,12 @@ go test -race ./...
 echo "==> bench smoke: BenchmarkPipelineConcurrency"
 go test -run=NONE -bench=BenchmarkPipelineConcurrency -benchtime=1x .
 
+echo "==> fault-matrix smoke: seeded fault schedules must not change the dataset"
+go test -count=1 -run 'TestFaultMatrixBuildIsByteIdentical' ./daas/
+
+echo "==> checkpoint/resume round trip: killed build resumes byte-identical"
+go test -count=1 -run 'TestCheckpointResumeByteIdentical|TestFaultedCheckpointResumeThroughClient' ./internal/core/ ./daas/
+
 echo "==> reprolint ./..."
 go run ./cmd/reprolint ./...
 
