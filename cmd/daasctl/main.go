@@ -42,6 +42,8 @@ func main() {
 		traceRun    = flag.Bool("trace", false, "record tracing spans and structured progress logs (stderr); prints span tree and metrics summary at the end")
 		checkpoint  = flag.String("checkpoint", "", "persist dataset-build state to this file at iteration boundaries (resume with -resume)")
 		resume      = flag.Bool("resume", false, "resume the dataset build from -checkpoint when the file exists; the result is byte-identical to an uninterrupted run")
+		strict      = flag.Bool("strict", false, "exit non-zero when the integrity layer quarantined anything (the dataset itself is unaffected)")
+		maxQuar     = flag.Int64("max-quarantine", 0, "abort the run after this many quarantined records (0 = unlimited)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -79,6 +81,7 @@ func main() {
 		client.CacheSize = *cacheSize
 		client.CheckpointPath = *checkpoint
 		client.Resume = *resume
+		client.MaxQuarantine = *maxQuar
 		if *verbose || *traceRun {
 			client.Logger = obs.New(os.Stderr, obs.LevelDebug)
 		}
@@ -126,6 +129,7 @@ func main() {
 			}
 			fmt.Printf("dataset written to %s\n", *outPath)
 		}
+		integrityEpilogue(client, nil, *strict)
 
 	case "validate":
 		ds, err := client.BuildDataset()
@@ -137,6 +141,7 @@ func main() {
 			log.Fatalf("validating: %v", err)
 		}
 		report.Validation(os.Stdout, rep)
+		integrityEpilogue(client, nil, *strict)
 		if len(rep.FalsePositives) > 0 {
 			os.Exit(1)
 		}
@@ -147,6 +152,7 @@ func main() {
 			log.Fatalf("study: %v", err)
 		}
 		printStudy(study)
+		integrityEpilogue(client, study, *strict)
 
 	case "inspect":
 		// Offline inspection of a previously exported dataset.
@@ -225,6 +231,24 @@ func main() {
 
 	default:
 		log.Fatalf("unknown subcommand %q (want dataset, validate, study, inspect, diff, disasm, or analyze)", cmd)
+	}
+}
+
+// integrityEpilogue prints the completeness manifest for a chain-backed
+// run and enforces -strict: any quarantined evidence turns the exit
+// code non-zero, with a reason-coded summary on stderr. The exported
+// dataset is never affected — strict mode only refuses to call a run
+// with known gaps a success.
+func integrityEpilogue(client *daas.Client, study *daas.Study, strict bool) {
+	m := client.Manifest(study)
+	fmt.Println()
+	report.RenderManifest(os.Stdout, m)
+	if strict && !m.Clean() {
+		fmt.Fprintln(os.Stderr, "strict mode: the integrity layer quarantined records during this run")
+		if err := client.Quarantine().Summarize(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(1)
 	}
 }
 

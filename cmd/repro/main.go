@@ -44,6 +44,8 @@ func main() {
 		cacheSize   = flag.Int("cache-size", 0, "entries in the sharded tx+receipt fetch cache (0 = disabled)")
 		checkpoint  = flag.String("checkpoint", "", "persist dataset-build state to this file at iteration boundaries (resume with -resume)")
 		resume      = flag.Bool("resume", false, "resume the dataset build from -checkpoint when the file exists; the result is byte-identical to an uninterrupted run")
+		strict      = flag.Bool("strict", false, "exit non-zero when the integrity layer quarantined anything (the dataset itself is unaffected)")
+		maxQuar     = flag.Int64("max-quarantine", 0, "abort the run after this many quarantined records (0 = unlimited)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -86,6 +88,7 @@ func main() {
 	client.CacheSize = *cacheSize
 	client.CheckpointPath = *checkpoint
 	client.Resume = *resume
+	client.MaxQuarantine = *maxQuar
 	start = time.Now()
 	study, err := client.StudyWith(daas.StudyOptions{
 		DatasetEnd:         worldgen.DatasetEnd,
@@ -112,6 +115,18 @@ func main() {
 
 	if *metricsAddr != "" || *traceRun {
 		sectionObservability(w, reg, spans)
+	}
+
+	manifest := client.Manifest(study)
+	h(w, "Data Integrity")
+	report.RenderManifest(w, manifest)
+	fmt.Fprintln(w)
+	if *strict && !manifest.Clean() {
+		fmt.Fprintln(os.Stderr, "strict mode: the integrity layer quarantined records during this run")
+		if err := client.Quarantine().Summarize(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(1)
 	}
 }
 

@@ -15,6 +15,11 @@
 //     every progress line carries structure and honors the configured
 //     sink. (Writing tables to a caller-provided io.Writer is fine —
 //     the rule only fires on the process-global streams.)
+//   - internal/core must not call ChainSource.Transaction or
+//     ChainSource.Receipt directly: record fetches go through the
+//     SourceTransaction/SourceReceipt helpers, which honor context
+//     cancellation and keep quarantine semantics uniform. The helpers
+//     themselves (source.go) are the single allowed call site.
 //
 // Usage: go run ./cmd/reprolint ./...
 //
@@ -159,11 +164,12 @@ func lintPackage(p *listedPackage, imp types.Importer) ([]string, error) {
 		rel = strings.TrimPrefix(strings.TrimPrefix(p.ImportPath, p.Module.Path), "/")
 	}
 	l := &linter{
-		fset:        fset,
-		info:        info,
-		banPanic:    strings.HasPrefix(rel, "internal/"),
-		banPrinting: !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/"),
-		banProgress: strings.HasPrefix(rel, "internal/") && rel != "internal/obs",
+		fset:           fset,
+		info:           info,
+		banPanic:       strings.HasPrefix(rel, "internal/"),
+		banPrinting:    !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/"),
+		banProgress:    strings.HasPrefix(rel, "internal/") && rel != "internal/obs",
+		banDirectFetch: rel == "internal/core",
 	}
 	for _, f := range files {
 		ast.Inspect(f, l.inspect)
@@ -171,14 +177,15 @@ func lintPackage(p *listedPackage, imp types.Importer) ([]string, error) {
 	return l.findings, nil
 }
 
-// linter walks one package's ASTs applying the three rules.
+// linter walks one package's ASTs applying the rules.
 type linter struct {
-	fset        *token.FileSet
-	info        *types.Info
-	banPanic    bool
-	banPrinting bool
-	banProgress bool
-	findings    []string
+	fset           *token.FileSet
+	info           *types.Info
+	banPanic       bool
+	banPrinting    bool
+	banProgress    bool
+	banDirectFetch bool
+	findings       []string
 }
 
 func (l *linter) reportf(pos token.Pos, format string, args ...any) {
@@ -198,6 +205,14 @@ func (l *linter) inspect(n ast.Node) bool {
 				l.reportf(call.Pos(), "panic in internal package: return an error instead")
 			}
 		}
+	}
+
+	// Rule 5: in internal/core, record fetches must go through the
+	// SourceTransaction/SourceReceipt helpers; a direct interface call
+	// bypasses context cancellation and quarantine handling. source.go
+	// hosts the helpers and is the one allowed call site.
+	if l.banDirectFetch {
+		l.checkDirectFetch(call)
 	}
 
 	fn, pkg := l.calledFunc(call)
@@ -236,6 +251,36 @@ func (l *linter) inspect(n ast.Node) bool {
 		l.checkErrorf(call)
 	}
 	return true
+}
+
+// checkDirectFetch flags method calls whose static receiver is the
+// core.ChainSource interface and whose name is Transaction or Receipt,
+// outside source.go.
+func (l *linter) checkDirectFetch(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := l.info.Uses[sel.Sel].(*types.Func)
+	if !ok || (fn.Name() != "Transaction" && fn.Name() != "Receipt") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	named, ok := sig.Recv().Type().(*types.Named)
+	if !ok || named.Obj().Name() != "ChainSource" ||
+		named.Obj().Pkg() == nil || !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/core") {
+		return
+	}
+	// source.go hosts the helpers; obsource.go is a forwarding
+	// decorator whose whole job is the direct call it instruments.
+	switch filepath.Base(l.fset.Position(call.Pos()).Filename) {
+	case "source.go", "obsource.go":
+		return
+	}
+	l.reportf(call.Pos(), "direct ChainSource.%s call in internal/core: use core.Source%s so context and quarantine semantics apply", fn.Name(), fn.Name())
 }
 
 // stdStream reports whether the expression is os.Stdout or os.Stderr,

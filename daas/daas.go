@@ -17,16 +17,19 @@ package daas
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ethtypes"
 	"repro/internal/fetchcache"
+	"repro/internal/integrity"
 	"repro/internal/labels"
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/prices"
+	"repro/internal/report"
 	"repro/internal/retry"
 	"repro/internal/rpc"
 )
@@ -97,6 +100,13 @@ type Client struct {
 	// Resume restores CheckpointPath (when the file exists) and
 	// continues the build from it.
 	Resume bool
+	// MaxRefetch overrides the integrity layer's per-record re-fetch
+	// allowance (default integrity.DefaultMaxRefetch).
+	MaxRefetch int
+	// MaxQuarantine, when positive, aborts the run once total
+	// quarantine rejections exceed it (integrity.ErrBudgetExceeded) —
+	// the -max-quarantine CLI knob.
+	MaxQuarantine int64
 	// Logger receives structured pipeline progress events; when nil the
 	// legacy Trace callback (if any) is adapted instead.
 	Logger *obs.Logger
@@ -111,6 +121,13 @@ type Client struct {
 	// Trace, when set, receives pipeline progress lines. Deprecated
 	// shim: new code should set Logger.
 	Trace func(format string, args ...any)
+
+	// integrityOnce latches the shared integrity decorator: one instance
+	// serves every pipeline stage, so its transaction pins and permanent
+	// quarantine persist from build through clustering and measurement.
+	integrityOnce sync.Once
+	integritySrc  *integrity.Source
+	coverage      *core.Coverage
 }
 
 // New builds a client from explicit components.
@@ -162,6 +179,8 @@ func (c *Client) BuildDataset() (*Dataset, error) {
 		CheckpointPath:  c.CheckpointPath,
 		CheckpointEvery: c.CheckpointEvery,
 		Resume:          c.Resume,
+		Quarantine:      c.integritySource().Quarantine(),
+		Coverage:        c.coverageLedger(),
 		Logger:          c.Logger,
 		Metrics:         c.Metrics,
 		Spans:           c.Spans,
@@ -171,19 +190,43 @@ func (c *Client) BuildDataset() (*Dataset, error) {
 }
 
 // pipelineSource layers the build decorators: metrics innermost (so
-// daas_chain_* counts real fetches, not cache hits), retries in the
-// middle (each wire attempt is counted; an exhausted retry surfaces
-// one failure), the fetch cache outermost (so a failed-then-retried
-// fetch is never cached and a cache hit spends no retry budget).
+// daas_chain_* counts real fetches, not cache hits), retries next
+// (each wire attempt is counted; an exhausted retry surfaces one
+// failure), integrity validation above the retries (every re-fetch of
+// a corrupt record spends real wire attempts), the fetch cache
+// outermost (so only validated records are ever cached, a
+// failed-then-retried fetch is never cached, and a cache hit spends no
+// retry budget).
 func (c *Client) pipelineSource() core.ChainSource {
-	src := c.instrumentedSource()
-	if c.RetryPolicy != nil {
-		src = retry.WrapSource(src, c.RetryPolicy)
-	}
+	src := core.ChainSource(c.integritySource())
 	if c.CacheSize > 0 {
 		src = fetchcache.New(src, c.CacheSize, c.Metrics)
 	}
 	return src
+}
+
+// integritySource lazily builds the shared validation decorator over
+// retry-wrapped, instrumented chain access.
+func (c *Client) integritySource() *integrity.Source {
+	c.integrityOnce.Do(func() {
+		src := c.instrumentedSource()
+		if c.RetryPolicy != nil {
+			src = retry.WrapSource(src, c.RetryPolicy)
+		}
+		s := integrity.Wrap(src, nil, c.Metrics)
+		s.MaxRefetch = c.MaxRefetch
+		s.MaxQuarantine = c.MaxQuarantine
+		c.integritySrc = s
+	})
+	return c.integritySrc
+}
+
+// coverageLedger lazily builds the client's completeness ledger.
+func (c *Client) coverageLedger() *core.Coverage {
+	if c.coverage == nil {
+		c.coverage = core.NewCoverage()
+	}
+	return c.coverage
 }
 
 // instrumentedSource wraps the chain source with per-method request
@@ -197,16 +240,76 @@ func (c *Client) instrumentedSource() core.ChainSource {
 	return core.NewInstrumentedSource(c.source, c.Metrics)
 }
 
-// Validate runs the §5.2 sampling validation over a dataset.
+// Validate runs the §5.2 sampling validation over a dataset. Reviews
+// go through the shared integrity source, so a record proven rotten
+// during the build is skipped (and counted) rather than re-trusted.
 func (c *Client) Validate(ds *Dataset) (*ValidationReport, error) {
-	v := core.Validator{Source: c.source, SamplePerAccount: 10}
+	v := core.Validator{Source: c.integritySource(), SamplePerAccount: 10}
 	return v.Validate(ds)
 }
 
-// Cluster groups the dataset into DaaS families (§7.1).
+// Cluster groups the dataset into DaaS families (§7.1). Families whose
+// evidence touched quarantined records — during clustering itself or
+// through a build-degraded operator — come back flagged Tainted.
 func (c *Client) Cluster(ds *Dataset) ([]*Family, error) {
-	cl := cluster.Clusterer{Source: c.instrumentedSource(), Labels: c.labels, Metrics: c.Metrics}
+	degraded := make(map[ethtypes.Address]bool)
+	for a := range c.coverageLedger().Stats().Degraded {
+		degraded[a] = true
+	}
+	cl := cluster.Clusterer{
+		Source:   c.integritySource(),
+		Labels:   c.labels,
+		Metrics:  c.Metrics,
+		Degraded: degraded,
+	}
 	return cl.Cluster(ds)
+}
+
+// Quarantine exposes the shared integrity store (reason-coded
+// rejection counts, permanent quarantines, export).
+func (c *Client) Quarantine() *integrity.Quarantine {
+	return c.integritySource().Quarantine()
+}
+
+// Coverage returns the completeness ledger of the most recent build.
+func (c *Client) Coverage() core.CoverageStats {
+	return c.coverageLedger().Stats()
+}
+
+// Manifest assembles the completeness manifest for a finished run.
+// study may be nil when only a dataset was built.
+func (c *Client) Manifest(study *Study) report.Manifest {
+	q := c.Quarantine()
+	cov := c.Coverage()
+	m := report.Manifest{
+		TxFetched:       cov.TxFetched,
+		TxQuarantined:   cov.TxQuarantined,
+		TxPermanent:     int64(q.PermanentCount()),
+		Violations:      q.Counts(),
+		AccountsScanned: cov.AccountsScanned,
+	}
+	for _, a := range cov.DegradedAccounts() {
+		m.DegradedAccounts = append(m.DegradedAccounts, a.Hex())
+	}
+	m.AccountsDegraded = len(m.DegradedAccounts)
+	if rc, ok := c.source.(*rpc.Client); ok {
+		m.LabelsAccepted = rc.LabelsAccepted()
+		m.LabelRejectReasons = rc.LabelRejects()
+		for _, n := range m.LabelRejectReasons {
+			m.LabelsRejected += n
+		}
+	} else if c.labels != nil {
+		m.LabelsAccepted = int64(c.labels.Count())
+	}
+	if study != nil {
+		m.FamiliesTotal = len(study.Families)
+		for _, fam := range study.Families {
+			if fam.Tainted {
+				m.FamiliesTainted++
+			}
+		}
+	}
+	return m
 }
 
 // Study is the complete measurement result for one dataset build.
@@ -273,7 +376,7 @@ func (c *Client) StudyWith(opts StudyOptions) (*Study, error) {
 		return nil, fmt.Errorf("daas: clustering: %w", err)
 	}
 	_, sp = obs.Start(ctx, "study.measure")
-	an := &measure.Analyzer{Source: c.instrumentedSource(), Oracle: c.oracle, Labels: c.labels}
+	an := &measure.Analyzer{Source: c.integritySource(), Oracle: c.oracle, Labels: c.labels}
 	corpus, err := an.BuildCorpus(ds)
 	sp.End()
 	if err != nil {

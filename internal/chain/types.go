@@ -90,11 +90,23 @@ type Transaction struct {
 }
 
 // Hash returns the transaction identity: keccak256 of the RLP encoding
-// of the transaction fields.
+// of the transaction fields. The result is memoized, so a struct copy
+// whose fields were altered afterwards keeps reporting the original
+// identity — integrity checks must use RecomputeHash.
 func (tx *Transaction) Hash() ethtypes.Hash {
 	if !tx.hash.IsZero() {
 		return tx.hash
 	}
+	tx.hash = tx.RecomputeHash()
+	return tx.hash
+}
+
+// RecomputeHash derives the transaction identity from the current field
+// values, bypassing (and never touching) the memoized hash. Validation
+// layers use it to detect records whose fields were mutated in flight:
+// such a record still carries the stale memo, so Hash() alone cannot
+// see the tampering.
+func (tx *Transaction) RecomputeHash() ethtypes.Hash {
 	to := []byte{}
 	if tx.To != nil {
 		to = tx.To[:]
@@ -106,8 +118,7 @@ func (tx *Transaction) Hash() ethtypes.Hash {
 	payload = rlp.AppendBig(payload, tx.Value.Big())
 	payload = rlp.AppendString(payload, tx.Data)
 	payload = rlp.AppendUint(payload, tx.GasLimit)
-	tx.hash = ethtypes.Hash(keccak.Sum256(wrapList(payload)))
-	return tx.hash
+	return ethtypes.Hash(keccak.Sum256(wrapList(payload)))
 }
 
 // wrapList prepends the RLP list header to an already-encoded payload.

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,6 +31,11 @@ type Family struct {
 	// SplitTxs counts the profit-sharing transactions attributed to the
 	// family.
 	SplitTxs int
+	// Tainted reports that some evidence touching this family was
+	// quarantined by the integrity layer (a clustering edge skipped, or
+	// an operator whose build-time scan was degraded): the family's
+	// membership is a lower bound, not a complete picture.
+	Tainted bool
 }
 
 // Clusterer groups a dataset into families.
@@ -45,6 +51,11 @@ type Clusterer struct {
 	// Metrics, when set, records union-find merge counts per §7.1 edge
 	// kind and the resulting family count (daas_cluster_* names).
 	Metrics *obs.Registry
+	// Degraded marks accounts whose build-time scans were incomplete
+	// (from the pipeline's coverage ledger); families containing one are
+	// flagged Tainted even if clustering itself saw no quarantined
+	// record.
+	Degraded map[ethtypes.Address]bool
 }
 
 // Cluster runs the two clustering steps and returns families sorted by
@@ -61,7 +72,14 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 	}
 	uf := newUnionFind(ops)
 
-	// Step 1: connect operators via their transaction histories.
+	// Step 1: connect operators via their transaction histories. A
+	// quarantined transaction cannot witness an edge; the operator is
+	// marked tainted and the walk continues, so one rotten record
+	// degrades a family flag instead of aborting the clustering.
+	tainted := make(map[ethtypes.Address]bool)
+	for a := range c.Degraded {
+		tainted[a] = true
+	}
 	sharedOwner := make(map[ethtypes.Address]ethtypes.Address)
 	for _, op := range ops {
 		hashes, err := c.Source.TransactionsOf(op)
@@ -71,7 +89,15 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 		for _, h := range hashes {
 			tx, err := c.Source.Transaction(h)
 			if err != nil {
+				if errors.Is(err, core.ErrQuarantined) {
+					tainted[op] = true
+					continue
+				}
 				return nil, err
+			}
+			if tx == nil {
+				tainted[op] = true
+				continue
 			}
 			if tx.To == nil {
 				continue
@@ -177,9 +203,22 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 	for root, fam := range byRoot {
 		fam.SplitTxs = rootSplits[root]
 		c.nameFamily(fam, ds)
+		for _, op := range fam.Operators {
+			if tainted[op] {
+				fam.Tainted = true
+				break
+			}
+		}
 	}
 
 	familyGauge.Set(int64(len(byRoot)))
+	var taintedFams int64
+	for _, fam := range byRoot {
+		if fam.Tainted {
+			taintedFams++
+		}
+	}
+	c.Metrics.Gauge("daas_cluster_tainted_families", "families whose evidence touched quarantined records").Set(taintedFams)
 	out := make([]*Family, 0, len(byRoot))
 	for _, fam := range byRoot {
 		out = append(out, fam)

@@ -14,7 +14,10 @@ import (
 
 // checkpointVersion guards the on-disk format; a mismatch refuses the
 // resume rather than silently building on a different state shape.
-const checkpointVersion = 1
+// Version 2 added the integrity quarantine snapshot and the coverage
+// ledger — without them a resumed build would re-admit records the
+// interrupted run had already proven rotten and under-report its gaps.
+const checkpointVersion = 2
 
 // checkpointJSON is the serialized expansion state at an iteration
 // boundary: the dataset so far plus exactly the loop-carried state of
@@ -34,6 +37,21 @@ type checkpointJSON struct {
 	// tracker's ordering contract requires.
 	PendingOperators  []string `json:"pending_operators"`
 	PendingAffiliates []string `json:"pending_affiliates"`
+	// Quarantine is the integrity layer's store (QuarantineState
+	// snapshot); empty when the build ran without one.
+	Quarantine json.RawMessage `json:"quarantine,omitempty"`
+	// Coverage is the completeness ledger at the checkpoint boundary.
+	Coverage *coverageJSON `json:"coverage,omitempty"`
+}
+
+// coverageJSON serializes a CoverageStats with hex-keyed degraded
+// accounts (Go's JSON encoder sorts map keys, keeping the bytes
+// deterministic).
+type coverageJSON struct {
+	TxFetched       int64            `json:"tx_fetched"`
+	TxQuarantined   int64            `json:"tx_quarantined"`
+	AccountsScanned int64            `json:"accounts_scanned"`
+	Degraded        map[string]int64 `json:"degraded_accounts"`
 }
 
 // buildState is the restartable portion of one Build run.
@@ -43,6 +61,14 @@ type buildState struct {
 	classified map[ethtypes.Hash]bool
 	tracker    *frontierTracker
 	iterations int // completed expansion iterations (seed phase = 0)
+
+	// quarantine and cov are the pipeline's live stores, serialized into
+	// each checkpoint; on restore their decoded counterparts land in
+	// quarantineBlob/coverage for the pipeline to re-apply.
+	quarantine     QuarantineState
+	cov            *Coverage
+	quarantineBlob []byte
+	coverage       CoverageStats
 }
 
 // writeCheckpoint serializes st to path atomically: the bytes are
@@ -94,6 +120,26 @@ func marshalCheckpoint(st *buildState) ([]byte, error) {
 		Classified:        sortedHashHex(st.classified),
 		PendingOperators:  sortedAddrHex(st.tracker.ops),
 		PendingAffiliates: sortedAddrHex(st.tracker.affs),
+	}
+	if st.quarantine != nil {
+		blob, err := st.quarantine.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("core: serializing checkpoint quarantine: %w", err)
+		}
+		cp.Quarantine = json.RawMessage(blob)
+	}
+	if st.cov != nil {
+		stats := st.cov.Stats()
+		cov := &coverageJSON{
+			TxFetched:       stats.TxFetched,
+			TxQuarantined:   stats.TxQuarantined,
+			AccountsScanned: stats.AccountsScanned,
+			Degraded:        make(map[string]int64, len(stats.Degraded)),
+		}
+		for a, n := range stats.Degraded {
+			cov.Degraded[a.Hex()] = n
+		}
+		cp.Coverage = cov
 	}
 	buf, err := json.MarshalIndent(cp, "", " ")
 	if err != nil {
@@ -150,6 +196,20 @@ func readCheckpoint(r io.Reader) (*buildState, error) {
 			return nil, fmt.Errorf("core: checkpoint pending affiliate: %w", err)
 		}
 		st.tracker.affs[a] = true
+	}
+	st.quarantineBlob = []byte(cp.Quarantine)
+	st.coverage = CoverageStats{Degraded: make(map[ethtypes.Address]int64)}
+	if cp.Coverage != nil {
+		st.coverage.TxFetched = cp.Coverage.TxFetched
+		st.coverage.TxQuarantined = cp.Coverage.TxQuarantined
+		st.coverage.AccountsScanned = cp.Coverage.AccountsScanned
+		for hex, n := range cp.Coverage.Degraded {
+			a, err := ethtypes.HexToAddress(hex)
+			if err != nil {
+				return nil, fmt.Errorf("core: checkpoint degraded account: %w", err)
+			}
+			st.coverage.Degraded[a] = n
+		}
 	}
 	return st, nil
 }

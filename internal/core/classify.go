@@ -78,6 +78,10 @@ type groupKey struct {
 	asset chain.Asset
 }
 
+// maxAmount is the largest transfer amount an EVM word can carry;
+// anything above it is a corrupt record, not a payment.
+var maxAmount = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+
 // Classify inspects a transaction's fund flow and returns every
 // detected split. A transaction with at least one split is a
 // profit-sharing transaction.
@@ -127,10 +131,14 @@ func (c *Classifier) matchPair(tx *chain.Transaction, r *chain.Receipt, k groupK
 	if lo.Amount.Cmp(hi.Amount) > 0 {
 		lo, hi = hi, lo
 	}
-	total := lo.Amount.Add(hi.Amount)
-	if total.IsZero() {
+	// Both shares must be real payments inside an EVM word. A zero
+	// amount would let ratioPerMille produce 0‰ (admitted whenever an
+	// ablation sweep puts 0 in the ratio set), and an overflowing one
+	// can only come from a garbled record; neither is a profit share.
+	if lo.Amount.Sign() <= 0 || hi.Amount.Big().Cmp(maxAmount) > 0 {
 		return Split{}, false
 	}
+	total := lo.Amount.Add(hi.Amount)
 	// Self-payments cannot be an operator/affiliate split.
 	if lo.To == hi.To {
 		return Split{}, false

@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/evmstatic"
+)
+
+// splitReceipt builds a two-transfer profit-sharing flow paying
+// opAmount to the operator and affAmount to the affiliate.
+func splitReceipt(opAmount, affAmount ethtypes.Wei) (*chain.Transaction, *chain.Receipt) {
+	contract := ethtypes.Addr("0x00000000000000000000000000000000000000cc")
+	payer := ethtypes.Addr("0x0000000000000000000000000000000000000001")
+	operator := ethtypes.Addr("0x0000000000000000000000000000000000000002")
+	affiliate := ethtypes.Addr("0x0000000000000000000000000000000000000003")
+	tx := &chain.Transaction{From: payer, To: &contract}
+	r := &chain.Receipt{Status: true, Transfers: []chain.Transfer{
+		{Asset: chain.ETHAsset, From: payer, To: operator, Amount: opAmount, Depth: 1},
+		{Asset: chain.ETHAsset, From: payer, To: affiliate, Amount: affAmount, Depth: 1},
+	}}
+	return tx, r
+}
+
+// TestClassifierMatchesEveryPaperRatio is the regression table over the
+// §4.3 ratio set: for each paper per-mille share, an exact-proportion
+// split must classify to exactly that ratio.
+func TestClassifierMatchesEveryPaperRatio(t *testing.T) {
+	cl := core.Classifier{}
+	for _, pm := range evmstatic.PaperRatiosPM {
+		total := ethtypes.Ether(1000) // divisible by every per-mille share
+		op := total.MulDiv(pm, 1000)
+		aff := total.Sub(op)
+		tx, r := splitReceipt(op, aff)
+		splits := cl.Classify(tx, r)
+		if len(splits) != 1 {
+			t.Errorf("ratio %d‰: got %d splits, want 1", pm, len(splits))
+			continue
+		}
+		if splits[0].RatioPM != pm {
+			t.Errorf("ratio %d‰: classified as %d‰", pm, splits[0].RatioPM)
+		}
+		if splits[0].OperatorAmount.Cmp(op) != 0 {
+			t.Errorf("ratio %d‰: operator amount %s, want %s", pm, splits[0].OperatorAmount, op)
+		}
+	}
+}
+
+// TestClassifierRejectsZeroAmountShare guards the amount-bounds check:
+// a zero transfer must never classify, even when an ablation sweep puts
+// 0 in the accepted ratio set (where 0‰ would otherwise match it).
+func TestClassifierRejectsZeroAmountShare(t *testing.T) {
+	for _, cl := range []core.Classifier{
+		{},
+		{RatiosPM: []int64{0, 200}},
+	} {
+		tx, r := splitReceipt(ethtypes.NewWei(0), ethtypes.Ether(4))
+		if got := cl.Classify(tx, r); len(got) != 0 {
+			t.Errorf("RatiosPM=%v: zero-amount transfer classified: %+v", cl.RatiosPM, got)
+		}
+	}
+}
+
+// TestClassifierRejectsOverflowingAmount guards against garbled records
+// whose amounts cannot fit an EVM word: the pair arithmetic must not
+// admit them as a ratio match.
+func TestClassifierRejectsOverflowingAmount(t *testing.T) {
+	cl := core.Classifier{}
+	over := ethtypes.WeiFromBig(new(big.Int).Lsh(big.NewInt(1), 257))
+	// 2^257 against 2^255 * 4... construct a pair in exact 20/80 shape
+	// but at overflowing magnitude.
+	quarter := ethtypes.WeiFromBig(new(big.Int).Lsh(big.NewInt(1), 255))
+	tx, r := splitReceipt(quarter, over.Sub(quarter))
+	if got := cl.Classify(tx, r); len(got) != 0 {
+		t.Errorf("overflowing transfer pair classified: %+v", got)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/ethtypes"
+)
+
+// ErrQuarantined marks a record the integrity layer refused to admit
+// after exhausting its re-fetch budget. The pipeline treats it as a
+// graceful-degradation signal, not a failure: the hash is skipped, the
+// account being scanned is marked degraded, and the gap is accounted
+// for in the completeness manifest instead of aborting the build.
+var ErrQuarantined = errors.New("core: record quarantined by the integrity layer")
+
+// QuarantineState is the checkpointable face of a quarantine store.
+// core cannot import internal/integrity (integrity wraps ChainSource),
+// so the pipeline persists the store through this interface: Snapshot
+// must be deterministic for identical contents, and Restore(Snapshot())
+// must reproduce the store byte-identically.
+type QuarantineState interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+// Coverage is the pipeline's per-build completeness ledger: how many
+// transaction records were fetched, how many the integrity layer
+// refused permanently, and which accounts were therefore only
+// partially scanned. A degraded account is NOT treated as fixpointed —
+// its gap is recorded here so the manifest can state exactly what
+// fraction of the history the dataset rests on.
+type Coverage struct {
+	mu          sync.Mutex
+	txFetched   int64
+	quarantined int64
+	scanned     int64
+	degraded    map[ethtypes.Address]int64
+}
+
+// NewCoverage returns an empty ledger.
+func NewCoverage() *Coverage {
+	return &Coverage{degraded: make(map[ethtypes.Address]int64)}
+}
+
+// NoteFetched records n admitted transaction+receipt pairs.
+func (c *Coverage) NoteFetched(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.txFetched += n
+	c.mu.Unlock()
+}
+
+// NoteScanned records n account histories walked to completion or
+// degradation (the denominator for the manifest's coverage fraction).
+func (c *Coverage) NoteScanned(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.scanned += n
+	c.mu.Unlock()
+}
+
+// NoteQuarantined records n permanently quarantined records hit while
+// scanning acct, marking the account degraded.
+func (c *Coverage) NoteQuarantined(acct ethtypes.Address, n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.quarantined += n
+	c.degraded[acct] += n
+	c.mu.Unlock()
+}
+
+// CoverageStats is an immutable snapshot of a Coverage ledger.
+type CoverageStats struct {
+	// TxFetched counts admitted transaction+receipt pairs.
+	TxFetched int64
+	// TxQuarantined counts records refused permanently.
+	TxQuarantined int64
+	// AccountsScanned counts account histories walked.
+	AccountsScanned int64
+	// Degraded maps each partially-scanned account to the number of
+	// records missing from its history, sorted iteration via
+	// DegradedAccounts.
+	Degraded map[ethtypes.Address]int64
+}
+
+// DegradedAccounts lists the partially-scanned accounts in address
+// order.
+func (s CoverageStats) DegradedAccounts() []ethtypes.Address {
+	out := make([]ethtypes.Address, 0, len(s.Degraded))
+	for a := range s.Degraded {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return addrLess(out[i], out[j]) })
+	return out
+}
+
+// Stats returns a copy of the current counters.
+func (c *Coverage) Stats() CoverageStats {
+	if c == nil {
+		return CoverageStats{Degraded: map[ethtypes.Address]int64{}}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := CoverageStats{
+		TxFetched:       c.txFetched,
+		TxQuarantined:   c.quarantined,
+		AccountsScanned: c.scanned,
+		Degraded:        make(map[ethtypes.Address]int64, len(c.degraded)),
+	}
+	for a, n := range c.degraded {
+		out.Degraded[a] = n
+	}
+	return out
+}
+
+// restore replaces the ledger contents with a checkpointed snapshot.
+func (c *Coverage) restore(s CoverageStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.txFetched = s.TxFetched
+	c.quarantined = s.TxQuarantined
+	c.scanned = s.AccountsScanned
+	c.degraded = make(map[ethtypes.Address]int64, len(s.Degraded))
+	for a, n := range s.Degraded {
+		c.degraded[a] = n
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"maps"
 	"sort"
@@ -60,6 +61,17 @@ type Pipeline struct {
 	// and continue from it instead of rebuilding from the seed. With no
 	// checkpoint file present the build runs fresh.
 	Resume bool
+	// Quarantine, when set, is the integrity layer's store behind
+	// Source. The pipeline itself never writes to it; holding the
+	// reference lets checkpoints snapshot and restore it, so a resumed
+	// build keeps the proven-rotten set instead of re-litigating it.
+	Quarantine QuarantineState
+	// Coverage is the completeness ledger Build maintains (auto-created
+	// when nil): admitted pairs, permanently quarantined records, and
+	// which accounts were only partially scanned. A degraded account is
+	// still scanned and NOT fixpointed away silently — its gap count is
+	// what the report manifest surfaces.
+	Coverage *Coverage
 	// Logger receives structured progress events. When nil, the legacy
 	// Trace callback (if any) is adapted into a logger, so existing
 	// Trace users keep working unchanged.
@@ -98,6 +110,8 @@ type pipelineMetrics struct {
 	ckptBytes       *obs.Gauge
 	ckptResumes     *obs.Counter
 	ckptLastIter    *obs.Gauge
+	txQuarantined   *obs.Counter
+	degradedAccts   *obs.Gauge
 }
 
 func newPipelineMetrics(r *obs.Registry) pipelineMetrics {
@@ -117,6 +131,8 @@ func newPipelineMetrics(r *obs.Registry) pipelineMetrics {
 		ckptBytes:       r.Gauge("daas_checkpoint_bytes", "size of the most recent checkpoint file"),
 		ckptResumes:     r.Counter("daas_checkpoint_resumes_total", "builds resumed from an on-disk checkpoint"),
 		ckptLastIter:    r.Gauge("daas_checkpoint_last_iteration", "expansion iterations completed at the most recent checkpoint"),
+		txQuarantined:   r.Counter("daas_pipeline_tx_quarantined_total", "transaction+receipt pairs dropped because the integrity layer quarantined a record"),
+		degradedAccts:   r.Gauge("daas_pipeline_degraded_accounts", "accounts whose histories are partially scanned due to quarantined records"),
 	}
 }
 
@@ -271,10 +287,19 @@ func (p *Pipeline) fetchBatched(ctx context.Context, bs BatchSource, hashes []et
 		if len(txs) != len(chunk) || len(recs) != len(chunk) {
 			return fmt.Errorf("core: batch source returned %d txs / %d receipts for %d hashes", len(txs), len(recs), len(chunk))
 		}
+		// A nil batch entry is a quarantined record (the integrity
+		// layer's degradation contract); the pair is dropped, not fatal.
+		var admitted int64
 		for i := range chunk {
+			if txs[i] == nil || recs[i] == nil {
+				p.pm.txQuarantined.Inc()
+				continue
+			}
 			out[lo+i] = fetched{txs[i], recs[i]}
+			admitted++
 		}
-		p.pm.txFetched.Add(uint64(len(chunk)))
+		p.pm.txFetched.Add(uint64(admitted))
+		p.Coverage.NoteFetched(admitted)
 		return nil
 	})
 }
@@ -283,16 +308,33 @@ func (p *Pipeline) fetchBatched(ctx context.Context, bs BatchSource, hashes []et
 // with the hash and method so a failed worker is attributable. The
 // context reaches the wire when Source implements ContextSource, so
 // cancel-on-first-error aborts in-flight HTTP instead of waiting it out.
+// A quarantined record (ErrQuarantined, or a nil entry replayed from a
+// cache that stored a quarantined batch slot) degrades to an empty pair
+// instead of failing the scan; callers skip empty pairs and account for
+// them in Coverage.
 func (p *Pipeline) fetchOne(ctx context.Context, h ethtypes.Hash) (fetched, error) {
 	tx, err := SourceTransaction(ctx, p.Source, h)
 	if err != nil {
+		if errors.Is(err, ErrQuarantined) {
+			p.pm.txQuarantined.Inc()
+			return fetched{}, nil
+		}
 		return fetched{}, fmt.Errorf("core: fetching transaction %s: %w", h, err)
 	}
 	rec, err := SourceReceipt(ctx, p.Source, h)
 	if err != nil {
+		if errors.Is(err, ErrQuarantined) {
+			p.pm.txQuarantined.Inc()
+			return fetched{}, nil
+		}
 		return fetched{}, fmt.Errorf("core: fetching receipt %s: %w", h, err)
 	}
+	if tx == nil || rec == nil {
+		p.pm.txQuarantined.Inc()
+		return fetched{}, nil
+	}
 	p.pm.txFetched.Inc()
+	p.Coverage.NoteFetched(1)
 	return fetched{tx, rec}, nil
 }
 
@@ -354,11 +396,14 @@ func appendSortedUnscanned(dst []ethtypes.Address, pending, scanned map[ethtypes
 // scanOutcome is one frontier account's speculative scan: its
 // unclassified history and the classifier's verdict per hash. Scans
 // touch no shared state, so any number can run concurrently; the
-// merger decides what the results mean.
+// merger decides what the results mean. quarantined counts records the
+// integrity layer refused while walking this account — the merger
+// books them against the account in the coverage ledger.
 type scanOutcome struct {
-	fresh  []ethtypes.Hash
-	splits [][]Split
-	err    error
+	fresh       []ethtypes.Hash
+	splits      [][]Split
+	quarantined int64
+	err         error
 }
 
 // Build runs seed collection, seed dataset construction, and iterative
@@ -368,6 +413,9 @@ type scanOutcome struct {
 func (p *Pipeline) Build() (*Dataset, error) {
 	if p.Source == nil || p.Labels == nil {
 		return nil, fmt.Errorf("core: pipeline needs a Source and Labels")
+	}
+	if p.Coverage == nil {
+		p.Coverage = NewCoverage()
 	}
 	p.pm = newPipelineMetrics(p.Metrics)
 	ctx := context.Background()
@@ -424,6 +472,7 @@ func (p *Pipeline) Build() (*Dataset, error) {
 			break
 		}
 	}
+	p.pm.degradedAccts.Set(int64(len(p.Coverage.Stats().Degraded)))
 	return st.ds, nil
 }
 
@@ -439,6 +488,17 @@ func (p *Pipeline) restoreOrSeed(ctx context.Context) (*buildState, error) {
 		if st != nil {
 			p.pm.ckptResumes.Inc()
 			p.pm.ckptLastIter.Set(int64(st.iterations))
+			// Re-arm the live quarantine and coverage stores from the
+			// checkpointed state, then hand them to the state so later
+			// checkpoints keep snapshotting them.
+			if p.Quarantine != nil && len(st.quarantineBlob) > 0 {
+				if err := p.Quarantine.Restore(st.quarantineBlob); err != nil {
+					return nil, fmt.Errorf("core: restoring checkpoint quarantine: %w", err)
+				}
+			}
+			p.Coverage.restore(st.coverage)
+			st.quarantine = p.Quarantine
+			st.cov = p.Coverage
 			stats := st.ds.Stats()
 			p.logger().Info("resumed from checkpoint",
 				"path", p.CheckpointPath,
@@ -455,6 +515,8 @@ func (p *Pipeline) restoreOrSeed(ctx context.Context) (*buildState, error) {
 		scanned:    make(map[ethtypes.Address]bool),
 		classified: make(map[ethtypes.Hash]bool),
 		tracker:    newFrontierTracker(),
+		quarantine: p.Quarantine,
+		cov:        p.Coverage,
 	}
 
 	// Step 1: collect phishing reports from the public sources and keep
@@ -547,6 +609,7 @@ func (p *Pipeline) expandIteration(ctx context.Context, ds *Dataset, frontier []
 		for _, acct := range frontier {
 			scanned[acct] = true
 			p.pm.accountsScanned.Inc()
+			p.Coverage.NoteScanned(1)
 			out := p.scanAccount(ctx, acct, classified)
 			if out.err != nil {
 				return out.err
@@ -604,6 +667,7 @@ func (p *Pipeline) expandIteration(ctx context.Context, ds *Dataset, frontier []
 		}
 		scanned[acct] = true
 		p.pm.accountsScanned.Inc()
+		p.Coverage.NoteScanned(1)
 		if err := p.mergeScan(ctx, ds, acct, out, classified, tracker); err != nil {
 			return err
 		}
@@ -632,11 +696,21 @@ func (p *Pipeline) scanAccount(ctx context.Context, acct ethtypes.Address, skip 
 	if err != nil {
 		return scanOutcome{err: err}
 	}
-	splits := make([][]Split, len(fresh))
-	for i := range fresh {
-		splits[i] = p.classify(pairs[i].tx, pairs[i].rec)
+	// Quarantined hashes are dropped here — never classified and never
+	// marked classified, so a later pass (or resumed build) may still
+	// admit them if the source recovers.
+	kept := fresh[:0:0]
+	var quarantined int64
+	splits := make([][]Split, 0, len(fresh))
+	for i, h := range fresh {
+		if pairs[i].tx == nil || pairs[i].rec == nil {
+			quarantined++
+			continue
+		}
+		kept = append(kept, h)
+		splits = append(splits, p.classify(pairs[i].tx, pairs[i].rec))
 	}
-	return scanOutcome{fresh: fresh, splits: splits}
+	return scanOutcome{fresh: kept, splits: splits, quarantined: quarantined}
 }
 
 // mergeScan applies one account's scan outcome to the dataset. Always
@@ -644,6 +718,11 @@ func (p *Pipeline) scanAccount(ctx context.Context, acct ethtypes.Address, skip 
 func (p *Pipeline) mergeScan(ctx context.Context, ds *Dataset, acct ethtypes.Address, out scanOutcome,
 	classified map[ethtypes.Hash]bool, tracker *frontierTracker) error {
 
+	if out.quarantined > 0 {
+		p.Coverage.NoteQuarantined(acct, out.quarantined)
+		p.logger().Info("account degraded: quarantined records in history",
+			"account", acct.Short(), "quarantined", out.quarantined)
+	}
 	for i, h := range out.fresh {
 		if classified[h] {
 			continue // classified by an earlier absorb this pass
@@ -723,8 +802,15 @@ func (p *Pipeline) absorbContract(ctx context.Context, ds *Dataset, addr ethtype
 	if err != nil {
 		return err
 	}
+	var quarantined int64
 	for pi, h := range fresh {
 		tx, r := pairs[pi].tx, pairs[pi].rec
+		if tx == nil || r == nil {
+			// Quarantined: skip without marking classified, and book the
+			// gap against the contract being absorbed.
+			quarantined++
+			continue
+		}
 		splits := p.classify(tx, r)
 		// Only splits invoked through this contract count toward it.
 		var own []Split
@@ -756,6 +842,7 @@ func (p *Pipeline) absorbContract(ctx context.Context, ds *Dataset, addr ethtype
 		classified[h] = true
 		p.recordSplits(ds, own, found, tracker)
 	}
+	p.Coverage.NoteQuarantined(addr, quarantined)
 	return nil
 }
 

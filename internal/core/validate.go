@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -17,6 +19,10 @@ type ValidationReport struct {
 	AffiliatesReviewed int
 	TxReviewed         int
 	FalsePositives     []ethtypes.Hash
+	// SkippedQuarantined counts sampled transactions that could not be
+	// re-reviewed because the integrity layer refused their records;
+	// they are neither confirmed nor false positives.
+	SkippedQuarantined int
 	// ReviewedFraction is TxReviewed over the dataset's split count,
 	// matching the paper's 44.8% coverage statistic.
 	ReviewedFraction float64
@@ -73,13 +79,25 @@ func (v *Validator) Validate(ds *Dataset) (*ValidationReport, error) {
 			}
 			reviewed[h] = true
 			count++
-			tx, err := v.Source.Transaction(h)
+			tx, err := SourceTransaction(context.Background(), v.Source, h)
 			if err != nil {
+				if errors.Is(err, ErrQuarantined) {
+					report.SkippedQuarantined++
+					continue
+				}
 				return count, err
 			}
-			r, err := v.Source.Receipt(h)
+			r, err := SourceReceipt(context.Background(), v.Source, h)
 			if err != nil {
+				if errors.Is(err, ErrQuarantined) {
+					report.SkippedQuarantined++
+					continue
+				}
 				return count, err
+			}
+			if tx == nil || r == nil {
+				report.SkippedQuarantined++
+				continue
 			}
 			rederived := strict.Classify(tx, r)
 			if !splitsConfirm(ds.Splits[h], rederived) {

@@ -9,7 +9,10 @@
 //   - Source wraps a core.ChainSource, erroring a configurable
 //     fraction of chain reads (and, optionally, planting one fatal
 //     fault at a fixed operation count — the kill-mid-run probe for
-//     checkpoint/resume tests);
+//     checkpoint/resume tests). The corruption kinds (KindCorruptField,
+//     KindTruncateLogs, KindStaleReorg) instead let the read through
+//     and mangle the response data in flight, exercising the integrity
+//     layer's quarantine-and-refetch path;
 //   - RoundTripper wraps an http.RoundTripper, synthesizing timeouts,
 //     5xx responses, connection resets, 429 rate limits, and truncated
 //     bodies for the CT client and the crawler.
@@ -47,6 +50,21 @@ const (
 	// KindTruncate lets the request through but cuts the response body
 	// short (HTTP paths only).
 	KindTruncate
+	// KindCorruptField lets a chain read through but mutates a record
+	// field in flight (a transaction's sender, a receipt's identity),
+	// producing data instead of an error. Detectable by construction:
+	// the recomputed hash or receipt identity can no longer match.
+	KindCorruptField
+	// KindTruncateLogs lets a chain read through but truncates the
+	// receipt's trailing structure (last log loses its emitting address
+	// and topics; with no logs, the last transfer loses both endpoints;
+	// with neither, the identity is garbled) — the shape of a response
+	// cut short mid-body.
+	KindTruncateLogs
+	// KindStaleReorg lets a chain read through but answers from a
+	// phantom fork: the receipt's block number and timestamp are shifted
+	// far outside plausibility bounds.
+	KindStaleReorg
 )
 
 func (k Kind) String() string {
@@ -61,8 +79,28 @@ func (k Kind) String() string {
 		return "ratelimit"
 	case KindTruncate:
 		return "truncate"
+	case KindCorruptField:
+		return "corrupt-field"
+	case KindTruncateLogs:
+		return "truncate-logs"
+	case KindStaleReorg:
+		return "stale-reorg"
 	default:
 		return "unknown"
+	}
+}
+
+// corrupting reports whether k mutates response data in flight instead
+// of erroring. Corruption kinds only apply to record-fetching chain
+// reads (Transaction/Receipt and their batches); rolled on any other
+// operation they pass the clean response through — the roll is still
+// consumed, preserving the one-draw-per-op schedule contract.
+func (k Kind) corrupting() bool {
+	switch k {
+	case KindCorruptField, KindTruncateLogs, KindStaleReorg:
+		return true
+	default:
+		return false
 	}
 }
 

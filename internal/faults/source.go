@@ -27,12 +27,77 @@ func WrapSource(src core.ChainSource, inj *Injector) *Source {
 // Unwrap returns the wrapped source.
 func (s *Source) Unwrap() core.ChainSource { return s.src }
 
-// fault rolls the schedule for one operation.
+// fault rolls the schedule for a non-record operation. A corruption
+// kind drawn here has nothing to corrupt (hash lists and booleans carry
+// no validatable record), so it passes the clean response through; the
+// roll is still consumed, keeping the schedule aligned.
 func (s *Source) fault(op string) error {
-	if kind, fatal, ok := s.inj.roll(); ok {
-		return sourceError(kind, fatal, op)
+	kind, fatal, ok := s.inj.roll()
+	if !ok || (!fatal && kind.corrupting()) {
+		return nil
 	}
-	return nil
+	return sourceError(kind, fatal, op)
+}
+
+// rollRecord rolls the schedule for a record-fetching operation: it
+// reports a corruption kind to apply to the response, an error to
+// return instead, or a clean pass.
+func (s *Source) rollRecord(op string) (kind Kind, corrupt bool, err error) {
+	kind, fatal, ok := s.inj.roll()
+	if !ok {
+		return 0, false, nil
+	}
+	if !fatal && kind.corrupting() {
+		return kind, true, nil
+	}
+	return 0, false, sourceError(kind, fatal, op)
+}
+
+// corruptTransaction returns a deep-enough copy of tx with its sender
+// mutated. The memoized hash is copied along, exactly like a tampering
+// middlebox would preserve the claimed identity — only a recomputed
+// hash can see the mutation. The chain's own record is never touched.
+func corruptTransaction(tx *chain.Transaction) *chain.Transaction {
+	if tx == nil {
+		return nil
+	}
+	cp := *tx
+	cp.From[0] ^= 0xff
+	return &cp
+}
+
+// corruptReceipt returns a copy of rec mangled per kind. Every branch
+// produces a violation the integrity layer is guaranteed to detect;
+// mutated slices are copied first so the chain's record stays intact.
+func corruptReceipt(rec *chain.Receipt, kind Kind) *chain.Receipt {
+	if rec == nil {
+		return nil
+	}
+	cp := *rec
+	switch kind {
+	case KindStaleReorg:
+		cp.BlockNumber += 1 << 41
+		// AddDate, not Add: +500 years overflows time.Duration.
+		cp.Timestamp = cp.Timestamp.AddDate(500, 0, 0)
+	case KindTruncateLogs:
+		switch {
+		case len(cp.Logs) > 0:
+			logs := append([]chain.Log(nil), cp.Logs...)
+			logs[len(logs)-1].Address = ethtypes.Address{}
+			logs[len(logs)-1].Topics = nil
+			cp.Logs = logs
+		case len(cp.Transfers) > 0:
+			trs := append([]chain.Transfer(nil), cp.Transfers...)
+			trs[len(trs)-1].From = ethtypes.Address{}
+			trs[len(trs)-1].To = ethtypes.Address{}
+			cp.Transfers = trs
+		default:
+			cp.TxHash[16] ^= 0xff
+		}
+	default: // KindCorruptField
+		cp.TxHash[0] ^= 0xff
+	}
+	return &cp
 }
 
 // TransactionsOf implements core.ChainSource.
@@ -45,34 +110,67 @@ func (s *Source) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) 
 
 // Transaction implements core.ChainSource.
 func (s *Source) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
-	if err := s.fault("Transaction"); err != nil {
+	// All corruption kinds degrade to field mutation on a transaction.
+	_, corrupt, err := s.rollRecord("Transaction")
+	if err != nil {
 		return nil, err
 	}
-	return s.src.Transaction(h)
+	tx, err := s.src.Transaction(h)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		return corruptTransaction(tx), nil
+	}
+	return tx, nil
 }
 
 // Receipt implements core.ChainSource.
 func (s *Source) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
-	if err := s.fault("Receipt"); err != nil {
+	kind, corrupt, err := s.rollRecord("Receipt")
+	if err != nil {
 		return nil, err
 	}
-	return s.src.Receipt(h)
+	rec, err := s.src.Receipt(h)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		return corruptReceipt(rec, kind), nil
+	}
+	return rec, nil
 }
 
 // TransactionContext implements core.ContextSource.
 func (s *Source) TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error) {
-	if err := s.fault("Transaction"); err != nil {
+	_, corrupt, err := s.rollRecord("Transaction")
+	if err != nil {
 		return nil, err
 	}
-	return core.SourceTransaction(ctx, s.src, h)
+	tx, err := core.SourceTransaction(ctx, s.src, h)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		return corruptTransaction(tx), nil
+	}
+	return tx, nil
 }
 
 // ReceiptContext implements core.ContextSource.
 func (s *Source) ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error) {
-	if err := s.fault("Receipt"); err != nil {
+	kind, corrupt, err := s.rollRecord("Receipt")
+	if err != nil {
 		return nil, err
 	}
-	return core.SourceReceipt(ctx, s.src, h)
+	rec, err := core.SourceReceipt(ctx, s.src, h)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		return corruptReceipt(rec, kind), nil
+	}
+	return rec, nil
 }
 
 // IsContract implements core.ChainSource.
@@ -99,38 +197,59 @@ func (s *Source) Code(addr ethtypes.Address) ([]byte, error) {
 // fetches when the wrapped source cannot batch (one roll per batch
 // either way — a batch is one wire operation).
 func (s *Source) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error) {
-	if err := s.fault("BatchTransactions"); err != nil {
+	_, corrupt, err := s.rollRecord("BatchTransactions")
+	if err != nil {
 		return nil, err
 	}
+	var out []*chain.Transaction
 	if bs, ok := s.src.(core.BatchSource); ok {
-		return bs.BatchTransactions(hs)
-	}
-	out := make([]*chain.Transaction, len(hs))
-	for i, h := range hs {
-		tx, err := s.src.Transaction(h)
+		out, err = bs.BatchTransactions(hs)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = tx
+	} else {
+		out = make([]*chain.Transaction, len(hs))
+		for i, h := range hs {
+			tx, err := s.src.Transaction(h)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = tx
+		}
+	}
+	if corrupt && len(out) > 0 {
+		// One roll per batch; the fault lands on the first entry.
+		out = append([]*chain.Transaction(nil), out...)
+		out[0] = corruptTransaction(out[0])
 	}
 	return out, nil
 }
 
 // BatchReceipts implements core.BatchSource; see BatchTransactions.
 func (s *Source) BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error) {
-	if err := s.fault("BatchReceipts"); err != nil {
+	kind, corrupt, err := s.rollRecord("BatchReceipts")
+	if err != nil {
 		return nil, err
 	}
+	var out []*chain.Receipt
 	if bs, ok := s.src.(core.BatchSource); ok {
-		return bs.BatchReceipts(hs)
-	}
-	out := make([]*chain.Receipt, len(hs))
-	for i, h := range hs {
-		rec, err := s.src.Receipt(h)
+		out, err = bs.BatchReceipts(hs)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = rec
+	} else {
+		out = make([]*chain.Receipt, len(hs))
+		for i, h := range hs {
+			rec, err := s.src.Receipt(h)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = rec
+		}
+	}
+	if corrupt && len(out) > 0 {
+		out = append([]*chain.Receipt(nil), out...)
+		out[0] = corruptReceipt(out[0], kind)
 	}
 	return out, nil
 }

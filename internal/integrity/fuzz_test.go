@@ -1,0 +1,162 @@
+package integrity_test
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+	"repro/internal/integrity"
+	"repro/internal/labels"
+)
+
+// knownReasons is every reason code the validators may return; the
+// empty string means admitted.
+var knownReasons = map[integrity.Reason]bool{
+	"":                                   true,
+	integrity.ReasonNilRecord:            true,
+	integrity.ReasonTxHashMismatch:       true,
+	integrity.ReasonReceiptTxMismatch:    true,
+	integrity.ReasonStatusConflict:       true,
+	integrity.ReasonMissingValueTransfer: true,
+	integrity.ReasonTransferBounds:       true,
+	integrity.ReasonLogBounds:            true,
+	integrity.ReasonBlockBounds:          true,
+	integrity.ReasonTimeBounds:           true,
+	integrity.ReasonReorgPin:             true,
+	integrity.ReasonValueBounds:          true,
+	integrity.ReasonLabelMalformed:       true,
+	integrity.ReasonLabelSchema:          true,
+}
+
+// byteReader consumes fuzz input, zero-padding past the end so every
+// input length decodes to a full record.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) next(n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n && r.off < len(r.data); i++ {
+		out[i] = r.data[r.off]
+		r.off++
+	}
+	return out
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.next(8)
+	var v uint64
+	for _, c := range b {
+		v = v<<8 | uint64(c)
+	}
+	return v
+}
+
+func (r *byteReader) flag() bool { return r.next(1)[0]&1 == 1 }
+
+// recordFromBytes decodes an arbitrary transaction+receipt pair from
+// fuzz input, covering nil records, self-consistent pairs, and every
+// corruption shape the validators guard against.
+func recordFromBytes(data []byte) (ethtypes.Hash, *chain.Transaction, *chain.Receipt, labels.Label) {
+	r := &byteReader{data: data}
+
+	var tx *chain.Transaction
+	if !r.flag() {
+		tx = &chain.Transaction{
+			Nonce:    r.u64(),
+			From:     ethtypes.BytesToAddress(r.next(20)),
+			Value:    ethtypes.WeiFromBig(new(big.Int).SetBytes(r.next(40))),
+			Data:     r.next(int(r.u64() % 64)),
+			GasLimit: r.u64(),
+		}
+		if r.flag() {
+			to := ethtypes.BytesToAddress(r.next(20))
+			tx.To = &to
+		}
+		if r.flag() {
+			tx.Value = ethtypes.WeiFromBig(new(big.Int).Neg(tx.Value.Big()))
+		}
+	}
+
+	// Request identity: sometimes the honest recomputed hash, sometimes
+	// arbitrary bytes.
+	var h ethtypes.Hash
+	if tx != nil && r.flag() {
+		h = tx.RecomputeHash()
+	} else {
+		h = ethtypes.BytesToHash(r.next(32))
+	}
+
+	var rec *chain.Receipt
+	if !r.flag() {
+		rec = &chain.Receipt{
+			TxHash:      h,
+			BlockNumber: r.u64(),
+			Timestamp:   time.Unix(int64(r.u64()%(1<<34))-(1<<33), 0),
+			Status:      r.flag(),
+			GasUsed:     r.u64(),
+			Err:         string(r.next(int(r.u64() % 16))),
+		}
+		if r.flag() {
+			rec.TxHash = ethtypes.BytesToHash(r.next(32))
+		}
+		for i := r.u64() % 4; i > 0; i-- {
+			rec.Transfers = append(rec.Transfers, chain.Transfer{
+				Asset:  chain.Asset{Kind: chain.AssetKind(r.u64() % 4)},
+				From:   ethtypes.BytesToAddress(r.next(20)),
+				To:     ethtypes.BytesToAddress(r.next(20)),
+				Amount: ethtypes.WeiFromBig(new(big.Int).SetBytes(r.next(40))),
+				Depth:  int(r.u64() % 8),
+			})
+		}
+		for i := r.u64() % 3; i > 0; i-- {
+			lg := chain.Log{
+				Address: ethtypes.BytesToAddress(r.next(20)),
+				Topics:  make([]ethtypes.Hash, r.u64()%8),
+				Data:    make([]byte, r.u64()%(integrity.MaxLogData+2)),
+			}
+			rec.Logs = append(rec.Logs, lg)
+		}
+	}
+
+	sources := []labels.Source{labels.SourceEtherscan, labels.SourceChainabuse, "bogus", ""}
+	categories := []labels.Category{labels.CategoryPhishing, labels.CategoryExchange, "bogus", ""}
+	lbl := labels.Label{
+		Address:  ethtypes.BytesToAddress(r.next(20)),
+		Source:   sources[r.u64()%uint64(len(sources))],
+		Category: categories[r.u64()%uint64(len(categories))],
+		Name:     string(r.next(int(r.u64() % (integrity.MaxLabelName + 8)))),
+	}
+	return h, tx, rec, lbl
+}
+
+// FuzzValidateRecord asserts the validation surface is total: no input
+// panics, and every verdict is a known reason code. The seed corpus
+// walks one representative of each corruption shape.
+func FuzzValidateRecord(f *testing.F) {
+	f.Add([]byte(nil))        // nil records
+	f.Add([]byte{0x00})       // minimal tx, arbitrary hash
+	f.Add([]byte{0x01, 0x01}) // nil tx, receipt present
+	seed := make([]byte, 256)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed) // dense record with transfers and logs
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, tx, rec, lbl := recordFromBytes(data)
+		verdicts := []integrity.Reason{
+			integrity.CheckTransaction(h, tx),
+			integrity.CheckReceipt(h, rec),
+			integrity.CheckPair(tx, rec),
+			integrity.CheckLabel(lbl),
+		}
+		for i, v := range verdicts {
+			if !knownReasons[v] {
+				t.Fatalf("check %d returned unknown reason %q", i, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package integrity is the admission control layer for untrusted chain
+// data. Every record the measurement pipeline fetches — transactions,
+// receipts, label entries — is cross-checked before it may influence
+// the §4.3 profit-sharing classifier or the §7.1 family clustering:
+//
+//   - a transaction must hash (recomputed, not memoized) to the
+//     identity it was requested under;
+//   - a receipt must reference the requested transaction, respect
+//     structural bounds on transfers and log data, and agree with its
+//     transaction (a failed receipt carries no fund flow; a successful
+//     value call records its top-level ETH transfer first);
+//   - a re-fetched receipt must agree with the block-number/timestamp
+//     pin taken at first admission, or the source is answering from a
+//     reorged or stale view;
+//   - a label entry must match the published schema, with a per-source
+//     error budget so one rotten feed cannot poison seeding silently.
+//
+// Invalid records are never fatal and never dropped silently: each one
+// is recorded in a Quarantine store (reason-coded, capped, exportable)
+// and re-fetched up to MaxRefetch times. A record that keeps failing is
+// quarantined permanently and surfaces as core.ErrQuarantined, which
+// the pipeline converts into graceful degradation (the affected account
+// is marked degraded in the completeness manifest, not fixpointed).
+//
+// All Check* functions are pure, total, and panic-free on arbitrary
+// inputs — they are the fuzzing surface (FuzzValidateRecord).
+package integrity
+
+import (
+	"math/big"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+	"repro/internal/labels"
+)
+
+// Reason codes a validation failure. The empty string means the record
+// passed. Codes are stable: they key quarantine exports, metrics
+// labels, and checkpoint snapshots.
+type Reason string
+
+// Validation failure reasons.
+const (
+	// ReasonNilRecord: the source returned no record without an error.
+	ReasonNilRecord Reason = "nil-record"
+	// ReasonTxHashMismatch: the transaction's recomputed hash differs
+	// from the hash it was requested under (field mutation in flight).
+	ReasonTxHashMismatch Reason = "tx-hash-mismatch"
+	// ReasonReceiptTxMismatch: the receipt references a different
+	// transaction than requested.
+	ReasonReceiptTxMismatch Reason = "receipt-tx-mismatch"
+	// ReasonStatusConflict: a failed receipt carrying fund flow, or a
+	// successful one carrying a failure message.
+	ReasonStatusConflict Reason = "status-conflict"
+	// ReasonMissingValueTransfer: a successful value-bearing call whose
+	// receipt does not open with the mandatory top-level ETH transfer.
+	ReasonMissingValueTransfer Reason = "missing-value-transfer"
+	// ReasonTransferBounds: a transfer with a negative, overflowing, or
+	// endpoint-less amount.
+	ReasonTransferBounds Reason = "transfer-bounds"
+	// ReasonLogBounds: a log with no emitting address, more than four
+	// topics, or oversized data (truncated/garbled responses).
+	ReasonLogBounds Reason = "log-bounds"
+	// ReasonBlockBounds: a block number beyond any plausible height.
+	ReasonBlockBounds Reason = "block-bounds"
+	// ReasonTimeBounds: a timestamp outside the plausible chain window.
+	ReasonTimeBounds Reason = "time-bounds"
+	// ReasonReorgPin: a re-fetched receipt disagreeing with the
+	// block/timestamp/status pin taken at first admission.
+	ReasonReorgPin Reason = "reorg-pin"
+	// ReasonValueBounds: a transaction value that is negative or does
+	// not fit an EVM word.
+	ReasonValueBounds Reason = "value-bounds"
+	// ReasonLabelMalformed: a label entry that failed wire decoding.
+	ReasonLabelMalformed Reason = "label-malformed"
+	// ReasonLabelSchema: a decoded label entry violating the published
+	// schema (zero address, unknown source or category, oversized name).
+	ReasonLabelSchema Reason = "label-schema"
+)
+
+// Structural bounds. They are deliberately generous — the point is to
+// catch garbled responses, not to second-guess unusual-but-real data.
+const (
+	// MaxTopics is the EVM's LOG4 limit.
+	MaxTopics = 4
+	// MaxLogData bounds one log record's payload.
+	MaxLogData = 1 << 20
+	// MaxBlockNumber bounds plausible chain heights.
+	MaxBlockNumber = 1 << 40
+	// MaxLabelName bounds a label display tag.
+	MaxLabelName = 256
+)
+
+// MinTime and MaxTime bound plausible receipt timestamps. The window is
+// wide (well before Ethereum genesis to far future) so it only trips on
+// stale-reorg or garbage responses, never on real chain data.
+var (
+	MinTime = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	MaxTime = time.Date(2200, 1, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// maxU256 is the largest amount an EVM word can carry.
+var maxU256 = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+
+// weiInBounds reports whether w fits a non-negative EVM word.
+func weiInBounds(w ethtypes.Wei) bool {
+	if w.Sign() < 0 {
+		return false
+	}
+	return w.Big().Cmp(maxU256) <= 0
+}
+
+// CheckTransaction validates a transaction fetched under identity h.
+// It returns the first violated rule, or "" when the record is
+// admissible.
+func CheckTransaction(h ethtypes.Hash, tx *chain.Transaction) Reason {
+	if tx == nil {
+		return ReasonNilRecord
+	}
+	if !weiInBounds(tx.Value) {
+		return ReasonValueBounds
+	}
+	if tx.RecomputeHash() != h {
+		return ReasonTxHashMismatch
+	}
+	return ""
+}
+
+// CheckReceipt validates a receipt fetched under transaction identity
+// h: identity, plausibility bounds, status/fund-flow agreement, and
+// structural bounds on every transfer and log.
+func CheckReceipt(h ethtypes.Hash, rec *chain.Receipt) Reason {
+	if rec == nil {
+		return ReasonNilRecord
+	}
+	if rec.TxHash != h {
+		return ReasonReceiptTxMismatch
+	}
+	if rec.BlockNumber > MaxBlockNumber {
+		return ReasonBlockBounds
+	}
+	if rec.Timestamp.Before(MinTime) || !rec.Timestamp.Before(MaxTime) {
+		return ReasonTimeBounds
+	}
+	if !rec.Status && (len(rec.Transfers) > 0 || len(rec.Approvals) > 0 || len(rec.Logs) > 0) {
+		// The chain rolls back the fund flow of a failed transaction; a
+		// failed receipt with transfers is internally inconsistent.
+		return ReasonStatusConflict
+	}
+	if rec.Status && rec.Err != "" {
+		return ReasonStatusConflict
+	}
+	for _, tr := range rec.Transfers {
+		if !weiInBounds(tr.Amount) {
+			return ReasonTransferBounds
+		}
+		if tr.From == (ethtypes.Address{}) && tr.To == (ethtypes.Address{}) {
+			// Minting (from zero) and burning (to zero) are real flow
+			// shapes; value moving from nowhere to nowhere is not.
+			return ReasonTransferBounds
+		}
+	}
+	for _, ap := range rec.Approvals {
+		if !weiInBounds(ap.Amount) {
+			return ReasonTransferBounds
+		}
+	}
+	for _, lg := range rec.Logs {
+		if lg.Address == (ethtypes.Address{}) {
+			return ReasonLogBounds
+		}
+		if len(lg.Topics) > MaxTopics {
+			return ReasonLogBounds
+		}
+		if len(lg.Data) > MaxLogData {
+			return ReasonLogBounds
+		}
+	}
+	return ""
+}
+
+// CheckPair cross-checks a transaction against its receipt. Both
+// records must individually pass their own checks first; CheckPair only
+// verifies agreement between them. The load-bearing rule mirrors the
+// execution engine: a successful top-level call moving value records
+// that movement as the receipt's first transfer.
+func CheckPair(tx *chain.Transaction, rec *chain.Receipt) Reason {
+	if tx == nil || rec == nil {
+		return ReasonNilRecord
+	}
+	if tx.To != nil && rec.Status && tx.Value.Sign() > 0 {
+		if len(rec.Transfers) == 0 {
+			return ReasonMissingValueTransfer
+		}
+		first := rec.Transfers[0]
+		if first.Depth != 0 || first.Asset != chain.ETHAsset ||
+			first.From != tx.From || first.To != *tx.To ||
+			first.Amount.Cmp(tx.Value) != 0 {
+			return ReasonMissingValueTransfer
+		}
+	}
+	return ""
+}
+
+// CheckLabel validates one decoded label entry against the published
+// schema.
+func CheckLabel(l labels.Label) Reason {
+	if l.Address == (ethtypes.Address{}) {
+		return ReasonLabelSchema
+	}
+	if !knownSource(l.Source) {
+		return ReasonLabelSchema
+	}
+	switch l.Category {
+	case labels.CategoryPhishing, labels.CategoryExchange, labels.CategoryService:
+	default:
+		return ReasonLabelSchema
+	}
+	if len(l.Name) > MaxLabelName {
+		return ReasonLabelSchema
+	}
+	return ""
+}
+
+func knownSource(s labels.Source) bool {
+	for _, known := range labels.AllSources {
+		if s == known {
+			return true
+		}
+	}
+	return false
+}

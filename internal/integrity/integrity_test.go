@@ -1,0 +1,256 @@
+package integrity_test
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+	"repro/internal/integrity"
+	"repro/internal/labels"
+)
+
+// validPair builds a transaction and a receipt that pass every check:
+// a successful value-bearing call whose top-level ETH transfer leads
+// the fund flow, as the execution engine records it.
+func validPair() (ethtypes.Hash, *chain.Transaction, *chain.Receipt) {
+	to := ethtypes.Addr("0x00000000000000000000000000000000000000b0")
+	tx := &chain.Transaction{
+		Nonce:    7,
+		From:     ethtypes.Addr("0x00000000000000000000000000000000000000a0"),
+		To:       &to,
+		Value:    ethtypes.Ether(1),
+		GasLimit: 21000,
+	}
+	h := tx.RecomputeHash()
+	rec := &chain.Receipt{
+		TxHash:      h,
+		BlockNumber: 1234,
+		Timestamp:   time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC),
+		Status:      true,
+		GasUsed:     21000,
+		Transfers: []chain.Transfer{
+			{Asset: chain.ETHAsset, From: tx.From, To: to, Amount: tx.Value, Depth: 0},
+		},
+	}
+	return h, tx, rec
+}
+
+func TestCheckTransaction(t *testing.T) {
+	h, tx, _ := validPair()
+	if got := integrity.CheckTransaction(h, tx); got != "" {
+		t.Fatalf("valid transaction rejected: %s", got)
+	}
+	if got := integrity.CheckTransaction(h, nil); got != integrity.ReasonNilRecord {
+		t.Errorf("nil transaction: got %q, want %q", got, integrity.ReasonNilRecord)
+	}
+
+	// A field mutated in flight keeps the stale memoized hash, so only
+	// the recomputed identity can expose it.
+	mutated := *tx
+	_ = mutated.Hash() // memoize the pre-mutation identity
+	mutated.From[0] ^= 0xff
+	if got := integrity.CheckTransaction(h, &mutated); got != integrity.ReasonTxHashMismatch {
+		t.Errorf("mutated transaction: got %q, want %q", got, integrity.ReasonTxHashMismatch)
+	}
+
+	over := *tx
+	over.Value = ethtypes.WeiFromBig(new(big.Int).Lsh(big.NewInt(1), 256))
+	if got := integrity.CheckTransaction(h, &over); got != integrity.ReasonValueBounds {
+		t.Errorf("overflowing value: got %q, want %q", got, integrity.ReasonValueBounds)
+	}
+	neg := *tx
+	neg.Value = ethtypes.WeiFromBig(big.NewInt(-1))
+	if got := integrity.CheckTransaction(h, &neg); got != integrity.ReasonValueBounds {
+		t.Errorf("negative value: got %q, want %q", got, integrity.ReasonValueBounds)
+	}
+}
+
+func TestCheckReceipt(t *testing.T) {
+	h, _, rec := validPair()
+	if got := integrity.CheckReceipt(h, rec); got != "" {
+		t.Fatalf("valid receipt rejected: %s", got)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(r *chain.Receipt)
+		want   integrity.Reason
+	}{
+		{"wrong tx hash", func(r *chain.Receipt) { r.TxHash[0] ^= 0xff }, integrity.ReasonReceiptTxMismatch},
+		{"implausible block", func(r *chain.Receipt) { r.BlockNumber = integrity.MaxBlockNumber + 1 }, integrity.ReasonBlockBounds},
+		{"implausible time", func(r *chain.Receipt) { r.Timestamp = r.Timestamp.AddDate(500, 0, 0) }, integrity.ReasonTimeBounds},
+		{"failed with fund flow", func(r *chain.Receipt) { r.Status = false; r.Err = "reverted" }, integrity.ReasonStatusConflict},
+		{"success with failure message", func(r *chain.Receipt) { r.Err = "reverted" }, integrity.ReasonStatusConflict},
+		{"transfer from nowhere to nowhere", func(r *chain.Receipt) {
+			r.Transfers[0].From = ethtypes.Address{}
+			r.Transfers[0].To = ethtypes.Address{}
+		}, integrity.ReasonTransferBounds},
+		{"overflowing transfer", func(r *chain.Receipt) {
+			r.Transfers[0].Amount = ethtypes.WeiFromBig(new(big.Int).Lsh(big.NewInt(1), 256))
+		}, integrity.ReasonTransferBounds},
+		{"log without emitter", func(r *chain.Receipt) {
+			r.Logs = []chain.Log{{}}
+		}, integrity.ReasonLogBounds},
+		{"log with five topics", func(r *chain.Receipt) {
+			r.Logs = []chain.Log{{Address: r.Transfers[0].To, Topics: make([]ethtypes.Hash, 5)}}
+		}, integrity.ReasonLogBounds},
+		{"oversized log data", func(r *chain.Receipt) {
+			r.Logs = []chain.Log{{Address: r.Transfers[0].To, Data: make([]byte, integrity.MaxLogData+1)}}
+		}, integrity.ReasonLogBounds},
+	}
+	for _, tc := range cases {
+		_, _, fresh := validPair()
+		tc.mutate(fresh)
+		if got := integrity.CheckReceipt(h, fresh); got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+
+	if got := integrity.CheckReceipt(h, nil); got != integrity.ReasonNilRecord {
+		t.Errorf("nil receipt: got %q, want %q", got, integrity.ReasonNilRecord)
+	}
+
+	// A failed call legitimately has no fund flow at all.
+	failed := &chain.Receipt{
+		TxHash: h, BlockNumber: 1234,
+		Timestamp: time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC),
+		Status:    false, Err: "reverted",
+	}
+	if got := integrity.CheckReceipt(h, failed); got != "" {
+		t.Errorf("cleanly failed receipt rejected: %s", got)
+	}
+}
+
+func TestCheckPair(t *testing.T) {
+	_, tx, rec := validPair()
+	if got := integrity.CheckPair(tx, rec); got != "" {
+		t.Fatalf("valid pair rejected: %s", got)
+	}
+
+	noFlow := *rec
+	noFlow.Transfers = nil
+	if got := integrity.CheckPair(tx, &noFlow); got != integrity.ReasonMissingValueTransfer {
+		t.Errorf("missing top-level transfer: got %q, want %q", got, integrity.ReasonMissingValueTransfer)
+	}
+
+	wrongAmount := *rec
+	wrongAmount.Transfers = []chain.Transfer{rec.Transfers[0]}
+	wrongAmount.Transfers[0].Amount = ethtypes.Ether(2)
+	if got := integrity.CheckPair(tx, &wrongAmount); got != integrity.ReasonMissingValueTransfer {
+		t.Errorf("disagreeing transfer amount: got %q, want %q", got, integrity.ReasonMissingValueTransfer)
+	}
+
+	// Zero-value calls and contract creations carry no mandatory
+	// transfer.
+	zero := *tx
+	zero.Value = ethtypes.NewWei(0)
+	zeroRec := *rec
+	zeroRec.Transfers = nil
+	if got := integrity.CheckPair(&zero, &zeroRec); got != "" {
+		t.Errorf("zero-value pair rejected: %s", got)
+	}
+	creation := *tx
+	creation.To = nil
+	if got := integrity.CheckPair(&creation, &zeroRec); got != "" {
+		t.Errorf("creation pair rejected: %s", got)
+	}
+}
+
+func TestCheckLabel(t *testing.T) {
+	good := labels.Label{
+		Address:  ethtypes.Addr("0x00000000000000000000000000000000000000c0"),
+		Source:   labels.SourceEtherscan,
+		Category: labels.CategoryPhishing,
+		Name:     "Fake_Phishing123",
+	}
+	if got := integrity.CheckLabel(good); got != "" {
+		t.Fatalf("valid label rejected: %s", got)
+	}
+	cases := []struct {
+		name   string
+		mutate func(l *labels.Label)
+	}{
+		{"zero address", func(l *labels.Label) { l.Address = ethtypes.Address{} }},
+		{"unknown source", func(l *labels.Label) { l.Source = "pastebin" }},
+		{"unknown category", func(l *labels.Label) { l.Category = "memes" }},
+		{"oversized name", func(l *labels.Label) { l.Name = string(make([]byte, integrity.MaxLabelName+1)) }},
+	}
+	for _, tc := range cases {
+		l := good
+		tc.mutate(&l)
+		if got := integrity.CheckLabel(l); got != integrity.ReasonLabelSchema {
+			t.Errorf("%s: got %q, want %q", tc.name, got, integrity.ReasonLabelSchema)
+		}
+	}
+}
+
+func TestQuarantineSnapshotRestoreRoundTrip(t *testing.T) {
+	q := integrity.NewQuarantine(nil)
+	h1, _, _ := validPair()
+	q.Add(integrity.Record{Object: "tx", Hash: h1, Reason: integrity.ReasonTxHashMismatch})
+	q.Add(integrity.Record{Object: "receipt", Hash: h1, Reason: integrity.ReasonReorgPin, Detail: "block moved"})
+	q.MarkPermanent(h1, integrity.ReasonReorgPin)
+
+	snap, err := q.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := integrity.NewQuarantine(nil)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	again, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap, again) {
+		t.Errorf("snapshot not byte-identical after restore:\n%s\nvs\n%s", snap, again)
+	}
+	if restored.Total() != q.Total() {
+		t.Errorf("restored Total() = %d, want %d", restored.Total(), q.Total())
+	}
+	if r, ok := restored.Permanent(h1); !ok || r != integrity.ReasonReorgPin {
+		t.Errorf("restored Permanent(h1) = %q, %v; want %q, true", r, ok, integrity.ReasonReorgPin)
+	}
+}
+
+func TestQuarantineCapKeepsCountingPastRetention(t *testing.T) {
+	q := integrity.NewQuarantine(nil)
+	q.Cap = 2
+	h, _, _ := validPair()
+	for i := 0; i < 5; i++ {
+		q.Add(integrity.Record{Object: "tx", Hash: h, Reason: integrity.ReasonTxHashMismatch})
+	}
+	if got := len(q.Records()); got != 2 {
+		t.Errorf("retained %d record details, want 2 (Cap)", got)
+	}
+	if got := q.Total(); got != 5 {
+		t.Errorf("Total() = %d, want 5 (counters are exact past the cap)", got)
+	}
+	if got := q.Counts()["tx/"+string(integrity.ReasonTxHashMismatch)]; got != 5 {
+		t.Errorf("reason count = %d, want 5", got)
+	}
+}
+
+func TestLabelBudgetTripsPerSource(t *testing.T) {
+	b := integrity.NewLabelBudget(2)
+	if err := b.Note("etherscan", integrity.ReasonLabelSchema); err != nil {
+		t.Fatalf("first rejection tripped the budget: %v", err)
+	}
+	if err := b.Note("etherscan", integrity.ReasonLabelMalformed); err != nil {
+		t.Fatalf("second rejection tripped the budget: %v", err)
+	}
+	if err := b.Note("etherscan", integrity.ReasonLabelSchema); err == nil {
+		t.Fatal("third rejection did not trip the per-source budget")
+	}
+	// Other sources keep their own budget.
+	if err := b.Note("chainabuse", integrity.ReasonLabelSchema); err != nil {
+		t.Fatalf("independent source tripped a shared budget: %v", err)
+	}
+	if got := b.Total(); got != 4 {
+		t.Errorf("Total() = %d, want 4", got)
+	}
+}

@@ -1,0 +1,400 @@
+package integrity
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/obs"
+)
+
+// DefaultMaxRefetch is the re-fetch allowance per record. It is sized
+// so that under seeded corruption injection the probability of a real
+// record exhausting it (and perturbing the dataset) is negligible,
+// while a source that keeps returning garbage still converges to a
+// permanent quarantine quickly.
+const DefaultMaxRefetch = 5
+
+// Source decorates a core.ChainSource with admission control: every
+// fetched transaction and receipt is validated (CheckTransaction,
+// CheckReceipt, CheckPair, reorg pins) before it reaches the caller.
+// An invalid response is quarantined and re-fetched up to MaxRefetch
+// times; a record that never validates is quarantined permanently and
+// surfaces as core.ErrQuarantined (nil entries on batch paths).
+//
+// In the build stack the decorator sits between the fetch cache and the
+// retry layer (cache → integrity → retry → metrics), so the cache only
+// ever stores validated records and every re-fetch spends real wire
+// attempts. One Source instance should be shared across pipeline
+// stages: its per-transaction pins are what let a later stage detect a
+// source that silently reorged between fetches.
+type Source struct {
+	// MaxRefetch overrides DefaultMaxRefetch when positive.
+	MaxRefetch int
+	// MaxQuarantine, when positive, fails the run (ErrBudgetExceeded)
+	// once total quarantined rejections exceed it — the -max-quarantine
+	// CLI knob.
+	MaxQuarantine int64
+
+	src core.ChainSource
+	q   *Quarantine
+
+	mu   sync.Mutex
+	pins map[ethtypes.Hash]*pin
+
+	checks     *obs.CounterVec
+	violations *obs.CounterVec
+	refetches  *obs.Counter
+	recovered  *obs.Counter
+}
+
+// pin remembers what was first admitted under a transaction hash:
+// enough of the transaction for receipt cross-checks, and the receipt's
+// chain position for reorg detection across re-fetches and stages.
+type pin struct {
+	haveTx  bool
+	txFrom  ethtypes.Address
+	txTo    *ethtypes.Address
+	txValue ethtypes.Wei
+
+	haveRec bool
+	block   uint64
+	unix    int64
+	status  bool
+}
+
+// Wrap decorates src with validation backed by the quarantine store q
+// (one is created when nil), registering daas_integrity_* instruments
+// in reg (nil means no-op).
+func Wrap(src core.ChainSource, q *Quarantine, reg *obs.Registry) *Source {
+	if q == nil {
+		q = NewQuarantine(reg)
+	}
+	return &Source{
+		src:        src,
+		q:          q,
+		pins:       make(map[ethtypes.Hash]*pin),
+		checks:     reg.CounterVec("daas_integrity_checks_total", "records validated by object kind", "object"),
+		violations: reg.CounterVec("daas_integrity_violations_total", "validation failures by reason", "reason"),
+		refetches:  reg.Counter("daas_integrity_refetches_total", "re-fetches of records that failed validation"),
+		recovered:  reg.Counter("daas_integrity_recovered_total", "records admitted clean after a failed first response"),
+	}
+}
+
+// Unwrap returns the wrapped source.
+func (s *Source) Unwrap() core.ChainSource { return s.src }
+
+// Quarantine returns the backing store.
+func (s *Source) Quarantine() *Quarantine { return s.q }
+
+func (s *Source) maxRefetch() int {
+	if s.MaxRefetch > 0 {
+		return s.MaxRefetch
+	}
+	return DefaultMaxRefetch
+}
+
+// budget enforces MaxQuarantine after a rejection.
+func (s *Source) budget() error {
+	if s.MaxQuarantine > 0 && s.q.Total() > s.MaxQuarantine {
+		return fmt.Errorf("integrity: %d rejections exceed -max-quarantine %d: %w",
+			s.q.Total(), s.MaxQuarantine, ErrBudgetExceeded)
+	}
+	return nil
+}
+
+func (s *Source) pinOf(h ethtypes.Hash) *pin {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pins[h]
+	if !ok {
+		p = &pin{}
+		s.pins[h] = p
+	}
+	return p
+}
+
+// checkTransaction runs the per-record rules and pins the admitted
+// summary.
+func (s *Source) checkTransaction(h ethtypes.Hash, tx *chain.Transaction) Reason {
+	s.checks.With("tx").Inc()
+	if reason := CheckTransaction(h, tx); reason != "" {
+		return reason
+	}
+	p := s.pinOf(h)
+	s.mu.Lock()
+	if !p.haveTx {
+		p.haveTx = true
+		p.txFrom = tx.From
+		if tx.To != nil {
+			to := *tx.To
+			p.txTo = &to
+		}
+		p.txValue = tx.Value
+	}
+	s.mu.Unlock()
+	return ""
+}
+
+// checkReceipt runs the per-record rules, the tx↔receipt agreement
+// check against the pinned transaction, and the reorg pin; a clean
+// receipt is pinned for future re-fetch comparison.
+func (s *Source) checkReceipt(h ethtypes.Hash, rec *chain.Receipt) Reason {
+	s.checks.With("receipt").Inc()
+	if reason := CheckReceipt(h, rec); reason != "" {
+		return reason
+	}
+	p := s.pinOf(h)
+	s.mu.Lock()
+	haveTx, pinned := p.haveTx, *p
+	s.mu.Unlock()
+	if haveTx {
+		pinTx := &chain.Transaction{From: pinned.txFrom, To: pinned.txTo, Value: pinned.txValue}
+		if reason := CheckPair(pinTx, rec); reason != "" {
+			return reason
+		}
+	}
+	if pinned.haveRec {
+		if rec.BlockNumber != pinned.block || rec.Timestamp.Unix() != pinned.unix || rec.Status != pinned.status {
+			return ReasonReorgPin
+		}
+		return ""
+	}
+	s.mu.Lock()
+	if !p.haveRec {
+		p.haveRec = true
+		p.block = rec.BlockNumber
+		p.unix = rec.Timestamp.Unix()
+		p.status = rec.Status
+	}
+	s.mu.Unlock()
+	return ""
+}
+
+// quarantineOne records a rejection and enforces the budget.
+func (s *Source) quarantineOne(object string, h ethtypes.Hash, reason Reason) error {
+	s.violations.With(string(reason)).Inc()
+	s.q.Add(Record{Object: object, Hash: h, Reason: reason})
+	return s.budget()
+}
+
+// transactionValidated is the admission loop for one transaction.
+func (s *Source) transactionValidated(h ethtypes.Hash, fetch func() (*chain.Transaction, error)) (*chain.Transaction, error) {
+	if reason, ok := s.q.Permanent(h); ok {
+		return nil, fmt.Errorf("integrity: transaction %s: %s: %w", h, reason, core.ErrQuarantined)
+	}
+	var reason Reason
+	for attempt := 0; attempt <= s.maxRefetch(); attempt++ {
+		if attempt > 0 {
+			s.refetches.Inc()
+		}
+		tx, err := fetch()
+		if err != nil {
+			return nil, err
+		}
+		if reason = s.checkTransaction(h, tx); reason == "" {
+			if attempt > 0 {
+				s.recovered.Inc()
+			}
+			return tx, nil
+		}
+		if err := s.quarantineOne("tx", h, reason); err != nil {
+			return nil, err
+		}
+	}
+	s.q.MarkPermanent(h, reason)
+	return nil, fmt.Errorf("integrity: transaction %s: %s: %w", h, reason, core.ErrQuarantined)
+}
+
+// receiptValidated is the admission loop for one receipt.
+func (s *Source) receiptValidated(h ethtypes.Hash, fetch func() (*chain.Receipt, error)) (*chain.Receipt, error) {
+	if reason, ok := s.q.Permanent(h); ok {
+		return nil, fmt.Errorf("integrity: receipt %s: %s: %w", h, reason, core.ErrQuarantined)
+	}
+	var reason Reason
+	for attempt := 0; attempt <= s.maxRefetch(); attempt++ {
+		if attempt > 0 {
+			s.refetches.Inc()
+		}
+		rec, err := fetch()
+		if err != nil {
+			return nil, err
+		}
+		if reason = s.checkReceipt(h, rec); reason == "" {
+			if attempt > 0 {
+				s.recovered.Inc()
+			}
+			return rec, nil
+		}
+		if err := s.quarantineOne("receipt", h, reason); err != nil {
+			return nil, err
+		}
+	}
+	s.q.MarkPermanent(h, reason)
+	return nil, fmt.Errorf("integrity: receipt %s: %s: %w", h, reason, core.ErrQuarantined)
+}
+
+// Transaction implements core.ChainSource.
+func (s *Source) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	return s.transactionValidated(h, func() (*chain.Transaction, error) { return s.src.Transaction(h) })
+}
+
+// Receipt implements core.ChainSource.
+func (s *Source) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	return s.receiptValidated(h, func() (*chain.Receipt, error) { return s.src.Receipt(h) })
+}
+
+// TransactionContext implements core.ContextSource; re-fetches carry
+// the caller's context to the wire.
+func (s *Source) TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error) {
+	return s.transactionValidated(h, func() (*chain.Transaction, error) {
+		return core.SourceTransaction(ctx, s.src, h)
+	})
+}
+
+// ReceiptContext implements core.ContextSource.
+func (s *Source) ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error) {
+	return s.receiptValidated(h, func() (*chain.Receipt, error) {
+		return core.SourceReceipt(ctx, s.src, h)
+	})
+}
+
+// TransactionsOf implements core.ChainSource. Hash lists carry no
+// cross-checkable structure; a bogus entry is caught when its record is
+// fetched.
+func (s *Source) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
+	return s.src.TransactionsOf(addr)
+}
+
+// IsContract implements core.ChainSource.
+func (s *Source) IsContract(addr ethtypes.Address) (bool, error) {
+	return s.src.IsContract(addr)
+}
+
+// Code implements core.CodeSource when the wrapped source does.
+func (s *Source) Code(addr ethtypes.Address) ([]byte, error) {
+	cs, ok := s.src.(core.CodeSource)
+	if !ok {
+		return nil, fmt.Errorf("integrity: source %T does not serve bytecode", s.src)
+	}
+	return cs.Code(addr)
+}
+
+// BatchTransactions implements core.BatchSource. Every entry of the
+// batch response is validated; an invalid or permanently quarantined
+// entry becomes nil in the result (the degradation contract callers
+// must handle), never an aborted batch.
+func (s *Source) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error) {
+	out := make([]*chain.Transaction, len(hs))
+	bs, canBatch := s.src.(core.BatchSource)
+	if !canBatch {
+		for i, h := range hs {
+			tx, err := s.Transaction(h)
+			if err != nil {
+				if isQuarantined(err) {
+					continue
+				}
+				return nil, err
+			}
+			out[i] = tx
+		}
+		return out, nil
+	}
+	want, idx := s.batchPlan(hs)
+	txs, err := bs.BatchTransactions(want)
+	if err != nil {
+		return nil, err
+	}
+	if len(txs) != len(want) {
+		return nil, fmt.Errorf("integrity: batch source returned %d transactions for %d hashes", len(txs), len(want))
+	}
+	for j, h := range want {
+		tx := txs[j]
+		if reason := s.checkTransaction(h, tx); reason != "" {
+			if err := s.quarantineOne("tx", h, reason); err != nil {
+				return nil, err
+			}
+			// The batched response was rejected: recover this entry
+			// through the single-record admission loop.
+			tx, err = s.transactionValidated(h, func() (*chain.Transaction, error) { return s.src.Transaction(h) })
+			if err != nil {
+				if isQuarantined(err) {
+					continue
+				}
+				return nil, err
+			}
+		}
+		out[idx[j]] = tx
+	}
+	return out, nil
+}
+
+// BatchReceipts implements core.BatchSource; see BatchTransactions.
+func (s *Source) BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error) {
+	out := make([]*chain.Receipt, len(hs))
+	bs, canBatch := s.src.(core.BatchSource)
+	if !canBatch {
+		for i, h := range hs {
+			rec, err := s.Receipt(h)
+			if err != nil {
+				if isQuarantined(err) {
+					continue
+				}
+				return nil, err
+			}
+			out[i] = rec
+		}
+		return out, nil
+	}
+	want, idx := s.batchPlan(hs)
+	recs, err := bs.BatchReceipts(want)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != len(want) {
+		return nil, fmt.Errorf("integrity: batch source returned %d receipts for %d hashes", len(recs), len(want))
+	}
+	for j, h := range want {
+		rec := recs[j]
+		if reason := s.checkReceipt(h, rec); reason != "" {
+			if err := s.quarantineOne("receipt", h, reason); err != nil {
+				return nil, err
+			}
+			rec, err = s.receiptValidated(h, func() (*chain.Receipt, error) { return s.src.Receipt(h) })
+			if err != nil {
+				if isQuarantined(err) {
+					continue
+				}
+				return nil, err
+			}
+		}
+		out[idx[j]] = rec
+	}
+	return out, nil
+}
+
+// batchPlan drops permanently quarantined hashes from a batch request,
+// returning the hashes to fetch and their positions in the caller's
+// slice.
+func (s *Source) batchPlan(hs []ethtypes.Hash) (want []ethtypes.Hash, idx []int) {
+	want = make([]ethtypes.Hash, 0, len(hs))
+	idx = make([]int, 0, len(hs))
+	for i, h := range hs {
+		if _, gone := s.q.Permanent(h); gone {
+			continue
+		}
+		want = append(want, h)
+		idx = append(idx, i)
+	}
+	return want, idx
+}
+
+// isQuarantined reports whether err is the graceful-degradation signal
+// (as opposed to a real fetch failure that must abort).
+func isQuarantined(err error) bool {
+	return errors.Is(err, core.ErrQuarantined)
+}

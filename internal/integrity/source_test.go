@@ -1,0 +1,186 @@
+package integrity_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/integrity"
+)
+
+// scriptedSource serves one transaction and receipt, corrupting the
+// first corruptTx/corruptRec responses, and counts fetches.
+type scriptedSource struct {
+	h   ethtypes.Hash
+	tx  *chain.Transaction
+	rec *chain.Receipt
+
+	corruptTx  int
+	corruptRec int
+	reorgAfter int // after this many receipt fetches, answer from a different block
+
+	txFetches  int
+	recFetches int
+}
+
+func newScriptedSource() *scriptedSource {
+	h, tx, rec := validPair()
+	return &scriptedSource{h: h, tx: tx, rec: rec}
+}
+
+func (s *scriptedSource) TransactionsOf(ethtypes.Address) ([]ethtypes.Hash, error) {
+	return []ethtypes.Hash{s.h}, nil
+}
+
+func (s *scriptedSource) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
+	s.txFetches++
+	cp := *s.tx
+	if s.corruptTx > 0 {
+		s.corruptTx--
+		_ = cp.Hash() // memoize before mutating, as wire corruption would
+		cp.From[0] ^= 0xff
+	}
+	return &cp, nil
+}
+
+func (s *scriptedSource) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
+	s.recFetches++
+	cp := *s.rec
+	if s.corruptRec > 0 {
+		s.corruptRec--
+		cp.TxHash[0] ^= 0xff
+	}
+	if s.reorgAfter > 0 && s.recFetches > s.reorgAfter {
+		cp.BlockNumber++
+	}
+	return &cp, nil
+}
+
+func (s *scriptedSource) IsContract(ethtypes.Address) (bool, error) { return false, nil }
+
+func TestSourceRefetchesPastCorruption(t *testing.T) {
+	src := newScriptedSource()
+	src.corruptTx = 2
+	is := integrity.Wrap(src, nil, nil)
+
+	tx, err := is.Transaction(src.h)
+	if err != nil {
+		t.Fatalf("corrupt-then-clean source not recovered: %v", err)
+	}
+	if tx.RecomputeHash() != src.h {
+		t.Error("admitted transaction does not match requested identity")
+	}
+	if src.txFetches != 3 {
+		t.Errorf("fetches = %d, want 3 (two corrupt, one clean)", src.txFetches)
+	}
+	if got := is.Quarantine().Total(); got != 2 {
+		t.Errorf("quarantine total = %d, want 2", got)
+	}
+	if got := is.Quarantine().PermanentCount(); got != 0 {
+		t.Errorf("recovered record marked permanent (%d)", got)
+	}
+}
+
+func TestSourceQuarantinesPermanentlyAndShortCircuits(t *testing.T) {
+	src := newScriptedSource()
+	src.corruptTx = 1 << 30 // never clean
+	is := integrity.Wrap(src, nil, nil)
+	is.MaxRefetch = 3
+
+	_, err := is.Transaction(src.h)
+	if !errors.Is(err, core.ErrQuarantined) {
+		t.Fatalf("error = %v, want ErrQuarantined", err)
+	}
+	if src.txFetches != 4 {
+		t.Errorf("fetches = %d, want 4 (initial + MaxRefetch)", src.txFetches)
+	}
+	if reason, ok := is.Quarantine().Permanent(src.h); !ok || reason != integrity.ReasonTxHashMismatch {
+		t.Errorf("Permanent = %q, %v; want %q, true", reason, ok, integrity.ReasonTxHashMismatch)
+	}
+
+	// A permanently quarantined hash never reaches the wire again.
+	before := src.txFetches
+	if _, err := is.Transaction(src.h); !errors.Is(err, core.ErrQuarantined) {
+		t.Fatalf("second fetch error = %v, want ErrQuarantined", err)
+	}
+	if src.txFetches != before {
+		t.Errorf("permanent quarantine still fetched (%d -> %d)", before, src.txFetches)
+	}
+}
+
+func TestSourceDetectsReorgAcrossRefetches(t *testing.T) {
+	src := newScriptedSource()
+	src.reorgAfter = 1 // first receipt answer pins; every later one moved blocks
+	is := integrity.Wrap(src, nil, nil)
+	is.MaxRefetch = 2
+
+	if _, err := is.Receipt(src.h); err != nil {
+		t.Fatalf("first fetch rejected: %v", err)
+	}
+	_, err := is.Receipt(src.h)
+	if !errors.Is(err, core.ErrQuarantined) {
+		t.Fatalf("reorged re-fetch error = %v, want ErrQuarantined", err)
+	}
+	if reason, ok := is.Quarantine().Permanent(src.h); !ok || reason != integrity.ReasonReorgPin {
+		t.Errorf("Permanent = %q, %v; want %q, true", reason, ok, integrity.ReasonReorgPin)
+	}
+}
+
+func TestSourceReceiptCrossCheckedAgainstPinnedTransaction(t *testing.T) {
+	src := newScriptedSource()
+	// The receipt passes its own checks but contradicts the transaction:
+	// drop the mandatory top-level value transfer.
+	src.rec.Transfers = nil
+	is := integrity.Wrap(src, nil, nil)
+	is.MaxRefetch = 1
+
+	if _, err := is.Transaction(src.h); err != nil {
+		t.Fatal(err)
+	}
+	_, err := is.Receipt(src.h)
+	if !errors.Is(err, core.ErrQuarantined) {
+		t.Fatalf("pair-violating receipt error = %v, want ErrQuarantined", err)
+	}
+	if reason, _ := is.Quarantine().Permanent(src.h); reason != integrity.ReasonMissingValueTransfer {
+		t.Errorf("reason = %q, want %q", reason, integrity.ReasonMissingValueTransfer)
+	}
+}
+
+func TestSourceBudgetAbortsRottenSource(t *testing.T) {
+	src := newScriptedSource()
+	src.corruptTx = 1 << 30
+	is := integrity.Wrap(src, nil, nil)
+	is.MaxQuarantine = 2
+
+	_, err := is.Transaction(src.h)
+	if !errors.Is(err, integrity.ErrBudgetExceeded) {
+		t.Fatalf("error = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestBatchEntriesDegradeToNil(t *testing.T) {
+	src := newScriptedSource()
+	src.corruptTx = 1 << 30
+	is := integrity.Wrap(src, nil, nil)
+	is.MaxRefetch = 1
+
+	out, err := is.BatchTransactions([]ethtypes.Hash{src.h})
+	if err != nil {
+		t.Fatalf("batch aborted instead of degrading: %v", err)
+	}
+	if len(out) != 1 || out[0] != nil {
+		t.Fatalf("corrupt batch entry = %v, want nil placeholder", out)
+	}
+
+	// The now-permanent hash is pre-filtered from later batches.
+	before := src.txFetches
+	out, err = is.BatchTransactions([]ethtypes.Hash{src.h})
+	if err != nil || len(out) != 1 || out[0] != nil {
+		t.Fatalf("second batch = %v, %v; want one nil entry", out, err)
+	}
+	if src.txFetches != before {
+		t.Errorf("permanently quarantined hash hit the wire in a batch (%d -> %d)", before, src.txFetches)
+	}
+}

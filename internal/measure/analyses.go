@@ -284,6 +284,9 @@ type FamilyRow struct {
 	// Primary contract mean lifecycle in days (§7.2), over contracts
 	// with at least MinPrimaryTxs transactions.
 	PrimaryLifecycleDays float64
+	// Tainted carries the clustering-time flag: some of this family's
+	// evidence was quarantined, so its figures are lower bounds.
+	Tainted bool
 }
 
 // MinPrimaryTxs is the paper's primary-contract threshold (>100
@@ -301,6 +304,7 @@ func (c *Corpus) FamilyTable(fams []*cluster.Family, primaryThreshold int) []Fam
 			Contracts:  len(fam.Contracts),
 			Operators:  len(fam.Operators),
 			Affiliates: len(fam.Affiliates),
+			Tainted:    fam.Tainted,
 		}
 		victims := make(map[ethtypes.Address]bool)
 		for _, op := range fam.Operators {

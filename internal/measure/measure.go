@@ -6,6 +6,7 @@
 package measure
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -53,6 +54,10 @@ type Corpus struct {
 	// address when the depositor is itself a DaaS account, e.g. NFT
 	// liquidation proceeds).
 	SplitVictims map[ethtypes.Hash]ethtypes.Address
+	// SkippedQuarantined counts corpus transactions the integrity layer
+	// refused — their thefts and approvals are missing from the
+	// measurements, making the reported losses a lower bound.
+	SkippedQuarantined int64
 }
 
 // VictimEvent is one phishing transaction signed by a victim.
@@ -111,11 +116,23 @@ func (a *Analyzer) BuildCorpus(ds *core.Dataset) (*Corpus, error) {
 			seenTx[h] = true
 			tx, err := a.Source.Transaction(h)
 			if err != nil {
+				if errors.Is(err, core.ErrQuarantined) {
+					c.SkippedQuarantined++
+					continue
+				}
 				return nil, err
 			}
 			r, err := a.Source.Receipt(h)
 			if err != nil {
+				if errors.Is(err, core.ErrQuarantined) {
+					c.SkippedQuarantined++
+					continue
+				}
 				return nil, err
+			}
+			if tx == nil || r == nil {
+				c.SkippedQuarantined++
+				continue
 			}
 			if !r.Status {
 				continue
@@ -223,7 +240,7 @@ func (a *Analyzer) victimOfSplit(ds *core.Dataset, sp core.Split) ethtypes.Addre
 		return sp.Payer
 	}
 	r, err := a.Source.Receipt(sp.TxHash)
-	if err != nil {
+	if err != nil || r == nil {
 		return ethtypes.Address{}
 	}
 	for _, tr := range r.Transfers {

@@ -56,17 +56,27 @@ func Table1(w io.Writer, seed, expanded core.Stats) {
 	tw.Flush()
 }
 
-// Table2 renders the family overview.
+// Table2 renders the family overview. A family marked with a trailing
+// "†" touched quarantined evidence: its row is a lower bound.
 func Table2(w io.Writer, rows []measure.FamilyRow) {
 	fmt.Fprintln(w, "Table 2: Overview of DaaS Families (sorted by victim accounts)")
 	tw := newTab(w)
 	fmt.Fprintln(tw, "DaaS Family\tContracts\tOperators\tAffiliates\tVictims\tTotal Profits\tActive")
+	tainted := false
 	for _, row := range rows {
+		name := row.Name
+		if row.Tainted {
+			name += " †"
+			tainted = true
+		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%s – %s\n",
-			row.Name, row.Contracts, row.Operators, row.Affiliates, row.Victims,
+			name, row.Contracts, row.Operators, row.Affiliates, row.Victims,
 			usd(row.ProfitUSD), month(row.Start), month(row.End))
 	}
 	tw.Flush()
+	if tainted {
+		fmt.Fprintln(w, "† evidence partially quarantined by the integrity layer; figures are lower bounds.")
+	}
 	fmt.Fprintf(w, "Top-3 families hold %s of all profits.\n",
 		pct(measure.TopFamiliesProfitShare(rows, 3)))
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/chain"
 	"repro/internal/ethtypes"
+	"repro/internal/integrity"
 	"repro/internal/labels"
 	"repro/internal/obs"
 	"repro/internal/retry"
@@ -33,19 +34,27 @@ type Client struct {
 	// 5xx, 429, connection resets) under the policy. Nil performs each
 	// request exactly once.
 	Retry *retry.Policy
+	// LabelErrorBudget caps skipped entries per label source before
+	// FetchLabels fails the whole ingestion (0 = default 64).
+	LabelErrorBudget int
 
 	nextID      atomic.Int64
 	metricsOnce sync.Once
 	cm          clientMetrics
+
+	labelMu        sync.Mutex
+	labelRejects   map[string]int64 // "source/reason" -> skipped entries
+	labelsAccepted int64
 }
 
 // clientMetrics caches the client's instruments; all nil (no-op) when
 // Metrics is unset.
 type clientMetrics struct {
-	requests  *obs.CounterVec
-	errors    *obs.CounterVec
-	latency   *obs.HistogramVec
-	batchSize *obs.Histogram
+	requests       *obs.CounterVec
+	errors         *obs.CounterVec
+	latency        *obs.HistogramVec
+	batchSize      *obs.Histogram
+	labelsRejected *obs.CounterVec
 }
 
 // noopClientMetrics serves calls made before Metrics is assigned (e.g.
@@ -59,10 +68,11 @@ func (c *Client) metrics() *clientMetrics {
 	}
 	c.metricsOnce.Do(func() {
 		c.cm = clientMetrics{
-			requests:  c.Metrics.CounterVec("daas_rpc_requests_total", "JSON-RPC requests by method", "method"),
-			errors:    c.Metrics.CounterVec("daas_rpc_request_errors_total", "failed JSON-RPC requests by method", "method"),
-			latency:   c.Metrics.HistogramVec("daas_rpc_request_duration_seconds", "JSON-RPC request latency by method", nil, "method"),
-			batchSize: c.Metrics.Histogram("daas_rpc_batch_size", "requests per JSON-RPC batch call", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+			requests:       c.Metrics.CounterVec("daas_rpc_requests_total", "JSON-RPC requests by method", "method"),
+			errors:         c.Metrics.CounterVec("daas_rpc_request_errors_total", "failed JSON-RPC requests by method", "method"),
+			latency:        c.Metrics.HistogramVec("daas_rpc_request_duration_seconds", "JSON-RPC request latency by method", nil, "method"),
+			batchSize:      c.Metrics.Histogram("daas_rpc_batch_size", "requests per JSON-RPC batch call", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+			labelsRejected: c.Metrics.CounterVec("daas_labels_rejected_total", "label entries skipped during ingestion by source and reason", "source", "reason"),
 		}
 	})
 	return &c.cm
@@ -425,21 +435,76 @@ func (c *Client) StaticCall(to ethtypes.Address, data []byte) ([]byte, error) {
 	return decodeHexBlob(raw)
 }
 
-// FetchLabels downloads the server's public label directory.
+// FetchLabels downloads the server's public label directory. Entries
+// that fail wire decoding or the published schema are skipped and
+// counted (LabelRejects/daas_labels_rejected_total) instead of
+// aborting the ingestion — community feeds contain noise, and one
+// malformed report must not discard the thousands of good ones behind
+// it. A source whose rejections exceed its error budget still fails
+// loudly: past that point the feed is poisoned, not noisy.
 func (c *Client) FetchLabels() (*labels.Directory, error) {
 	var raw []labelJSON
 	if err := c.call("repro_labels", []any{}, &raw); err != nil {
 		return nil, err
 	}
+	budget := integrity.NewLabelBudget(c.LabelErrorBudget)
 	dir := labels.New()
 	for _, lj := range raw {
+		source := lj.Source
+		if source == "" {
+			source = "unknown"
+		}
 		l, err := fromLabelJSON(lj)
-		if err != nil {
-			return nil, err
+		reason := integrity.ReasonLabelMalformed
+		if err == nil {
+			reason = integrity.CheckLabel(l)
+		}
+		if reason != "" {
+			c.noteLabelReject(source, reason)
+			if err := budget.Note(source, reason); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		dir.Add(l)
+		c.labelMu.Lock()
+		c.labelsAccepted++
+		c.labelMu.Unlock()
 	}
 	return dir, nil
+}
+
+// noteLabelReject books one skipped label entry in the client's ledger
+// and, when Metrics is wired, the rejection counter. Dial-time
+// ingestion happens before Metrics is assigned; the ledger is what the
+// completeness manifest reads, so those rejects are never lost.
+func (c *Client) noteLabelReject(source string, reason integrity.Reason) {
+	c.labelMu.Lock()
+	if c.labelRejects == nil {
+		c.labelRejects = make(map[string]int64)
+	}
+	c.labelRejects[source+"/"+string(reason)]++
+	c.labelMu.Unlock()
+	c.metrics().labelsRejected.With(source, string(reason)).Inc()
+}
+
+// LabelRejects returns the per-"source/reason" counts of label entries
+// skipped during ingestion.
+func (c *Client) LabelRejects() map[string]int64 {
+	c.labelMu.Lock()
+	defer c.labelMu.Unlock()
+	out := make(map[string]int64, len(c.labelRejects))
+	for k, v := range c.labelRejects {
+		out[k] = v
+	}
+	return out
+}
+
+// LabelsAccepted returns how many label entries passed ingestion.
+func (c *Client) LabelsAccepted() int64 {
+	c.labelMu.Lock()
+	defer c.labelMu.Unlock()
+	return c.labelsAccepted
 }
 
 // Helpers shared with the server.

@@ -1,0 +1,80 @@
+package rpc_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// labelFeedServer serves a repro_labels response with the given raw
+// entry list, standing in for a community feed with noisy rows.
+func labelFeedServer(t *testing.T, entries string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"jsonrpc":"2.0","id":1,"result":[%s]}`, entries)
+	}))
+}
+
+const (
+	goodLabel1 = `{"address":"0x00000000000000000000000000000000000000a1","source":"etherscan","category":"phishing","name":"Fake_Phishing1"}`
+	goodLabel2 = `{"address":"0x00000000000000000000000000000000000000a2","source":"chainabuse","category":"exchange","name":"CEX hot wallet"}`
+	badHex     = `{"address":"0xnothex","source":"etherscan","category":"phishing","name":"x"}`
+	zeroAddr   = `{"address":"0x0000000000000000000000000000000000000000","source":"etherscan","category":"phishing","name":"x"}`
+	badCat     = `{"address":"0x00000000000000000000000000000000000000a3","source":"chainabuse","category":"memes","name":"x"}`
+)
+
+// TestFetchLabelsSkipsAndCountsMalformedEntries is the regression test
+// for label-ingestion robustness: malformed or schema-violating rows
+// must be skipped and counted, never abort the feed, and never admit a
+// bogus label.
+func TestFetchLabelsSkipsAndCountsMalformedEntries(t *testing.T) {
+	srv := labelFeedServer(t, goodLabel1+","+badHex+","+zeroAddr+","+goodLabel2+","+badCat)
+	defer srv.Close()
+
+	client := rpc.NewClient(srv.URL)
+	dir, err := client.FetchLabels()
+	if err != nil {
+		t.Fatalf("noisy feed aborted ingestion: %v", err)
+	}
+	if got := dir.Count(); got != 2 {
+		t.Errorf("directory holds %d labels, want 2 (the valid rows)", got)
+	}
+	if got := client.LabelsAccepted(); got != 2 {
+		t.Errorf("LabelsAccepted() = %d, want 2", got)
+	}
+	rejects := client.LabelRejects()
+	want := map[string]int64{
+		"etherscan/label-malformed": 1,
+		"etherscan/label-schema":    1,
+		"chainabuse/label-schema":   1,
+	}
+	for k, n := range want {
+		if rejects[k] != n {
+			t.Errorf("rejects[%q] = %d, want %d (all: %v)", k, rejects[k], n, rejects)
+		}
+	}
+	var total int64
+	for _, n := range rejects {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("total rejects = %d, want 3", total)
+	}
+}
+
+// TestFetchLabelsBudgetFailsPoisonedSource: a source exceeding its
+// error budget fails ingestion loudly instead of silently skipping a
+// feed that is mostly garbage.
+func TestFetchLabelsBudgetFailsPoisonedSource(t *testing.T) {
+	srv := labelFeedServer(t, badHex+","+badHex+","+badHex)
+	defer srv.Close()
+
+	client := rpc.NewClient(srv.URL)
+	client.LabelErrorBudget = 2
+	if _, err := client.FetchLabels(); err == nil {
+		t.Fatal("poisoned feed did not fail ingestion")
+	}
+}

@@ -28,8 +28,17 @@ go test -run=NONE -bench=BenchmarkPipelineConcurrency -benchtime=1x .
 echo "==> fault-matrix smoke: seeded fault schedules must not change the dataset"
 go test -count=1 -run 'TestFaultMatrixBuildIsByteIdentical' ./daas/
 
+echo "==> corruption-matrix smoke: injected corruption is quarantined, export stays byte-identical"
+go test -count=1 -run 'TestCorruptionMatrixBuildIsByteIdentical' ./daas/
+
 echo "==> checkpoint/resume round trip: killed build resumes byte-identical"
 go test -count=1 -run 'TestCheckpointResumeByteIdentical|TestFaultedCheckpointResumeThroughClient' ./internal/core/ ./daas/
+
+echo "==> quarantined checkpoint round trip: resume preserves quarantine and coverage"
+go test -count=1 -run 'TestQuarantinedCheckpointResumeRoundTrip' ./daas/
+
+echo "==> integrity fuzz smoke: validators are total over the seed corpus + 10s of new inputs"
+go test -count=1 -run=NONE -fuzz 'FuzzValidateRecord' -fuzztime 10s ./internal/integrity/
 
 echo "==> reprolint ./..."
 go run ./cmd/reprolint ./...
