@@ -21,6 +21,7 @@ import (
 	"repro/internal/contracts"
 	"repro/internal/core"
 	"repro/internal/ethtypes"
+	"repro/internal/evmstatic"
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -210,7 +211,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		code, read, err := contractCode(client, *rpcURL, addr)
+		code, read, _, err := contractCode(client, *rpcURL, addr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -267,7 +268,7 @@ func runAnalyze(client *daas.Client, rpcURL string, args []string) error {
 	if err != nil {
 		return err
 	}
-	code, read, err := contractCode(client, rpcURL, addr)
+	code, read, resolve, err := contractCode(client, rpcURL, addr)
 	if err != nil {
 		return err
 	}
@@ -275,15 +276,33 @@ func runAnalyze(client *daas.Client, rpcURL string, args []string) error {
 		return fmt.Errorf("no code at %s", addr)
 	}
 
-	st := contracts.AnalyzeStatic(code, addr, read)
+	// Resolve proxy chains so the fingerprint verdict judges the code
+	// that actually runs, under this contract's storage.
+	st := evmstatic.AnalyzeResolved(code, contracts.StaticStorage(addr, read), resolve)
 	fmt.Printf("contract %s — static analysis\n%s", addr, st.Summary())
+	if st.ProxyResolved {
+		fmt.Printf("  proxy implementation: %s\n", st.ProxyImpl)
+	}
+
+	statFams := toSet(evmstatic.FamilyNames(st.Fingerprints))
 	if *staticOnly {
+		fmt.Println("\nfingerprint verdicts (static only)")
+		for _, fam := range allFamilies() {
+			fmt.Printf("  %-18s %s\n", fam, yesNo(statFams[fam]))
+		}
 		return nil
 	}
 
 	an := contracts.DecompileChecked(code, addr, read)
 	fmt.Printf("\ndynamic probe\n  ETH theft: %s\n  token theft: %s\n  operator share: %.1f%%\n",
 		an.ETHFunction, an.TokenFunction, float64(an.OperatorPerMille)/10)
+
+	dynFams := toSet(contracts.ProbeFamilies(code, addr, read))
+	fmt.Println("\nfingerprint verdicts")
+	for _, fam := range allFamilies() {
+		fmt.Printf("  %-18s static=%-3s dynamic=%s\n", fam, yesNo(statFams[fam]), yesNo(dynFams[fam]))
+	}
+
 	if len(an.Warnings) == 0 {
 		fmt.Println("\nstatic and dynamic analyses agree")
 		return nil
@@ -293,6 +312,30 @@ func runAnalyze(client *daas.Client, rpcURL string, args []string) error {
 		fmt.Printf("  warning: %s\n", w)
 	}
 	return nil
+}
+
+// allFamilies lists the fingerprint families in display order.
+func allFamilies() []string {
+	return []string{
+		string(evmstatic.FamilyApprovalPhish),
+		string(evmstatic.FamilyProxy),
+		string(evmstatic.FamilyPyramid),
+	}
+}
+
+func toSet(list []string) map[string]bool {
+	set := make(map[string]bool, len(list))
+	for _, s := range list {
+		set[s] = true
+	}
+	return set
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
 }
 
 // readDataset loads an exported dataset snapshot.
@@ -305,14 +348,14 @@ func readDataset(path string) (*core.Dataset, error) {
 	return core.ReadJSON(f)
 }
 
-// contractCode fetches bytecode and a storage reader, locally or over
-// RPC.
-func contractCode(client *daas.Client, rpcURL string, addr ethtypes.Address) ([]byte, contracts.StorageReader, error) {
+// contractCode fetches bytecode, a storage reader, and a proxy-chain
+// code resolver, locally or over RPC.
+func contractCode(client *daas.Client, rpcURL string, addr ethtypes.Address) ([]byte, contracts.StorageReader, evmstatic.CodeResolver, error) {
 	if rpcURL != "" {
 		rc := rpc.NewClient(rpcURL)
 		code, err := rc.Code(addr)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		read := func(a ethtypes.Address, k ethtypes.Hash) ethtypes.Hash {
 			v, err := rc.StorageAt(a, k)
@@ -321,16 +364,19 @@ func contractCode(client *daas.Client, rpcURL string, addr ethtypes.Address) ([]
 			}
 			return v
 		}
-		return code, read, nil
+		return code, read, rc.Code, nil
 	}
 	local, ok := client.Source().(core.LocalSource)
 	if !ok {
-		return nil, nil, fmt.Errorf("disasm: no local chain available")
+		return nil, nil, nil, fmt.Errorf("disasm: no local chain available")
 	}
 	read := func(a ethtypes.Address, k ethtypes.Hash) ethtypes.Hash {
 		return local.Chain.StorageAt(a, k)
 	}
-	return local.Chain.CodeAt(addr), read, nil
+	resolve := func(a ethtypes.Address) ([]byte, error) {
+		return local.Chain.CodeAt(a), nil
+	}
+	return local.Chain.CodeAt(addr), read, resolve, nil
 }
 
 // buildClient returns a remote client or generates a local world.

@@ -20,6 +20,13 @@
 //     SourceTransaction/SourceReceipt helpers, which honor context
 //     cancellation and keep quarantine semantics uniform. The helpers
 //     themselves (source.go) are the single allowed call site.
+//   - packages whose exports must be deterministic (internal/core,
+//     internal/cluster, internal/measure, internal/report,
+//     internal/evmstatic) must not call time.Now/time.Since or anything
+//     from math/rand: a wall-clock or PRNG read there can leak
+//     nondeterminism into exported datasets and reports. Latency
+//     instrumentation routes through obs.Now/obs.Since instead, which
+//     keeps the clock visibly observability-only.
 //
 // Usage: go run ./cmd/reprolint ./...
 //
@@ -170,11 +177,23 @@ func lintPackage(p *listedPackage, imp types.Importer) ([]string, error) {
 		banPrinting:    !strings.HasPrefix(rel, "cmd/") && !strings.HasPrefix(rel, "examples/"),
 		banProgress:    strings.HasPrefix(rel, "internal/") && rel != "internal/obs",
 		banDirectFetch: rel == "internal/core",
+		banClock:       deterministicPackages[rel],
 	}
 	for _, f := range files {
 		ast.Inspect(f, l.inspect)
 	}
 	return l.findings, nil
+}
+
+// deterministicPackages lists the packages whose exported artifacts
+// (datasets, clusters, tables, static analyses) must be reproducible
+// byte-for-byte; rule 6 bans wall-clock and PRNG reads there.
+var deterministicPackages = map[string]bool{
+	"internal/core":      true,
+	"internal/cluster":   true,
+	"internal/measure":   true,
+	"internal/report":    true,
+	"internal/evmstatic": true,
 }
 
 // linter walks one package's ASTs applying the rules.
@@ -185,6 +204,7 @@ type linter struct {
 	banPrinting    bool
 	banProgress    bool
 	banDirectFetch bool
+	banClock       bool
 	findings       []string
 }
 
@@ -216,6 +236,19 @@ func (l *linter) inspect(n ast.Node) bool {
 	}
 
 	fn, pkg := l.calledFunc(call)
+
+	// Rule 6: no wall-clock or PRNG reads in deterministic-export
+	// packages. time.Now and time.Since leak the wall clock; anything
+	// from math/rand leaks the process PRNG. Instrumentation goes
+	// through obs.Now/obs.Since.
+	if l.banClock {
+		if pkg == "time" && (fn == "Now" || fn == "Since") {
+			l.reportf(call.Pos(), "time.%s in deterministic-export package: route instrumentation through obs.%s", fn, fn)
+		}
+		if pkg == "math/rand" || pkg == "math/rand/v2" {
+			l.reportf(call.Pos(), "%s.%s in deterministic-export package: derive randomness from seeded inputs, not the process PRNG", pkg, fn)
+		}
+	}
 
 	// Rule 4: no progress logging in internal/ outside internal/obs —
 	// fmt.Fprint* aimed at the process-global streams, or the std log

@@ -349,6 +349,11 @@ func (ex *executor) EmitLog(a ethtypes.Address, topics []ethtypes.Hash, data []b
 	ex.receipt.Logs = append(ex.receipt.Logs, Log{Address: a, Topics: topics, Data: data})
 }
 
+// CodeOf implements evm.CodeHost, letting DELEGATECALL (proxy patterns
+// such as EIP-1167 clones) run the implementation's bytecode inside the
+// proxy's storage context.
+func (ex *executor) CodeOf(a ethtypes.Address) []byte { return ex.cur.codeAt(a) }
+
 // Simulate executes a transaction against the canonical state without
 // committing anything — the simulator's equivalent of the pre-signing
 // transaction simulation APIs wallets use (paper §9). The returned

@@ -36,6 +36,10 @@ type Family struct {
 	// an operator whose build-time scan was degraded): the family's
 	// membership is a lower bound, not a complete picture.
 	Tainted bool
+	// Fingerprints counts the family's contracts per static fingerprint
+	// name (populated when the dataset was annotated by the static
+	// screen; nil otherwise).
+	Fingerprints map[string]int
 }
 
 // Clusterer groups a dataset into families.
@@ -207,6 +211,18 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 			if tainted[op] {
 				fam.Tainted = true
 				break
+			}
+		}
+		for _, con := range fam.Contracts {
+			rec := ds.Contracts[con]
+			if rec == nil {
+				continue
+			}
+			for _, fp := range rec.Fingerprints {
+				if fam.Fingerprints == nil {
+					fam.Fingerprints = make(map[string]int)
+				}
+				fam.Fingerprints[fp]++
 			}
 		}
 	}

@@ -99,18 +99,24 @@ type StorageReader func(addr ethtypes.Address, key ethtypes.Hash) ethtypes.Hash
 
 // probeHost sandboxes dynamic probes: reads come from the supplied
 // snapshot, writes are kept locally, nested calls always succeed and
-// are recorded.
+// are recorded along with their input payloads. DELEGATECALL code
+// lookups are recorded too — executed proxy evidence — and resolve
+// through the optional code map (absent entries run as empty code,
+// which succeeds with empty returndata).
 type probeHost struct {
-	self    ethtypes.Address
-	read    StorageReader
-	writes  map[ethtypes.Hash]ethtypes.Hash
-	calls   []probeCall
-	balance ethtypes.Wei
+	self      ethtypes.Address
+	read      StorageReader
+	writes    map[ethtypes.Hash]ethtypes.Hash
+	calls     []probeCall
+	codeReads []ethtypes.Address
+	code      map[ethtypes.Address][]byte
+	balance   ethtypes.Wei
 }
 
 type probeCall struct {
 	to    ethtypes.Address
 	value ethtypes.Wei
+	input []byte
 }
 
 func (h *probeHost) Balance(a ethtypes.Address) ethtypes.Wei { return h.balance }
@@ -133,26 +139,43 @@ func (h *probeHost) StorageSet(a ethtypes.Address, k, v ethtypes.Hash) {
 }
 
 func (h *probeHost) Call(from, to ethtypes.Address, value ethtypes.Wei, input []byte, depth int) ([]byte, error) {
-	h.calls = append(h.calls, probeCall{to: to, value: value})
+	h.calls = append(h.calls, probeCall{to: to, value: value, input: append([]byte(nil), input...)})
 	return nil, nil
+}
+
+// CodeOf implements evm.CodeHost so probes execute DELEGATECALL; every
+// lookup is recorded as proxy evidence.
+func (h *probeHost) CodeOf(a ethtypes.Address) []byte {
+	h.codeReads = append(h.codeReads, a)
+	return h.code[a]
 }
 
 func (h *probeHost) EmitLog(a ethtypes.Address, topics []ethtypes.Hash, data []byte) {}
 
+// probeCaller is the EOA every dynamic probe runs as.
+var probeCaller = ethtypes.Addr("0x00000000000000000000000000000000000f00ba")
+
 // probe executes code with the given calldata and value in a sandbox,
 // reporting success and the outgoing value-bearing calls.
 func probe(code []byte, self ethtypes.Address, read StorageReader, input []byte, value ethtypes.Wei) (bool, []probeCall) {
+	ok, host := probeTrace(code, self, read, input, value)
+	return ok, host.calls
+}
+
+// probeTrace is probe returning the full host so callers can inspect
+// recorded call inputs and code reads.
+func probeTrace(code []byte, self ethtypes.Address, read StorageReader, input []byte, value ethtypes.Wei) (bool, *probeHost) {
 	host := &probeHost{self: self, read: read, balance: ethtypes.Ether(1_000_000)}
 	_, err := evm.Run(&evm.Context{
 		Code:   code,
 		Self:   self,
-		Caller: ethtypes.Addr("0x00000000000000000000000000000000000f00ba"),
+		Caller: probeCaller,
 		Value:  value,
 		Input:  input,
 		Gas:    2_000_000,
 		Host:   host,
 	})
-	return err == nil, host.calls
+	return err == nil, host
 }
 
 // probeValue is the ETH amount used for split probing; divisible by

@@ -1,0 +1,157 @@
+package contracts
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/ethtypes"
+	"repro/internal/evmstatic"
+)
+
+// Distinctive probe arguments for fingerprint probing. Any address the
+// probed contract forwards that matches none of these (nor the caller
+// nor the contract itself) cannot have come from our calldata — it is
+// a constant embedded in the code.
+var (
+	// ProbeToken plays the victim-approved token contract.
+	ProbeToken = ethtypes.Addr("0x000000000000000000000000000000000000c0da")
+	// ProbeVictim plays the phished owner whose allowance is spent.
+	ProbeVictim = ethtypes.Addr("0x000000000000000000000000000000000000f1c7")
+	// probeAmount is the forwarded token amount.
+	probeAmount = big.NewInt(1_234_567)
+)
+
+// ProbeFamilies gathers dynamic fingerprint-family evidence for
+// runtime bytecode: it probes the fallback and every dispatched
+// selector with (token, victim, amount) calldata and attached value,
+// then inspects the recorded execution. The result uses the same
+// sorted labels as evmstatic.FamilyNames, making it the dynamic half
+// of the static/dynamic fingerprint agreement check.
+//
+// Evidence per family:
+//   - approval-phishing: a nested call's payload begins with an
+//     allowance-sink selector and its spender word is a nonzero
+//     address matching none of the probe-supplied addresses.
+//   - pyramid-payout: one probe produced at least three value-bearing
+//     calls over at least two distinct amounts.
+//   - proxy: the code is an EIP-1167 minimal proxy, or executing it
+//     asked the host for another contract's code (DELEGATECALL).
+func ProbeFamilies(code []byte, self ethtypes.Address, read StorageReader) []string {
+	fams := make(map[string]bool)
+	if _, ok := evmstatic.ParseEIP1167(code); ok {
+		fams[string(evmstatic.FamilyProxy)] = true
+	}
+
+	probes := [][]byte{nil} // fallback first
+	for _, sel := range ExtractSelectors(code) {
+		input := make([]byte, 4+3*32)
+		copy(input[:4], sel[:])
+		copy(input[16:36], ProbeToken[:])
+		copy(input[48:68], ProbeVictim[:])
+		probeAmount.FillBytes(input[68:100])
+		probes = append(probes, input)
+	}
+	for _, input := range probes {
+		ok, host := probeTrace(code, self, read, input, probeValue)
+		if len(host.codeReads) > 0 {
+			fams[string(evmstatic.FamilyProxy)] = true
+		}
+		if !ok {
+			continue
+		}
+		if probeApprovalForward(self, host.calls) {
+			fams[string(evmstatic.FamilyApprovalPhish)] = true
+		}
+		if probePyramid(host.calls) {
+			fams[string(evmstatic.FamilyPyramid)] = true
+		}
+	}
+
+	out := make([]string, 0, len(fams))
+	for f := range fams {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// probeApprovalForward reports whether some recorded call forwarded an
+// allowance-consuming payload whose spender is an embedded constant.
+func probeApprovalForward(self ethtypes.Address, calls []probeCall) bool {
+	for _, c := range calls {
+		if len(c.input) < 4 {
+			continue
+		}
+		var sel [4]byte
+		copy(sel[:], c.input[:4])
+		argPos, ok := evmstatic.ApprovalSinkSpenderArg(sel)
+		if !ok {
+			continue
+		}
+		off := 4 + 32*argPos
+		if len(c.input) < off+32 {
+			continue
+		}
+		word := new(big.Int).SetBytes(c.input[off : off+32])
+		if word.Sign() == 0 || word.BitLen() > 160 {
+			continue
+		}
+		spender := ethtypes.BytesToAddress(word.Bytes())
+		if spender == ProbeToken || spender == ProbeVictim ||
+			spender == probeCaller || spender == self {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// probePyramid reports the Forsage payout shape in one probe trace:
+// three or more value-bearing calls over two or more distinct amounts.
+// Profit-splitting drainers make exactly two and stay negative.
+func probePyramid(calls []probeCall) bool {
+	legs := 0
+	amounts := make(map[string]bool)
+	for _, c := range calls {
+		if c.value.IsZero() {
+			continue
+		}
+		legs++
+		amounts[c.value.Big().Text(16)] = true
+	}
+	return legs >= 3 && len(amounts) >= 2
+}
+
+// CrossValidateFingerprints compares the static engine's fingerprint
+// families with dynamically probed evidence over the same bytecode,
+// describing every disagreement. The two sides key on the same sink
+// set but by entirely different means — abstract interpretation vs.
+// sandboxed execution — so agreement is strong evidence both are
+// right.
+func CrossValidateFingerprints(code []byte, self ethtypes.Address, read StorageReader, st *evmstatic.StaticAnalysis) []string {
+	dyn := ProbeFamilies(code, self, read)
+	stat := evmstatic.FamilyNames(st.Fingerprints)
+
+	dynSet := make(map[string]bool, len(dyn))
+	for _, f := range dyn {
+		dynSet[f] = true
+	}
+	statSet := make(map[string]bool, len(stat))
+	for _, f := range stat {
+		statSet[f] = true
+	}
+
+	var warns []string
+	for _, f := range stat {
+		if !dynSet[f] {
+			warns = append(warns, fmt.Sprintf("static %s fingerprint has no dynamic probe evidence", f))
+		}
+	}
+	for _, f := range dyn {
+		if !statSet[f] {
+			warns = append(warns, fmt.Sprintf("dynamic probe evidence for %s the static pass missed", f))
+		}
+	}
+	return warns
+}

@@ -252,6 +252,13 @@ func Deploy(spec Spec) ([]byte, error) {
 		return nil, err
 	}
 	a := evm.NewAssembler()
+	emitSpecStores(a, spec)
+	return installRuntime(a, runtime)
+}
+
+// emitSpecStores emits the constructor SSTOREs seeding a spec's
+// profit-sharing configuration; shared by Deploy and CloneDeploy.
+func emitSpecStores(a *evm.Assembler, spec Spec) {
 	store := func(slot *big.Int, val *big.Int) {
 		a.Push(val).Push(slot).Op(evm.SSTORE)
 	}
@@ -263,14 +270,6 @@ func Deploy(spec Spec) ([]byte, error) {
 	if !spec.Authorized.IsZero() {
 		store(slotAuthorized, new(big.Int).SetBytes(spec.Authorized[:]))
 	}
-	a.PushInt(int64(len(runtime)))
-	a.PushLabel("rt")
-	a.PushInt(0)
-	a.Op(evm.CODECOPY)
-	a.PushInt(int64(len(runtime))).PushInt(0).Op(evm.RETURN)
-	a.Mark("rt")
-	a.Op(runtime...)
-	return a.Assemble()
 }
 
 // MulticallData encodes calldata for the multicall entry from a list of

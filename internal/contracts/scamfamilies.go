@@ -1,0 +1,483 @@
+package contracts
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/ethabi"
+	"repro/internal/ethtypes"
+	"repro/internal/evm"
+	"repro/internal/evmstatic"
+)
+
+// This file holds the bytecode templates for the scam families beyond
+// profit-sharing drainers — approval phishers, Forsage-style payout
+// pyramids, and proxy forwarders — plus the benign look-alikes the
+// static fingerprint engine must NOT flag: a payment router, an
+// allowance helper whose spender comes from calldata, and an
+// owner-gated airdrop. Each template is the minimal bytecode shape the
+// corresponding fingerprint keys on (or, for the negatives, the shape
+// that differs in exactly the leg the fingerprint tests).
+
+// Entry-point signatures of the family templates.
+const (
+	// DrainSignature is the approval phisher's entry: the operator
+	// relays harvested victim consent as (token, victim, amount).
+	DrainSignature = "drain(address,address,uint256)"
+	// JoinSignature is the pyramid's deposit entry.
+	JoinSignature = "join()"
+	// RouterPaySignature is the benign router's entry: forwards a plain
+	// transfer(to, amount) to the given token.
+	RouterPaySignature = "pay(address,address,uint256)"
+	// ApproveForSignature is the benign allowance helper's entry:
+	// forwards approve(spender, amount) with the spender from calldata.
+	ApproveForSignature = "approveFor(address,address,uint256)"
+	// DistributeSignature is the airdrop's owner-gated payout entry.
+	DistributeSignature = "distribute()"
+)
+
+// ApprovalSinkSignatures are the allowance-consuming token entrypoints
+// an approval phisher forwards into, in template order. The first is
+// the default sink. Kept in sync with the static engine's sink set.
+var ApprovalSinkSignatures = []string{
+	"transferFrom(address,address,uint256)",
+	"approve(address,uint256)",
+	"permit(address,address,uint256)",
+	"increaseAllowance(address,uint256)",
+	"setApprovalForAll(address,bool)",
+}
+
+// payloadWord emits one 32-byte argument of a forwarded token call.
+type payloadWord func(a *evm.Assembler)
+
+// cdWord pushes calldataload(off) — a victim-controlled word.
+func cdWord(off int64) payloadWord {
+	return func(a *evm.Assembler) { a.PushInt(off).Op(evm.CALLDATALOAD) }
+}
+
+// addrWord pushes a hardcoded address constant.
+func addrWord(addr ethtypes.Address) payloadWord {
+	return func(a *evm.Assembler) { a.PushAddr(addr) }
+}
+
+// intWord pushes a small constant.
+func intWord(v int64) payloadWord {
+	return func(a *evm.Assembler) { a.PushInt(v) }
+}
+
+// phishLayout maps a sink signature to its payload words given the
+// spec's hardcoded receiver. Main calldata is always (token@4,
+// victim@36, amount@68).
+func phishLayout(sink string, receiver ethtypes.Address) ([]payloadWord, bool) {
+	switch sink {
+	case "transferFrom(address,address,uint256)",
+		"permit(address,address,uint256)":
+		// (from=victim, to/spender=receiver, amount)
+		return []payloadWord{cdWord(36), addrWord(receiver), cdWord(68)}, true
+	case "approve(address,uint256)",
+		"increaseAllowance(address,uint256)":
+		// (spender=receiver, amount)
+		return []payloadWord{addrWord(receiver), cdWord(68)}, true
+	case "setApprovalForAll(address,bool)":
+		// (operator=receiver, approved=true) — an all-constant payload;
+		// only the call target carries taint, exercising the engine's
+		// tainted-target leg.
+		return []payloadWord{addrWord(receiver), intWord(1)}, true
+	}
+	return nil, false
+}
+
+// ApprovalPhisherSpec parameterizes an approval-phishing relay
+// contract: the operator-run forwarder that spends allowances the
+// phishing site harvested off-chain (paper §6.1).
+type ApprovalPhisherSpec struct {
+	// MainSignature overrides the dispatched entrypoint; it must take
+	// (address token, address victim, uint256 amount). Empty selects
+	// DrainSignature.
+	MainSignature string
+	// SinkSignature selects the forwarded token call; must be one of
+	// ApprovalSinkSignatures. Empty selects transferFrom.
+	SinkSignature string
+	// Receiver is the hardcoded address granted the victim's balance or
+	// allowance — the attacker-controlled spender constant the static
+	// fingerprint keys on.
+	Receiver ethtypes.Address
+}
+
+func (s ApprovalPhisherSpec) mainSignature() string {
+	if s.MainSignature != "" {
+		return s.MainSignature
+	}
+	return DrainSignature
+}
+
+func (s ApprovalPhisherSpec) sinkSignature() string {
+	if s.SinkSignature != "" {
+		return s.SinkSignature
+	}
+	return ApprovalSinkSignatures[0]
+}
+
+// Validate rejects specs that would assemble a broken contract.
+func (s ApprovalPhisherSpec) Validate() error {
+	if s.Receiver.IsZero() {
+		return fmt.Errorf("contracts: approval phisher needs a receiver")
+	}
+	if _, ok := phishLayout(s.sinkSignature(), s.Receiver); !ok {
+		return fmt.Errorf("contracts: unknown approval sink %q", s.sinkSignature())
+	}
+	return nil
+}
+
+// ApprovalPhisherRuntime assembles the phisher's runtime: one
+// dispatched entry that rebuilds the sink payload in memory — sink
+// selector word, then ABI arguments — and calls the victim-supplied
+// token with it.
+func ApprovalPhisherRuntime(spec ApprovalPhisherSpec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	words, _ := phishLayout(spec.sinkSignature(), spec.Receiver)
+	sink := ethabi.Selector(spec.sinkSignature())
+
+	a := evm.NewAssembler()
+	emitSingleDispatch(a, spec.mainSignature())
+	emitForwardCall(a, sink, words, cdWord(4)) // target = token from calldata
+	a.Stop()
+	return a.Assemble()
+}
+
+// ApprovalPhisherDeploy assembles initcode installing the runtime; the
+// phisher keeps no storage configuration (its receiver is baked into
+// the code).
+func ApprovalPhisherDeploy(spec ApprovalPhisherSpec) ([]byte, error) {
+	runtime, err := ApprovalPhisherRuntime(spec)
+	if err != nil {
+		return nil, err
+	}
+	return installRuntime(evm.NewAssembler(), runtime)
+}
+
+// BenignRouterRuntime assembles the payment-router negative: it
+// forwards calldata into transfer(to, amount) on a victim-supplied
+// token. Structurally a twin of the phisher, but transfer consumes no
+// allowance, so it must stay outside the sink set.
+func BenignRouterRuntime() ([]byte, error) {
+	a := evm.NewAssembler()
+	emitSingleDispatch(a, RouterPaySignature)
+	emitForwardCall(a, ethabi.Selector("transfer(address,uint256)"),
+		[]payloadWord{cdWord(36), cdWord(68)}, cdWord(4))
+	a.Stop()
+	return a.Assemble()
+}
+
+// BenignRouterDeploy assembles initcode installing the router runtime.
+func BenignRouterDeploy() ([]byte, error) {
+	runtime, err := BenignRouterRuntime()
+	if err != nil {
+		return nil, err
+	}
+	return installRuntime(evm.NewAssembler(), runtime)
+}
+
+// AllowanceHelperRuntime assembles the allowance-helper negative: it
+// forwards approve(spender, amount) — a genuine sink selector — but the
+// spender arrives in calldata, so the caller controls it and the
+// constant-spender leg of the fingerprint must fail.
+func AllowanceHelperRuntime() ([]byte, error) {
+	a := evm.NewAssembler()
+	emitSingleDispatch(a, ApproveForSignature)
+	emitForwardCall(a, ethabi.Selector("approve(address,uint256)"),
+		[]payloadWord{cdWord(36), cdWord(68)}, cdWord(4))
+	a.Stop()
+	return a.Assemble()
+}
+
+// AllowanceHelperDeploy assembles initcode installing the helper
+// runtime.
+func AllowanceHelperDeploy() ([]byte, error) {
+	runtime, err := AllowanceHelperRuntime()
+	if err != nil {
+		return nil, err
+	}
+	return installRuntime(evm.NewAssembler(), runtime)
+}
+
+// slotMatrixBase is the first storage slot of a payout table; entry i
+// lives at slotMatrixBase+i. Shared by the pyramid's level matrix and
+// the airdrop's recipient list.
+const slotMatrixBase = 10
+
+// PyramidLevel is one row of a pyramid's payout matrix.
+type PyramidLevel struct {
+	// Payee receives Amount wei on every join — an upline slot in the
+	// Forsage matrix.
+	Payee  ethtypes.Address
+	Amount *big.Int
+}
+
+// PyramidSpec parameterizes a Forsage-style payout pyramid: join()
+// fans the deposit out over a fixed payee matrix with level-indexed
+// amounts.
+type PyramidSpec struct {
+	// MainSignature overrides the deposit entry (no arguments); empty
+	// selects JoinSignature.
+	MainSignature string
+	// Levels is the payout matrix; payees land in storage slots
+	// slotMatrixBase+i at deployment.
+	Levels []PyramidLevel
+}
+
+func (s PyramidSpec) mainSignature() string {
+	if s.MainSignature != "" {
+		return s.MainSignature
+	}
+	return JoinSignature
+}
+
+// Validate rejects specs that would assemble a broken contract.
+func (s PyramidSpec) Validate() error {
+	if len(s.Levels) == 0 {
+		return fmt.Errorf("contracts: pyramid needs at least one level")
+	}
+	for i, lv := range s.Levels {
+		if lv.Payee.IsZero() {
+			return fmt.Errorf("contracts: pyramid level %d payee unset", i)
+		}
+		if lv.Amount == nil || lv.Amount.Sign() <= 0 {
+			return fmt.Errorf("contracts: pyramid level %d amount must be positive", i)
+		}
+	}
+	return nil
+}
+
+// Total sums the level amounts — the deposit a joiner must send for
+// the matrix to pay out of its own value.
+func (s PyramidSpec) Total() *big.Int {
+	total := new(big.Int)
+	for _, lv := range s.Levels {
+		if lv.Amount != nil {
+			total.Add(total, lv.Amount)
+		}
+	}
+	return total
+}
+
+// PyramidRuntime assembles the pyramid's runtime: join() pays each
+// level's constant amount to the payee stored in its matrix slot.
+func PyramidRuntime(spec PyramidSpec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+	emitSingleDispatch(a, spec.mainSignature())
+	for i, lv := range spec.Levels {
+		emitSlotPayout(a, slotMatrixBase+int64(i), lv.Amount)
+	}
+	a.Stop()
+	return a.Assemble()
+}
+
+// PyramidDeploy assembles initcode that stores the payee matrix and
+// installs the runtime.
+func PyramidDeploy(spec PyramidSpec) ([]byte, error) {
+	runtime, err := PyramidRuntime(spec)
+	if err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+	for i, lv := range spec.Levels {
+		a.Push(new(big.Int).SetBytes(lv.Payee[:]))
+		a.PushInt(slotMatrixBase + int64(i)).Op(evm.SSTORE)
+	}
+	return installRuntime(a, runtime)
+}
+
+// AirdropSpec parameterizes the airdrop negative: an owner-gated
+// distribution of one fixed amount to a stored recipient list. It
+// fails the pyramid fingerprint twice over — no arbitrary caller can
+// reach the payout (owner gate) and the schedule has a single distinct
+// amount.
+type AirdropSpec struct {
+	// Owner is the only caller allowed to trigger distribution; stored
+	// in slotAuthorized like the drainer templates' executor.
+	Owner ethtypes.Address
+	// Recipients each receive Amount wei; stored at slotMatrixBase+i.
+	Recipients []ethtypes.Address
+	Amount     *big.Int
+}
+
+// Validate rejects specs that would assemble a broken contract.
+func (s AirdropSpec) Validate() error {
+	if s.Owner.IsZero() {
+		return fmt.Errorf("contracts: airdrop needs an owner")
+	}
+	if len(s.Recipients) == 0 {
+		return fmt.Errorf("contracts: airdrop needs recipients")
+	}
+	for i, r := range s.Recipients {
+		if r.IsZero() {
+			return fmt.Errorf("contracts: airdrop recipient %d unset", i)
+		}
+	}
+	if s.Amount == nil || s.Amount.Sign() <= 0 {
+		return fmt.Errorf("contracts: airdrop amount must be positive")
+	}
+	return nil
+}
+
+// AirdropRuntime assembles the airdrop's runtime: distribute() reverts
+// for anyone but the owner, then pays each stored recipient the same
+// constant amount.
+func AirdropRuntime(spec AirdropSpec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+	emitSingleDispatch(a, DistributeSignature)
+	a.Op(evm.CALLER).Push(slotAuthorized).Op(evm.SLOAD, evm.EQ)
+	a.JumpIf("ok")
+	a.Revert()
+	a.Label("ok")
+	for i := range spec.Recipients {
+		emitSlotPayout(a, slotMatrixBase+int64(i), spec.Amount)
+	}
+	a.Stop()
+	return a.Assemble()
+}
+
+// AirdropDeploy assembles initcode that stores the owner and recipient
+// list and installs the runtime.
+func AirdropDeploy(spec AirdropSpec) ([]byte, error) {
+	runtime, err := AirdropRuntime(spec)
+	if err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+	a.Push(new(big.Int).SetBytes(spec.Owner[:]))
+	a.Push(slotAuthorized).Op(evm.SSTORE)
+	for i, r := range spec.Recipients {
+		a.Push(new(big.Int).SetBytes(r[:]))
+		a.PushInt(slotMatrixBase + int64(i)).Op(evm.SSTORE)
+	}
+	return installRuntime(a, runtime)
+}
+
+// MinimalProxyRuntime is the canonical 45-byte EIP-1167 forwarder for
+// impl.
+func MinimalProxyRuntime(impl ethtypes.Address) []byte {
+	return evmstatic.EIP1167Runtime(impl)
+}
+
+// MinimalProxyDeploy assembles initcode installing a bare EIP-1167
+// clone of impl.
+func MinimalProxyDeploy(impl ethtypes.Address) ([]byte, error) {
+	return installRuntime(evm.NewAssembler(), MinimalProxyRuntime(impl))
+}
+
+// CloneDeploy assembles the clone-factory idiom: initcode that seeds
+// the clone's storage with the spec's profit-sharing configuration and
+// installs the EIP-1167 runtime pointing at a shared implementation.
+// DELEGATECALL runs the implementation under the clone's storage, so
+// each clone carries its own operator/affiliate/ratio while all clones
+// share one code deployment.
+func CloneDeploy(impl ethtypes.Address, spec Spec) ([]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+	emitSpecStores(a, spec)
+	return installRuntime(a, MinimalProxyRuntime(impl))
+}
+
+// slotProxyImpl is the storage slot a slot-proxy reads its
+// implementation from — a small constant slot standing in for
+// EIP-1967's hashed slot, which the toy analyzer resolves the same
+// way.
+var slotProxyImpl = big.NewInt(7)
+
+// SlotProxyRuntime assembles an upgradeable-style proxy: forward the
+// full calldata via DELEGATECALL to the address stored in
+// slotProxyImpl.
+func SlotProxyRuntime() ([]byte, error) {
+	a := evm.NewAssembler()
+	// calldatacopy(0, 0, calldatasize)
+	a.Op(evm.CALLDATASIZE, evm.PUSH0, evm.PUSH0, evm.CALLDATACOPY)
+	// delegatecall(gas, sload(slotProxyImpl), 0, calldatasize, 0, 0)
+	a.Op(evm.PUSH0, evm.PUSH0)        // outSize outOff
+	a.Op(evm.CALLDATASIZE, evm.PUSH0) // inSize inOff
+	a.Push(slotProxyImpl).Op(evm.SLOAD)
+	a.Op(evm.GAS, evm.DELEGATECALL, evm.POP)
+	a.Stop()
+	return a.Assemble()
+}
+
+// SlotProxyDeploy assembles initcode that stores impl in slotProxyImpl
+// and installs the slot-proxy runtime.
+func SlotProxyDeploy(impl ethtypes.Address) ([]byte, error) {
+	runtime, err := SlotProxyRuntime()
+	if err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+	a.Push(new(big.Int).SetBytes(impl[:]))
+	a.Push(slotProxyImpl).Op(evm.SSTORE)
+	return installRuntime(a, runtime)
+}
+
+// emitSingleDispatch emits the dispatcher for a one-function contract:
+// short calldata and unknown selectors fall through to a plain STOP
+// fallback; the named selector lands at "main" with the selector copy
+// already dropped.
+func emitSingleDispatch(a *evm.Assembler, sig string) {
+	a.PushInt(4).Op(evm.CALLDATASIZE, evm.LT)
+	a.JumpIf("fallback")
+	a.Op(evm.PUSH0, evm.CALLDATALOAD).PushInt(224).Op(evm.SHR)
+	sel := ethabi.Selector(sig)
+	a.Op(evm.DUP1).PushBytes(sel[:]).Op(evm.EQ).JumpIf("main")
+	a.Label("fallback")
+	a.Stop()
+	a.Label("main")
+	a.Op(evm.POP)
+}
+
+// emitForwardCall builds an ABI call payload in memory — the 4-byte
+// sink selector at offset 0, each argument word at 4+32i — and emits
+// call(gas, target, 0, 0, payload, 0, 0).
+func emitForwardCall(a *evm.Assembler, sink [4]byte, words []payloadWord, target payloadWord) {
+	// mstore(0, sink << 224)
+	a.PushBytes(sink[:]).PushInt(224).Op(evm.SHL)
+	a.Op(evm.PUSH0, evm.MSTORE)
+	for i, w := range words {
+		w(a)
+		a.PushInt(int64(4 + 32*i)).Op(evm.MSTORE)
+	}
+	inSize := int64(4 + 32*len(words))
+	a.Op(evm.PUSH0, evm.PUSH0) // outSize outOff
+	a.PushInt(inSize)          // inSize
+	a.Op(evm.PUSH0, evm.PUSH0) // inOff value
+	target(a)                  // to
+	a.Op(evm.GAS, evm.CALL, evm.POP)
+}
+
+// emitSlotPayout emits call(gas, sload(slot), amount, 0, 0, 0, 0) and
+// drops the status — one leg of a stored payout table.
+func emitSlotPayout(a *evm.Assembler, slot int64, amount *big.Int) {
+	a.Op(evm.PUSH0, evm.PUSH0, evm.PUSH0, evm.PUSH0) // outSize outOff inSize inOff
+	a.Push(amount)                                   // value
+	a.PushInt(slot).Op(evm.SLOAD)                    // to
+	a.Op(evm.GAS, evm.CALL, evm.POP)
+}
+
+// installRuntime finishes initcode: copy the runtime into memory and
+// return it, with any constructor stores already emitted on a.
+func installRuntime(a *evm.Assembler, runtime []byte) ([]byte, error) {
+	a.PushInt(int64(len(runtime)))
+	a.PushLabel("rt")
+	a.PushInt(0)
+	a.Op(evm.CODECOPY)
+	a.PushInt(int64(len(runtime))).PushInt(0).Op(evm.RETURN)
+	a.Mark("rt")
+	a.Op(runtime...)
+	return a.Assemble()
+}

@@ -38,7 +38,9 @@ func AnalyzeStatic(code []byte, self ethtypes.Address, read StorageReader) *evms
 // disagreement lands in Analysis.Warnings.
 func DecompileChecked(code []byte, self ethtypes.Address, read StorageReader) Analysis {
 	an := Decompile(code, self, read)
-	an.Warnings = CrossValidate(&an, AnalyzeStatic(code, self, read))
+	st := AnalyzeStatic(code, self, read)
+	an.Warnings = CrossValidate(&an, st)
+	an.Warnings = append(an.Warnings, CrossValidateFingerprints(code, self, read, st)...)
 	return an
 }
 

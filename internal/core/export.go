@@ -24,12 +24,14 @@ type datasetJSON struct {
 }
 
 type contractJSON struct {
-	Address   string   `json:"address"`
-	Found     string   `json:"found_via"`
-	Sources   []string `json:"sources,omitempty"`
-	FirstSeen string   `json:"first_seen"`
-	LastSeen  string   `json:"last_seen"`
-	TxCount   int      `json:"tx_count"`
+	Address      string   `json:"address"`
+	Found        string   `json:"found_via"`
+	Sources      []string `json:"sources,omitempty"`
+	FirstSeen    string   `json:"first_seen"`
+	LastSeen     string   `json:"last_seen"`
+	TxCount      int      `json:"tx_count"`
+	Fingerprints []string `json:"fingerprints,omitempty"`
+	Flagged      bool     `json:"static_flagged,omitempty"`
 }
 
 type accountJSON struct {
@@ -62,12 +64,14 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 	out := datasetJSON{SeedStats: d.SeedStats}
 	for _, c := range d.SortedContracts() {
 		out.Contracts = append(out.Contracts, contractJSON{
-			Address:   c.Address.Hex(),
-			Found:     string(c.Found),
-			Sources:   c.Sources,
-			FirstSeen: c.FirstSeen.Format(time.RFC3339),
-			LastSeen:  c.LastSeen.Format(time.RFC3339),
-			TxCount:   c.TxCount,
+			Address:      c.Address.Hex(),
+			Found:        string(c.Found),
+			Sources:      c.Sources,
+			FirstSeen:    c.FirstSeen.Format(time.RFC3339),
+			LastSeen:     c.LastSeen.Format(time.RFC3339),
+			TxCount:      c.TxCount,
+			Fingerprints: c.Fingerprints,
+			Flagged:      c.StaticFlagged,
 		})
 	}
 	for _, a := range d.SortedOperators() {
@@ -127,6 +131,7 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 		ds.Contracts[addr] = &ContractRecord{
 			Address: addr, Found: Discovery(c.Found), Sources: c.Sources,
 			FirstSeen: first, LastSeen: last, TxCount: c.TxCount,
+			Fingerprints: c.Fingerprints, StaticFlagged: c.Flagged,
 		}
 	}
 	readAccounts := func(list []accountJSON, into map[ethtypes.Address]*AccountRecord) error {

@@ -41,7 +41,7 @@ func (s *InstrumentedSource) Unwrap() ChainSource { return s.src }
 // observe records one call's outcome.
 func (s *InstrumentedSource) observe(method string, start time.Time, err error) {
 	s.requests.With(method).Inc()
-	s.latency.With(method).ObserveDuration(time.Since(start))
+	s.latency.With(method).ObserveDuration(obs.Since(start))
 	if err != nil {
 		s.errors.With(method).Inc()
 	}
@@ -49,7 +49,7 @@ func (s *InstrumentedSource) observe(method string, start time.Time, err error) 
 
 // TransactionsOf implements ChainSource.
 func (s *InstrumentedSource) TransactionsOf(addr ethtypes.Address) ([]ethtypes.Hash, error) {
-	start := time.Now()
+	start := obs.Now()
 	out, err := s.src.TransactionsOf(addr)
 	s.observe("TransactionsOf", start, err)
 	return out, err
@@ -57,7 +57,7 @@ func (s *InstrumentedSource) TransactionsOf(addr ethtypes.Address) ([]ethtypes.H
 
 // Transaction implements ChainSource.
 func (s *InstrumentedSource) Transaction(h ethtypes.Hash) (*chain.Transaction, error) {
-	start := time.Now()
+	start := obs.Now()
 	out, err := s.src.Transaction(h)
 	s.observe("Transaction", start, err)
 	return out, err
@@ -65,7 +65,7 @@ func (s *InstrumentedSource) Transaction(h ethtypes.Hash) (*chain.Transaction, e
 
 // Receipt implements ChainSource.
 func (s *InstrumentedSource) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
-	start := time.Now()
+	start := obs.Now()
 	out, err := s.src.Receipt(h)
 	s.observe("Receipt", start, err)
 	return out, err
@@ -76,7 +76,7 @@ func (s *InstrumentedSource) Receipt(h ethtypes.Hash) (*chain.Receipt, error) {
 // name as Transaction: the instrument measures the wire call, not how
 // the caller delivered its cancellation.
 func (s *InstrumentedSource) TransactionContext(ctx context.Context, h ethtypes.Hash) (*chain.Transaction, error) {
-	start := time.Now()
+	start := obs.Now()
 	out, err := SourceTransaction(ctx, s.src, h)
 	s.observe("Transaction", start, err)
 	return out, err
@@ -84,7 +84,7 @@ func (s *InstrumentedSource) TransactionContext(ctx context.Context, h ethtypes.
 
 // ReceiptContext implements ContextSource; see TransactionContext.
 func (s *InstrumentedSource) ReceiptContext(ctx context.Context, h ethtypes.Hash) (*chain.Receipt, error) {
-	start := time.Now()
+	start := obs.Now()
 	out, err := SourceReceipt(ctx, s.src, h)
 	s.observe("Receipt", start, err)
 	return out, err
@@ -92,7 +92,7 @@ func (s *InstrumentedSource) ReceiptContext(ctx context.Context, h ethtypes.Hash
 
 // IsContract implements ChainSource.
 func (s *InstrumentedSource) IsContract(addr ethtypes.Address) (bool, error) {
-	start := time.Now()
+	start := obs.Now()
 	out, err := s.src.IsContract(addr)
 	s.observe("IsContract", start, err)
 	return out, err
@@ -107,7 +107,7 @@ func (s *InstrumentedSource) IsContract(addr ethtypes.Address) (bool, error) {
 // ability from the pipeline (which detects BatchSource by assertion).
 func (s *InstrumentedSource) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Transaction, error) {
 	if bs, ok := s.src.(BatchSource); ok {
-		start := time.Now()
+		start := obs.Now()
 		out, err := bs.BatchTransactions(hs)
 		s.observe("BatchTransactions", start, err)
 		return out, err
@@ -126,7 +126,7 @@ func (s *InstrumentedSource) BatchTransactions(hs []ethtypes.Hash) ([]*chain.Tra
 // BatchReceipts implements BatchSource; see BatchTransactions.
 func (s *InstrumentedSource) BatchReceipts(hs []ethtypes.Hash) ([]*chain.Receipt, error) {
 	if bs, ok := s.src.(BatchSource); ok {
-		start := time.Now()
+		start := obs.Now()
 		out, err := bs.BatchReceipts(hs)
 		s.observe("BatchReceipts", start, err)
 		return out, err
@@ -149,7 +149,7 @@ func (s *InstrumentedSource) Code(addr ethtypes.Address) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: source %T does not serve bytecode", s.src)
 	}
-	start := time.Now()
+	start := obs.Now()
 	out, err := cs.Code(addr)
 	s.observe("Code", start, err)
 	return out, err

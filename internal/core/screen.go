@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"math/big"
+	"sort"
+
+	"repro/internal/ethtypes"
+	"repro/internal/evmstatic"
+)
+
+// StorageSource is an optional ChainSource extension: sources that can
+// serve contract storage let the static screen resolve slot-based
+// proxies and read a clone's profit-sharing configuration. LocalSource
+// implements it; screening without it still handles EIP-1167 proxies
+// (their implementation lives in code, not storage).
+type StorageSource interface {
+	StorageAt(addr ethtypes.Address, key ethtypes.Hash) ethtypes.Hash
+}
+
+// ScreenVerdict is the static fingerprint engine's judgment of one
+// contract.
+type ScreenVerdict struct {
+	Address ethtypes.Address
+	// Families are the sorted fingerprint family names the engine
+	// matched (approval-phishing, proxy, pyramid-payout).
+	Families []string
+	// Flagged is the scam-shape verdict: approval-phishing and
+	// pyramid-payout fingerprints flag outright; a proxy flags only
+	// when it resolves to an implementation that splits revenue at one
+	// of the documented drainer ratios — a legitimate clone of a benign
+	// implementation stays unflagged.
+	Flagged bool
+	// ProxyResolved/ProxyImpl record a followed proxy chain.
+	ProxyResolved bool
+	ProxyImpl     ethtypes.Address
+	// RatioPM is the resolved operator share when a split was found
+	// with a known constant ratio (already normalized to the smaller
+	// share), 0 otherwise.
+	RatioPM int64
+	// Budgeted marks an analysis cut short by the abstract
+	// interpreter's visit budget; its absence of findings is not
+	// evidence of absence.
+	Budgeted bool
+}
+
+// StaticScreen runs the multi-fingerprint static engine over contract
+// bytecode served by a ChainSource. It is the screening complement of
+// the classifier: the classifier judges transactions the contract
+// already made, the screen judges the code itself — so it also catches
+// planted scam shapes that never produced a split-shaped transaction.
+type StaticScreen struct {
+	// Source serves runtime bytecode.
+	Source CodeSource
+	// Storage optionally serves contract storage for proxy resolution
+	// and clone-configuration reads.
+	Storage StorageSource
+	// RatiosPM is the drainer ratio set used for the proxy verdict;
+	// defaults to DefaultRatiosPM.
+	RatiosPM []int64
+	// Concurrency bounds parallel screenings in Screen (0 or 1 runs
+	// sequentially). Verdict order is deterministic either way.
+	Concurrency int
+}
+
+func (s *StaticScreen) ratios() []int64 {
+	if len(s.RatiosPM) > 0 {
+		return s.RatiosPM
+	}
+	return DefaultRatiosPM
+}
+
+// storageOf adapts the screen's StorageSource to the analyzer's
+// constant-storage environment for one contract.
+func (s *StaticScreen) storageOf(addr ethtypes.Address) evmstatic.Storage {
+	return func(slot *big.Int) (*big.Int, bool) {
+		if s.Storage == nil {
+			// No storage access: slots are unknown, not zero.
+			return nil, false
+		}
+		if slot.BitLen() > 256 {
+			return new(big.Int), true
+		}
+		var key ethtypes.Hash
+		slot.FillBytes(key[:])
+		v := s.Storage.StorageAt(addr, key)
+		return new(big.Int).SetBytes(v[:]), true
+	}
+}
+
+// ScreenContract analyzes one contract's bytecode, following proxy
+// chains through Source.
+func (s *StaticScreen) ScreenContract(addr ethtypes.Address) (ScreenVerdict, error) {
+	v := ScreenVerdict{Address: addr}
+	code, err := s.Source.Code(addr)
+	if err != nil {
+		return v, err
+	}
+	if len(code) == 0 {
+		return v, nil
+	}
+	st := evmstatic.AnalyzeResolved(code, s.storageOf(addr), func(impl ethtypes.Address) ([]byte, error) {
+		return s.Source.Code(impl)
+	})
+	v.Families = evmstatic.FamilyNames(st.Fingerprints)
+	v.ProxyResolved = st.ProxyResolved
+	v.ProxyImpl = st.ProxyImpl
+	v.Budgeted = st.Budgeted
+	if st.HasSplit && st.RatioKnown {
+		v.RatioPM = st.OperatorPerMille
+		if v.RatioPM > 500 {
+			// The static pass names the share-call recipient the
+			// operator; the dataset convention is the smaller share.
+			v.RatioPM = 1000 - v.RatioPM
+		}
+	}
+	v.Flagged = s.flagged(st, v.RatioPM)
+	return v, nil
+}
+
+// flagged applies the verdict rule to a finished analysis.
+func (s *StaticScreen) flagged(st *evmstatic.StaticAnalysis, ratioPM int64) bool {
+	if evmstatic.HasFamily(st.Fingerprints, evmstatic.FamilyApprovalPhish) ||
+		evmstatic.HasFamily(st.Fingerprints, evmstatic.FamilyPyramid) {
+		return true
+	}
+	if !evmstatic.HasFamily(st.Fingerprints, evmstatic.FamilyProxy) {
+		return false
+	}
+	if !st.HasSplit || !st.RatioKnown {
+		return false
+	}
+	for _, r := range s.ratios() {
+		if r == ratioPM {
+			return true
+		}
+	}
+	return false
+}
+
+// Screen analyzes every address, returning verdicts in input order.
+// Screenings are independent, so they fan out over Concurrency
+// workers; the result is identical to the sequential run.
+func (s *StaticScreen) Screen(addrs []ethtypes.Address) ([]ScreenVerdict, error) {
+	out := make([]ScreenVerdict, len(addrs))
+	workers := s.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	err := runWorkers(context.Background(), len(addrs), workers, func(i int) error {
+		v, err := s.ScreenContract(addrs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AnnotateFingerprints screens every contract in the dataset and
+// stores the resulting family names and flag on its record, so exports
+// carry the static engine's verdict alongside the transaction-level
+// evidence.
+func (d *Dataset) AnnotateFingerprints(s *StaticScreen) error {
+	addrs := make([]ethtypes.Address, 0, len(d.Contracts))
+	for a := range d.Contracts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrLess(addrs[i], addrs[j]) })
+	verdicts, err := s.Screen(addrs)
+	if err != nil {
+		return err
+	}
+	for i, a := range addrs {
+		rec := d.Contracts[a]
+		rec.Fingerprints = verdicts[i].Families
+		rec.StaticFlagged = verdicts[i].Flagged
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/worldgen"
+)
+
+// TestStaticScreenOnWorld is the end-to-end acceptance check for the
+// fingerprint engine: every planted scam-shape contract in a generated
+// world must be flagged under its own family, and none of the
+// adversarial negatives — benign routers, allowance helpers, airdrops,
+// clones of a benign implementation, honest splitters — may be
+// flagged.
+func TestStaticScreenOnWorld(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TestConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := core.LocalSource{Chain: w.Chain}
+	screen := &core.StaticScreen{Source: src, Storage: src, Concurrency: 4}
+
+	if len(w.Truth.ScamContracts) == 0 || len(w.Truth.NegativeContracts) == 0 {
+		t.Fatal("world planted no scam shapes")
+	}
+	for addr, fam := range w.Truth.ScamContracts {
+		v, err := screen.ScreenContract(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hasString(v.Families, fam) {
+			t.Errorf("%s: planted %s, fingerprints %v", addr.Short(), fam, v.Families)
+		}
+		if !v.Flagged {
+			t.Errorf("%s: planted %s not flagged (families %v, ratio %d)", addr.Short(), fam, v.Families, v.RatioPM)
+		}
+	}
+	for addr, kind := range w.Truth.NegativeContracts {
+		v, err := screen.ScreenContract(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Flagged {
+			t.Errorf("%s: %s negative flagged (families %v, ratio %d)", addr.Short(), kind, v.Families, v.RatioPM)
+		}
+		if kind == worldgen.NegativeBenignProxy && !v.ProxyResolved {
+			t.Errorf("%s: benign proxy did not resolve", addr.Short())
+		}
+	}
+
+	// Profit-sharing drainers and honest splitters are outside the
+	// three families: neither may be flagged by the screen (they are
+	// the classifier's domain).
+	for _, fam := range w.Truth.ContractAddrs {
+		for _, addr := range fam {
+			v, err := screen.ScreenContract(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Flagged {
+				t.Errorf("profit-sharing contract %s flagged %v", addr.Short(), v.Families)
+			}
+		}
+	}
+
+	// Malicious clones must resolve to the shared drainer
+	// implementation.
+	for addr, fam := range w.Truth.ScamContracts {
+		if fam != "proxy" {
+			continue
+		}
+		v, _ := screen.ScreenContract(addr)
+		if !v.ProxyResolved || v.ProxyImpl != w.Truth.DrainerImpl {
+			t.Errorf("clone %s resolved to %s, want %s", addr.Short(), v.ProxyImpl.Short(), w.Truth.DrainerImpl.Short())
+		}
+	}
+}
+
+// TestAnnotateFingerprints screens a built dataset and checks the
+// verdicts land on the contract records and survive a JSON round trip.
+func TestAnnotateFingerprints(t *testing.T) {
+	w, err := worldgen.Generate(worldgen.TestConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := core.LocalSource{Chain: w.Chain}
+	p := &core.Pipeline{Source: src, Labels: w.Labels}
+	ds, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Contracts) == 0 {
+		t.Fatal("pipeline admitted no contracts")
+	}
+	screen := &core.StaticScreen{Source: src, Storage: src, Concurrency: 2}
+	if err := ds.AnnotateFingerprints(screen); err != nil {
+		t.Fatal(err)
+	}
+	for addr, rec := range ds.Contracts {
+		if rec.StaticFlagged {
+			t.Errorf("profit-sharing contract %s flagged %v", addr.Short(), rec.Fingerprints)
+		}
+	}
+
+	// Round trip: fingerprint columns must survive export.
+	var one *core.ContractRecord
+	for _, rec := range ds.Contracts {
+		one = rec
+		break
+	}
+	one.Fingerprints = []string{"approval-phishing"}
+	one.StaticFlagged = true
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Contracts[one.Address]
+	if got == nil || !got.StaticFlagged || !hasString(got.Fingerprints, "approval-phishing") {
+		t.Errorf("fingerprints lost in round trip: %+v", got)
+	}
+}
+
+func hasString(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -103,3 +103,9 @@ func (s LocalSource) IsContract(addr ethtypes.Address) (bool, error) {
 func (s LocalSource) Code(addr ethtypes.Address) ([]byte, error) {
 	return s.Chain.CodeAt(addr), nil
 }
+
+// StorageAt implements StorageSource, enabling proxy resolution and
+// clone-configuration reads in the static screen.
+func (s LocalSource) StorageAt(addr ethtypes.Address, key ethtypes.Hash) ethtypes.Hash {
+	return s.Chain.StorageAt(addr, key)
+}

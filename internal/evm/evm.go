@@ -67,6 +67,8 @@ const (
 	CREATE         = 0xf0
 	CALL           = 0xf1
 	RETURN         = 0xf3
+	DELEGATECALL   = 0xf4
+	STATICCALL     = 0xfa
 	REVERT         = 0xfd
 )
 
@@ -109,6 +111,15 @@ type Host interface {
 	Call(from, to ethtypes.Address, value ethtypes.Wei, input []byte, depth int) ([]byte, error)
 	// EmitLog records a log entry for the executing contract.
 	EmitLog(addr ethtypes.Address, topics []ethtypes.Hash, data []byte)
+}
+
+// CodeHost is an optional Host extension supplying deployed bytecode,
+// which DELEGATECALL needs to run the callee's code inside the caller's
+// storage context. Hosts that do not implement it treat DELEGATECALL
+// targets like EOAs: the call succeeds with empty return data.
+type CodeHost interface {
+	// CodeOf returns the runtime bytecode deployed at addr, or nil.
+	CodeOf(addr ethtypes.Address) []byte
 }
 
 // Context carries the immutable parameters of one execution frame.
@@ -653,6 +664,114 @@ func (in *interp) run() (Result, error) {
 			}
 			pc++
 
+		case op == DELEGATECALL:
+			args, err := in.popN(6)
+			if err != nil {
+				return Result{}, err
+			}
+			// args: gas, to, inOff, inSize, outOff, outSize. The callee's
+			// code runs in this frame's context: same Self, Caller, and
+			// Value, so its SLOADs and SSTOREs hit our storage.
+			to := ethtypes.BytesToAddress(args[1].Bytes())
+			inOff, ok1 := u64(args[2])
+			inSize, ok2 := u64(args[3])
+			outOff, ok3 := u64(args[4])
+			outSize, ok4 := u64(args[5])
+			if !ok1 || !ok2 || !ok3 || !ok4 {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(inOff, inSize); err != nil {
+				return Result{}, err
+			}
+			input := make([]byte, inSize)
+			copy(input, in.mem[inOff:inOff+inSize])
+			var ret []byte
+			var callErr error
+			if ch, ok := ctx.Host.(CodeHost); ok {
+				if callee := ch.CodeOf(to); len(callee) > 0 {
+					res, runErr := Run(&Context{
+						Code:        callee,
+						Self:        ctx.Self,
+						Caller:      ctx.Caller,
+						Value:       ctx.Value,
+						Input:       input,
+						Gas:         in.gas,
+						Depth:       ctx.Depth + 1,
+						Host:        ctx.Host,
+						Time:        ctx.Time,
+						BlockNumber: ctx.BlockNumber,
+					})
+					if chErr := in.charge(res.GasUsed); chErr != nil {
+						return Result{GasUsed: ctx.Gas}, chErr
+					}
+					ret, callErr = res.ReturnData, runErr
+				}
+			}
+			// A code-less target (EOA, or a Host without CodeHost)
+			// succeeds with empty return data, like mainnet.
+			if callErr == nil {
+				in.retData = ret
+			} else {
+				in.retData = nil
+			}
+			if callErr == nil && outSize > 0 {
+				if err := in.expandMem(outOff, outSize); err != nil {
+					return Result{}, err
+				}
+				n := uint64(len(ret))
+				if n > outSize {
+					n = outSize
+				}
+				copy(in.mem[outOff:outOff+n], ret[:n])
+			}
+			if err := in.push(boolWord(callErr == nil)); err != nil {
+				return Result{}, err
+			}
+			pc++
+
+		case op == STATICCALL:
+			args, err := in.popN(6)
+			if err != nil {
+				return Result{}, err
+			}
+			// args: gas, to, inOff, inSize, outOff, outSize. Routed through
+			// the host as a zero-value call; this interpreter does not
+			// enforce the read-only restriction (no contract in the
+			// simulated world writes state behind a STATICCALL).
+			to := ethtypes.BytesToAddress(args[1].Bytes())
+			inOff, ok1 := u64(args[2])
+			inSize, ok2 := u64(args[3])
+			outOff, ok3 := u64(args[4])
+			outSize, ok4 := u64(args[5])
+			if !ok1 || !ok2 || !ok3 || !ok4 {
+				return Result{}, ErrMemoryLimit
+			}
+			if err := in.expandMem(inOff, inSize); err != nil {
+				return Result{}, err
+			}
+			input := make([]byte, inSize)
+			copy(input, in.mem[inOff:inOff+inSize])
+			ret, callErr := ctx.Host.Call(ctx.Self, to, ethtypes.Wei{}, input, ctx.Depth+1)
+			if callErr == nil {
+				in.retData = ret
+			} else {
+				in.retData = nil
+			}
+			if callErr == nil && outSize > 0 {
+				if err := in.expandMem(outOff, outSize); err != nil {
+					return Result{}, err
+				}
+				n := uint64(len(ret))
+				if n > outSize {
+					n = outSize
+				}
+				copy(in.mem[outOff:outOff+n], ret[:n])
+			}
+			if err := in.push(boolWord(callErr == nil)); err != nil {
+				return Result{}, err
+			}
+			pc++
+
 		case op == RETURN, op == REVERT:
 			args, err := in.popN(2)
 			if err != nil {
@@ -740,7 +859,7 @@ func opCost(op byte) uint64 {
 		return 100
 	case SSTORE:
 		return 5000
-	case CALL:
+	case CALL, DELEGATECALL, STATICCALL:
 		return 700
 	case BALANCE, SELFBALANCE:
 		return 100

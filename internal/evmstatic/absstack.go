@@ -60,9 +60,14 @@ type Value struct {
 	Aux   *big.Int // kind-specific: calldata offset, storage slot, or ratio
 	Sel   [4]byte  // KSelectorCmp
 	Neg   bool     // negated condition kinds
+	// Tainted marks values derived (through any chain of operations)
+	// from call data: the dataflow fact the approval-phishing
+	// fingerprint reads at CALL/SSTORE/LOG sinks.
+	Tainted bool
 }
 
 func unknown() Value           { return Value{Kind: KUnknown} }
+func taintedUnknown() Value    { return Value{Kind: KUnknown, Tainted: true} }
 func konst(v *big.Int) Value   { return Value{Kind: KConst, Const: v} }
 func konstInt64(v int64) Value { return konst(big.NewInt(v)) }
 func (v Value) isConst() bool  { return v.Kind == KConst && v.Const != nil }
@@ -79,16 +84,24 @@ func bigEq(a, b *big.Int) bool {
 
 func valueEq(a, b Value) bool {
 	return a.Kind == b.Kind && a.Neg == b.Neg && a.Sel == b.Sel &&
+		a.Tainted == b.Tainted &&
 		bigEq(a.Const, b.Const) && bigEq(a.Aux, b.Aux)
 }
 
 // joinValue is the lattice join: equal values stay, anything else
-// degrades to unknown.
+// degrades to unknown. Taint joins upward: a value that may be
+// calldata-derived on either path stays tainted.
 func joinValue(a, b Value) Value {
 	if valueEq(a, b) {
 		return a
 	}
-	return unknown()
+	if a.Kind == b.Kind && a.Neg == b.Neg && a.Sel == b.Sel &&
+		bigEq(a.Const, b.Const) && bigEq(a.Aux, b.Aux) {
+		// Same value, differing taint.
+		a.Tainted = true
+		return a
+	}
+	return Value{Kind: KUnknown, Tainted: a.Tainted || b.Tainted}
 }
 
 // joinStack joins two abstract stacks aligned at the top; depth
@@ -125,6 +138,102 @@ func stackEq(a, b []Value) bool {
 	return true
 }
 
+// memCell is one abstract memory word at a constant offset. A later
+// overlapping store can invalidate the tail of the word without
+// touching its head — the Solidity calldata-encoding idiom writes the
+// 4-byte selector word first and the first argument 4 bytes in — so
+// valid records how many leading bytes of val are still accurate.
+type memCell struct {
+	val   Value
+	valid int // leading bytes of val still accurate, 1..32
+}
+
+// amem is the abstract memory: word values at constant byte offsets.
+// Stores at unknown offsets clobber the whole map (sound for constant
+// recovery: we never report a stale word).
+type amem map[int64]memCell
+
+func cloneMem(m amem) amem {
+	out := make(amem, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// joinMem intersects two memories key-wise; entries that join to an
+// untainted unknown are dropped to keep the state small.
+func joinMem(a, b amem) amem {
+	out := make(amem)
+	for k, ac := range a {
+		bc, ok := b[k]
+		if !ok {
+			continue
+		}
+		j := memCell{val: joinValue(ac.val, bc.val), valid: ac.valid}
+		if bc.valid < j.valid {
+			j.valid = bc.valid
+		}
+		if j.val.Kind != KUnknown || j.val.Tainted {
+			out[k] = j
+		}
+	}
+	return out
+}
+
+func memEq(a, b amem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, ac := range a {
+		bc, ok := b[k]
+		if !ok || ac.valid != bc.valid || !valueEq(ac.val, bc.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// clobberRange invalidates every memory entry overlapping [off,
+// off+size). An entry starting before off keeps its head bytes; an
+// entry starting inside the range is removed outright.
+func clobberRange(m amem, off, size int64) {
+	for k, c := range m {
+		switch {
+		case k >= off && k < off+size:
+			delete(m, k)
+		case k < off && k+int64(c.valid) > off:
+			c.valid = int(off - k)
+			m[k] = c
+		}
+	}
+}
+
+// storeWord writes one 32-byte word at a constant offset.
+func storeWord(m amem, off int64, v Value) {
+	clobberRange(m, off, 32)
+	m[off] = memCell{val: v, valid: 32}
+}
+
+// loadWord reads a full word at a constant offset; partial words read
+// as unknown (tainted if the cell was).
+func loadWord(m amem, off int64) Value {
+	if c, ok := m[off]; ok {
+		if c.valid == 32 {
+			return c.val
+		}
+		return Value{Kind: KUnknown, Tainted: c.val.Tainted}
+	}
+	return unknown()
+}
+
+// flowState is the abstract machine state flowing into a block: the
+// operand stack plus the constant-offset memory image.
+type flowState struct {
+	stack []Value
+	mem   amem
+}
+
 // edgeCond labels what a CFG edge requires of the call environment.
 type edgeCond uint8
 
@@ -137,13 +246,43 @@ const (
 	condCaller
 )
 
-// callSite is a recorded CALL with its abstract target and value.
+// callKind distinguishes the message-call variants at a call site.
+type callKind uint8
+
+// Call variants.
+const (
+	callPlain callKind = iota
+	callDelegate
+	callStatic
+)
+
+// callSite is a recorded CALL/DELEGATECALL/STATICCALL with its abstract
+// target, value, and — when the input region has constant bounds — the
+// outgoing payload recovered from abstract memory: the 4-byte selector
+// of the nested call and the ABI-encoded word arguments after it.
 type callSite struct {
 	pc    int
 	block int
+	kind  callKind
 	to    Value
 	value Value
+
+	// inKnown marks constant input-region bounds.
+	inKnown       bool
+	inOff, inSize int64
+	// paySelKnown marks a recovered constant payload selector.
+	paySelKnown bool
+	paySel      [4]byte
+	// args are the payload words after the selector, position-joined
+	// across visits; bounded by maxPayloadArgs.
+	args []Value
+	// payloadTainted reports calldata-derived bytes anywhere in the
+	// input region (including beyond the modeled args).
+	payloadTainted bool
 }
+
+// maxPayloadArgs bounds how many payload words a call site models.
+const maxPayloadArgs = 8
 
 // storeSite is a recorded SSTORE with constant slot and value.
 type storeSite struct {
@@ -158,6 +297,13 @@ type copySite struct {
 // returnSite is a recorded RETURN with constant operands.
 type returnSite struct {
 	off, size int64
+}
+
+// sinkSite is a program point where calldata-derived data reached a
+// dataflow sink (a message call, an SSTORE, or a LOG topic).
+type sinkSite struct {
+	pc int
+	op byte
 }
 
 // selEdge records "jumping to block Target means the dispatched
@@ -195,31 +341,41 @@ type StorageSlot struct {
 // widening normally converges in two or three visits.
 const maxBlockVisits = 64
 
+// maxTotalVisits is the whole-CFG abstract-interpretation budget:
+// adversarial jump-dense bytecode can force every block toward its
+// per-block cap, so total work is additionally bounded to keep
+// screening latency flat. Hitting it sets budgeted (surfaced as
+// StaticAnalysis.Budgeted) and yields a partial result.
+const maxTotalVisits = 20_000
+
 // analysis runs the abstract interpretation over a CFG and accumulates
 // extraction facts.
 type analysis struct {
 	g       *CFG
 	storage Storage
 
-	in     map[int][]Value
-	visits map[int]int
+	in          map[int]flowState
+	visits      map[int]int
+	totalVisits int
 
 	calls      map[int]callSite // by PC, joined across visits
 	stores     []storeSite
 	copies     []copySite
 	returns    []returnSite
+	taintSinks []sinkSite
 	selEdges   map[int]selEdge // by JUMPI PC
 	edgeConds  map[[2]int]edgeCond
 	fallbackPC int // StartPC of the fallback entry block, -1 if unseen
 
 	incomplete bool
+	budgeted   bool
 }
 
 func newAnalysis(g *CFG, storage Storage) *analysis {
 	return &analysis{
 		g:          g,
 		storage:    storage,
-		in:         make(map[int][]Value),
+		in:         make(map[int]flowState),
 		visits:     make(map[int]int),
 		calls:      make(map[int]callSite),
 		selEdges:   make(map[int]selEdge),
@@ -229,14 +385,19 @@ func newAnalysis(g *CFG, storage Storage) *analysis {
 }
 
 // run drives the worklist to a fixpoint from the entry block with an
-// empty stack.
+// empty stack and empty memory.
 func (a *analysis) run() {
 	if len(a.g.Blocks) == 0 {
 		return
 	}
-	a.in[0] = []Value{}
+	a.in[0] = flowState{stack: []Value{}, mem: amem{}}
 	work := []int{0}
 	for len(work) > 0 {
+		if a.totalVisits >= maxTotalVisits {
+			a.budgeted = true
+			a.incomplete = true
+			break
+		}
 		b := work[len(work)-1]
 		work = work[:len(work)-1]
 		if a.visits[b] >= maxBlockVisits {
@@ -244,12 +405,16 @@ func (a *analysis) run() {
 			continue
 		}
 		a.visits[b]++
+		a.totalVisits++
 		for _, s := range a.transfer(b) {
 			prev, seen := a.in[s.block]
-			next := s.stack
+			next := s.state
 			if seen {
-				next = joinStack(prev, s.stack)
-				if stackEq(prev, next) {
+				next = flowState{
+					stack: joinStack(prev.stack, s.state.stack),
+					mem:   joinMem(prev.mem, s.state.mem),
+				}
+				if stackEq(prev.stack, next.stack) && memEq(prev.mem, next.mem) {
 					continue
 				}
 			}
@@ -260,18 +425,20 @@ func (a *analysis) run() {
 	a.g.MarkReachable()
 }
 
-// succState is a successor block plus the stack flowing into it.
+// succState is a successor block plus the state flowing into it.
 type succState struct {
 	block int
-	stack []Value
+	state flowState
 }
 
-// transfer interprets one block over its current entry stack, records
+// transfer interprets one block over its current entry state, records
 // extraction facts, and returns the successor states.
 func (a *analysis) transfer(bi int) []succState {
 	g := a.g
 	b := &g.Blocks[bi]
-	stack := append([]Value(nil), a.in[bi]...)
+	entry := a.in[bi]
+	stack := append([]Value(nil), entry.stack...)
+	mem := cloneMem(entry.mem)
 
 	pop := func() Value {
 		if len(stack) == 0 {
@@ -281,9 +448,25 @@ func (a *analysis) transfer(bi int) []succState {
 		stack = stack[:len(stack)-1]
 		return v
 	}
-	push := func(v Value) { stack = append(stack, v) }
+	// The EVM faults any execution whose stack exceeds 1024 entries, so
+	// an abstract state past that depth describes no reachable run:
+	// the path is pruned rather than propagated. Without this cap a
+	// stack-growing loop makes every visit's join cost unbounded, which
+	// the visit budget alone cannot contain.
+	overflow := false
+	push := func(v Value) {
+		if len(stack) >= 1024 {
+			overflow = true
+			return
+		}
+		stack = append(stack, v)
+	}
 
 	for i := b.Start; i < b.End; i++ {
+		if overflow {
+			a.incomplete = true
+			return nil
+		}
 		in := g.Instrs[i]
 		op := in.Op
 		switch {
@@ -325,9 +508,9 @@ func (a *analysis) transfer(bi int) []succState {
 		case op == evm.CALLDATALOAD:
 			off := pop()
 			if off.isConst() {
-				push(Value{Kind: KCallData, Aux: off.Const})
+				push(Value{Kind: KCallData, Aux: off.Const, Tainted: true})
 			} else {
-				push(unknown())
+				push(taintedUnknown())
 			}
 
 		case op == evm.SLOAD:
@@ -338,6 +521,9 @@ func (a *analysis) transfer(bi int) []succState {
 			key, val := pop(), pop()
 			if key.isConst() && val.isConst() {
 				a.stores = append(a.stores, storeSite{slot: key.Const, val: val.Const})
+			}
+			if key.Tainted || val.Tainted {
+				a.markSink(in.PC, op)
 			}
 
 		case op == evm.ISZERO:
@@ -354,13 +540,56 @@ func (a *analysis) transfer(bi int) []succState {
 			v := pop()
 			if v.isConst() {
 				out := new(big.Int).Sub(two256, big.NewInt(1))
-				push(konst(out.Xor(out, v.Const)))
+				nv := konst(out.Xor(out, v.Const))
+				nv.Tainted = v.Tainted
+				push(nv)
 			} else {
-				push(unknown())
+				push(Value{Kind: KUnknown, Tainted: v.Tainted})
 			}
 
 		case op == evm.PC:
 			push(konstInt64(int64(in.PC)))
+
+		case op == evm.MLOAD:
+			off := pop()
+			if off.isConst() && off.Const.IsInt64() {
+				push(loadWord(mem, off.Const.Int64()))
+			} else {
+				push(unknown())
+			}
+
+		case op == evm.MSTORE:
+			off, val := pop(), pop()
+			if off.isConst() && off.Const.IsInt64() {
+				storeWord(mem, off.Const.Int64(), val)
+			} else {
+				// A store at an unknown offset may overwrite anything.
+				mem = amem{}
+			}
+
+		case op == evm.CALLDATACOPY:
+			memOff, dataOff, size := pop(), pop(), pop()
+			_ = dataOff
+			if memOff.isConst() && memOff.Const.IsInt64() &&
+				size.isConst() && size.Const.IsInt64() &&
+				size.Const.Int64() >= 0 && size.Const.Int64() <= maxModeledCopy {
+				o, n := memOff.Const.Int64(), size.Const.Int64()
+				clobberRange(mem, o, n)
+				for w := o; w+32 <= o+n; w += 32 {
+					mem[w] = memCell{val: taintedUnknown(), valid: 32}
+				}
+			} else {
+				mem = amem{}
+			}
+
+		case op == evm.RETURNDATACOPY:
+			memOff, _, size := pop(), pop(), pop()
+			if memOff.isConst() && memOff.Const.IsInt64() &&
+				size.isConst() && size.Const.IsInt64() && size.Const.Int64() >= 0 {
+				clobberRange(mem, memOff.Const.Int64(), size.Const.Int64())
+			} else {
+				mem = amem{}
+			}
 
 		case op == evm.CODECOPY:
 			memOff, codeOff, size := pop(), pop(), pop()
@@ -371,6 +600,9 @@ func (a *analysis) transfer(bi int) []succState {
 					codeOff: codeOff.Const.Int64(),
 					size:    size.Const.Int64(),
 				})
+				clobberRange(mem, memOff.Const.Int64(), size.Const.Int64())
+			} else {
+				mem = amem{}
 			}
 
 		case op == evm.RETURN:
@@ -384,17 +616,33 @@ func (a *analysis) transfer(bi int) []succState {
 			pop() // gas
 			to := pop()
 			value := pop()
-			pop() // inOff
-			pop() // inSize
+			inOff := pop()
+			inSize := pop()
 			pop() // outOff
 			pop() // outSize
-			site := callSite{pc: in.PC, block: bi, to: to, value: value}
-			if prev, ok := a.calls[in.PC]; ok {
-				site.to = joinValue(prev.to, to)
-				site.value = joinValue(prev.value, value)
-			}
-			a.calls[in.PC] = site
+			a.recordCall(callSite{pc: in.PC, block: bi, kind: callPlain, to: to, value: value}, mem, inOff, inSize)
 			push(unknown()) // success flag
+
+		case op == evm.DELEGATECALL:
+			pop() // gas
+			to := pop()
+			inOff := pop()
+			inSize := pop()
+			pop() // outOff
+			pop() // outSize
+			// A delegatecall implicitly forwards the frame's value.
+			a.recordCall(callSite{pc: in.PC, block: bi, kind: callDelegate, to: to, value: Value{Kind: KCallValue}}, mem, inOff, inSize)
+			push(unknown())
+
+		case op == evm.STATICCALL:
+			pop() // gas
+			to := pop()
+			inOff := pop()
+			inSize := pop()
+			pop() // outOff
+			pop() // outSize
+			a.recordCall(callSite{pc: in.PC, block: bi, kind: callStatic, to: to, value: konstInt64(0)}, mem, inOff, inSize)
+			push(unknown())
 
 		case op == evm.CREATE:
 			pop()
@@ -404,16 +652,28 @@ func (a *analysis) transfer(bi int) []succState {
 
 		case op == evm.JUMP:
 			target := pop()
-			return a.jumpSuccs(bi, target, stack, nil)
+			return a.jumpSuccs(bi, target, flowState{stack: stack, mem: mem}, nil)
 
 		case op == evm.JUMPI:
 			target, cond := pop(), pop()
-			return a.jumpSuccs(bi, target, stack, &jumpiState{cond: cond, pc: in.PC})
+			return a.jumpSuccs(bi, target, flowState{stack: stack, mem: mem}, &jumpiState{cond: cond, pc: in.PC})
 
 		case op == evm.STOP, op == evm.REVERT:
 			return nil
 
 		default:
+			if op >= evm.LOG0 && op <= evm.LOG0+4 {
+				args := make([]Value, 2+int(op-evm.LOG0))
+				for j := range args {
+					args[j] = pop()
+				}
+				for _, v := range args[2:] {
+					if v.Tainted {
+						a.markSink(in.PC, op)
+					}
+				}
+				continue
+			}
 			// Remaining known ops have no extraction significance: apply
 			// their stack arity with unknown results.
 			pops, pushes, ok := opEffect(op)
@@ -429,11 +689,93 @@ func (a *analysis) transfer(bi int) []succState {
 		}
 	}
 
+	if overflow {
+		a.incomplete = true
+		return nil
+	}
 	// Block ended without a terminator: fall through.
 	if bi+1 < len(a.g.Blocks) {
-		return []succState{{block: bi + 1, stack: stack}}
+		return []succState{{block: bi + 1, state: flowState{stack: stack, mem: mem}}}
 	}
 	return nil
+}
+
+// maxModeledCopy bounds the CALLDATACOPY span the memory model expands
+// into per-word cells; larger copies clobber the whole image instead.
+const maxModeledCopy = 4096
+
+// markSink records a calldata-tainted non-call sink (SSTORE topic/value
+// or LOG topic), deduplicated by PC.
+func (a *analysis) markSink(pc int, op byte) {
+	for _, s := range a.taintSinks {
+		if s.pc == pc {
+			return
+		}
+	}
+	a.taintSinks = append(a.taintSinks, sinkSite{pc: pc, op: op})
+}
+
+// recordCall completes a call site with payload facts from abstract
+// memory and joins it with earlier visits of the same PC.
+func (a *analysis) recordCall(site callSite, mem amem, inOff, inSize Value) {
+	if inOff.isConst() && inOff.Const.IsInt64() && inSize.isConst() && inSize.Const.IsInt64() {
+		site.inKnown = true
+		site.inOff = inOff.Const.Int64()
+		site.inSize = inSize.Const.Int64()
+		if site.inSize >= 4 {
+			if c, ok := mem[site.inOff]; ok && c.val.isConst() && c.valid >= 4 {
+				var word [32]byte
+				c.val.Const.FillBytes(word[:])
+				copy(site.paySel[:], word[:4])
+				site.paySelKnown = true
+			}
+		}
+		for i := 0; int64(4+32*i+32) <= site.inSize && i < maxPayloadArgs; i++ {
+			site.args = append(site.args, loadWord(mem, site.inOff+4+int64(32*i)))
+		}
+		for k, c := range mem {
+			if c.val.Tainted && k+int64(c.valid) > site.inOff && k < site.inOff+site.inSize {
+				site.payloadTainted = true
+				break
+			}
+		}
+	}
+	if site.to.Tainted || site.value.Tainted || site.payloadTainted {
+		a.markSink(site.pc, evm.CALL)
+	}
+	if prev, ok := a.calls[site.pc]; ok {
+		site = joinCallSite(prev, site)
+	}
+	a.calls[site.pc] = site
+}
+
+// joinCallSite merges the payload facts of repeated visits to one call
+// site; anything that differs across visits degrades to unknown.
+func joinCallSite(prev, cur callSite) callSite {
+	out := cur
+	out.to = joinValue(prev.to, cur.to)
+	out.value = joinValue(prev.value, cur.value)
+	out.payloadTainted = prev.payloadTainted || cur.payloadTainted
+	if !prev.inKnown || !cur.inKnown || prev.inOff != cur.inOff || prev.inSize != cur.inSize {
+		out.inKnown = false
+		out.paySelKnown = false
+		out.args = nil
+		return out
+	}
+	if !prev.paySelKnown || prev.paySel != cur.paySel {
+		out.paySelKnown = false
+		out.paySel = [4]byte{}
+	}
+	n := len(prev.args)
+	if len(cur.args) < n {
+		n = len(cur.args)
+	}
+	args := make([]Value, n)
+	for i := range args {
+		args[i] = joinValue(prev.args[i], cur.args[i])
+	}
+	out.args = args
+	return out
 }
 
 // jumpiState carries the parts of a JUMPI needed to label its edges.
@@ -445,12 +787,15 @@ type jumpiState struct {
 // jumpSuccs resolves a JUMP/JUMPI target and labels the resulting
 // edges with selector, callvalue, and caller conditions. For a plain
 // JUMP, ji is nil and only the jump edge is produced.
-func (a *analysis) jumpSuccs(bi int, target Value, stack []Value, ji *jumpiState) []succState {
+func (a *analysis) jumpSuccs(bi int, target Value, st flowState, ji *jumpiState) []succState {
 	var out []succState
 	if target.isConst() {
 		if tb, ok := a.g.JumpTargetBlock(target.Const); ok {
 			a.g.AddEdge(bi, tb)
-			out = append(out, succState{block: tb, stack: append([]Value(nil), stack...)})
+			out = append(out, succState{block: tb, state: flowState{
+				stack: append([]Value(nil), st.stack...),
+				mem:   st.mem,
+			}})
 			if ji != nil {
 				a.labelEdge(bi, tb, ji, true)
 			}
@@ -464,7 +809,7 @@ func (a *analysis) jumpSuccs(bi int, target Value, stack []Value, ji *jumpiState
 	}
 	if ji != nil && bi+1 < len(a.g.Blocks) {
 		a.g.AddEdge(bi, bi+1)
-		out = append(out, succState{block: bi + 1, stack: stack})
+		out = append(out, succState{block: bi + 1, state: st})
 		a.labelEdge(bi, bi+1, ji, false)
 	}
 	return out
@@ -498,10 +843,11 @@ func (a *analysis) labelEdge(from, to int, ji *jumpiState, taken bool) {
 	}
 }
 
-// load resolves an SLOAD through the storage environment.
+// load resolves an SLOAD through the storage environment. A load at a
+// calldata-derived slot yields attacker-selected data: tainted.
 func (a *analysis) load(slot Value) Value {
 	if !slot.isConst() {
-		return unknown()
+		return Value{Kind: KUnknown, Tainted: slot.Tainted}
 	}
 	if a.storage != nil {
 		if v, ok := a.storage(slot.Const); ok {
@@ -511,7 +857,7 @@ func (a *analysis) load(slot Value) Value {
 	return Value{Kind: KSLoad, Aux: slot.Const}
 }
 
-// flip negates a condition value (ISZERO).
+// flip negates a condition value (ISZERO), preserving taint.
 func flip(v Value) Value {
 	switch v.Kind {
 	case KSelectorCmp, KValueZero, KCallerCmp, KShortCalldata:
@@ -520,12 +866,14 @@ func flip(v Value) Value {
 	case KCallValue:
 		return Value{Kind: KValueZero}
 	case KConst:
+		out := konstInt64(0)
 		if v.Const.Sign() == 0 {
-			return konstInt64(1)
+			out = konstInt64(1)
 		}
-		return konstInt64(0)
+		out.Tainted = v.Tainted
+		return out
 	}
-	return unknown()
+	return Value{Kind: KUnknown, Tainted: v.Tainted}
 }
 
 var (
@@ -535,9 +883,20 @@ var (
 	perMille = big.NewInt(1000)
 )
 
-// binOp applies a binary opcode to abstract values. x is the stack top
-// (the first popped operand), matching the interpreter's convention.
+// binOp applies a binary opcode to abstract values, propagating taint:
+// a result computed from calldata-derived operands is itself
+// calldata-derived.
 func binOp(op byte, x, y Value) Value {
+	out := binOpCore(op, x, y)
+	if x.Tainted || y.Tainted {
+		out.Tainted = true
+	}
+	return out
+}
+
+// binOpCore is binOp without the taint bookkeeping. x is the stack top
+// (the first popped operand), matching the interpreter's convention.
+func binOpCore(op byte, x, y Value) Value {
 	if x.isConst() && y.isConst() {
 		if v := foldConst(op, x.Const, y.Const); v != nil {
 			return konst(v)

@@ -37,6 +37,7 @@ var opNames = map[byte]string{
 	evm.PC: "PC", evm.GAS: "GAS", evm.JUMPDEST: "JUMPDEST",
 	evm.PUSH0: "PUSH0", evm.CALL: "CALL", evm.RETURN: "RETURN",
 	evm.REVERT: "REVERT", evm.CREATE: "CREATE",
+	evm.DELEGATECALL: "DELEGATECALL", evm.STATICCALL: "STATICCALL",
 }
 
 // Instruction is one decoded opcode.

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/contracts"
 	"repro/internal/ethabi"
@@ -237,5 +238,54 @@ func TestRatioInPaperSet(t *testing.T) {
 		if evmstatic.RatioInPaperSet(pm) {
 			t.Errorf("%d wrongly in paper set", pm)
 		}
+	}
+}
+
+// TestAnalyzeBudgetedPathological feeds the analyzer adversarial
+// jump-dense bytecode and checks the whole-CFG visit budget trips:
+// the analysis returns promptly with Budgeted (and thus Incomplete)
+// set instead of grinding through an unbounded fixpoint. A normal
+// template must stay comfortably inside the budget.
+func TestAnalyzeBudgetedPathological(t *testing.T) {
+	// Shape 1: a flat chain of one-instruction blocks. Every JUMPDEST
+	// opens a block, so 21k of them exceed the 20k total-visit budget
+	// on the first pass.
+	flat := bytes.Repeat([]byte{evm.JUMPDEST}, 21_000)
+	st := evmstatic.AnalyzeRuntime(flat, nil)
+	if !st.Budgeted {
+		t.Errorf("flat chain of %d blocks not budgeted (%d blocks)", 21_000, st.Blocks)
+	}
+	if !st.Incomplete {
+		t.Error("budgeted analysis not marked incomplete")
+	}
+
+	// Shape 2: a cyclic chain whose every block grows the abstract
+	// stack (CALLVALUE) before jumping on. Without the 1024-entry
+	// stack cap every re-visit's join cost would grow without bound;
+	// with it the path is pruned as unreachable (the EVM faults past
+	// 1024) and the analysis ends promptly, marked incomplete.
+	const units = 400
+	loop := make([]byte, 0, units*6)
+	for i := 0; i < units; i++ {
+		next := ((i + 1) % units) * 6
+		loop = append(loop, evm.JUMPDEST, evm.CALLVALUE,
+			evm.PUSH1+1, byte(next>>8), byte(next), evm.JUMP)
+	}
+	start := time.Now()
+	st = evmstatic.AnalyzeRuntime(loop, nil)
+	if !st.Incomplete {
+		t.Errorf("stack-growing loop of %d blocks not marked incomplete", units)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("stack-growing loop took %v; adversarial latency not contained", elapsed)
+	}
+
+	// Control: a real template resolves without touching the budget.
+	runtime, err := contracts.Runtime(testSpec(contracts.StyleClaim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := evmstatic.AnalyzeRuntime(runtime, nil); st.Budgeted {
+		t.Error("claim-style template exhausted the visit budget")
 	}
 }

@@ -131,8 +131,14 @@ func findSplit(a *analysis, blocks map[int]bool) splitFacts {
 	}
 	f := splitFacts{found: true}
 	if share.value.Aux != nil && share.value.Aux.IsInt64() {
-		f.pm = share.value.Aux.Int64()
-		f.ratioKnown = true
+		// A share above 1000‰ exceeds the forwarded value: whatever
+		// matched the value*ratio/1000 shape, it is not a profit split.
+		if pm := share.value.Aux.Int64(); pm >= 0 && pm <= 1000 {
+			f.pm = pm
+			f.ratioKnown = true
+		} else {
+			return splitFacts{}
+		}
 	}
 	if share.to.isConst() {
 		f.operator = ethtypes.BytesToAddress(share.to.Const.Bytes())

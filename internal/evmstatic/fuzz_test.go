@@ -1,9 +1,12 @@
 package evmstatic_test
 
 import (
+	"errors"
+	"math/big"
 	"testing"
 
 	"repro/internal/contracts"
+	"repro/internal/ethtypes"
 	"repro/internal/evmstatic"
 )
 
@@ -78,5 +81,77 @@ func FuzzBuildCFG(f *testing.F) {
 		}
 		// The full static analysis must also never panic on junk.
 		evmstatic.AnalyzeRuntime(code, nil)
+	})
+}
+
+// FuzzFingerprints drives the full multi-fingerprint engine from a
+// corpus seeded with every worldgen contract style: the three
+// profit-sharing templates plus each scam-shape family and adversarial
+// negative. Invariants: the analysis is total over arbitrary bytes,
+// family names come sorted, deduplicated, and drawn from the known
+// set, a budgeted result is always marked incomplete, and a resolved
+// ratio is a valid per-mille.
+func FuzzFingerprints(f *testing.F) {
+	seedCorpus(f)
+	receiver := addr(0xec)
+	for _, sink := range contracts.ApprovalSinkSignatures {
+		runtime, err := contracts.ApprovalPhisherRuntime(contracts.ApprovalPhisherSpec{
+			SinkSignature: sink, Receiver: receiver,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(runtime)
+	}
+	pyramid := contracts.PyramidSpec{Levels: []contracts.PyramidLevel{
+		{Payee: addr(0x01), Amount: big.NewInt(4_000_000)},
+		{Payee: addr(0x02), Amount: big.NewInt(2_000_000)},
+	}}
+	for _, gen := range []func() ([]byte, error){
+		func() ([]byte, error) { return contracts.PyramidRuntime(pyramid) },
+		contracts.BenignRouterRuntime,
+		contracts.AllowanceHelperRuntime,
+		contracts.SlotProxyRuntime,
+		func() ([]byte, error) {
+			return contracts.AirdropRuntime(contracts.AirdropSpec{
+				Owner: addr(0x0a), Recipients: []ethtypes.Address{addr(0x01)}, Amount: big.NewInt(1),
+			})
+		},
+	} {
+		runtime, err := gen()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(runtime)
+	}
+	f.Add(contracts.MinimalProxyRuntime(addr(0x77)))
+
+	known := make(map[string]bool)
+	for _, fam := range evmstatic.AllFamilies() {
+		known[string(fam)] = true
+	}
+	resolve := func(ethtypes.Address) ([]byte, error) {
+		return nil, errors.New("code unavailable")
+	}
+	f.Fuzz(func(t *testing.T, code []byte) {
+		st := evmstatic.AnalyzeResolved(code, nil, resolve)
+		names := evmstatic.FamilyNames(st.Fingerprints)
+		for i, name := range names {
+			if !known[name] {
+				t.Fatalf("unknown family %q in %v", name, names)
+			}
+			if i > 0 && names[i-1] >= name {
+				t.Fatalf("family names not sorted/deduplicated: %v", names)
+			}
+		}
+		if st.Budgeted && !st.Incomplete {
+			t.Fatal("Budgeted result not marked Incomplete")
+		}
+		if st.RatioKnown && (st.OperatorPerMille < 0 || st.OperatorPerMille > 1000) {
+			t.Fatalf("resolved ratio %d out of per-mille range", st.OperatorPerMille)
+		}
+		if st.Summary() == "" {
+			t.Fatal("empty summary")
+		}
 	})
 }

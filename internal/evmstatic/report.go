@@ -68,6 +68,19 @@ type StaticAnalysis struct {
 	AffiliateKnown        bool
 	AffiliateFromCalldata bool
 
+	// Fingerprints are the static detection verdicts of the
+	// multi-fingerprint analyzers (approval-phishing, proxy, pyramid).
+	Fingerprints []Fingerprint
+	// TaintSinks counts program points where calldata-derived data
+	// reached a non-dispatch sink (CALL payload, SSTORE, or LOG topic).
+	TaintSinks int
+
+	// ProxyResolved marks an analysis that followed a proxy through to
+	// its implementation (AnalyzeResolved); ProxyImpl is the resolved
+	// implementation address.
+	ProxyResolved bool
+	ProxyImpl     ethtypes.Address
+
 	// ConstructorStores and Runtime are populated by AnalyzeDeploy:
 	// the constant SSTOREs the constructor performs and the runtime it
 	// installs.
@@ -86,6 +99,10 @@ type StaticAnalysis struct {
 	// computed jump target or the per-block visit cap): results are an
 	// under-approximation.
 	Incomplete bool
+	// Budgeted reports that the whole-CFG abstract-interpretation
+	// budget was exhausted (adversarial jump-dense bytecode): the
+	// result is partial. Budgeted implies Incomplete.
+	Budgeted bool
 }
 
 // AnalyzeRuntime statically analyzes runtime bytecode. storage supplies
@@ -109,11 +126,14 @@ func AnalyzeRuntime(code []byte, storage Storage) *StaticAnalysis {
 		}
 	}
 	rep.Incomplete = a.incomplete
+	rep.Budgeted = a.budgeted
+	rep.TaintSinks = len(a.taintSinks)
 	for _, c := range a.calls {
 		if !(c.value.isConst() && c.value.Const.Sign() == 0) {
 			rep.ValueCalls++
 		}
 	}
+	rep.Fingerprints = detectFingerprints(code, a)
 
 	// Dispatched functions, in dispatcher code order.
 	var chosen *splitFacts
@@ -211,6 +231,9 @@ func (r *StaticAnalysis) Summary() string {
 	if r.Incomplete {
 		b.WriteString("  [analysis incomplete]")
 	}
+	if r.Budgeted {
+		b.WriteString("  [budget exhausted]")
+	}
 	b.WriteByte('\n')
 	for _, fn := range r.Functions {
 		fmt.Fprintf(&b, "function 0x%s @%04x payable=%v", hex.EncodeToString(fn.Selector[:]), fn.EntryPC, fn.Payable)
@@ -245,6 +268,15 @@ func (r *StaticAnalysis) Summary() string {
 		}
 	} else {
 		b.WriteString("no profit split found\n")
+	}
+	if r.ProxyResolved {
+		fmt.Fprintf(&b, "proxy resolved to implementation %s\n", r.ProxyImpl)
+	}
+	for _, fp := range r.Fingerprints {
+		fmt.Fprintf(&b, "fingerprint %s\n", fp)
+	}
+	if r.TaintSinks > 0 {
+		fmt.Fprintf(&b, "calldata taint reaches %d sink(s)\n", r.TaintSinks)
 	}
 	if len(r.ConstructorStores) > 0 {
 		b.WriteString("constructor stores:\n")

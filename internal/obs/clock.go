@@ -1,0 +1,18 @@
+package obs
+
+import "time"
+
+// Now and Since are the sanctioned wall-clock accessors for packages
+// whose exports must stay deterministic (internal/core, cluster,
+// measure, report, evmstatic — see reprolint rule 6). Instrumentation
+// in those packages may measure latency, but a bare time.Now() call is
+// indistinguishable from one that leaks the wall clock into exported
+// data, so the linter bans the direct call and the deterministic
+// packages route timing through these helpers instead. Keeping them in
+// obs marks the intent: the clock is observability-only.
+
+// Now returns the current wall-clock time for instrumentation.
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed wall-clock time since start.
+func Since(start time.Time) time.Duration { return time.Since(start) }

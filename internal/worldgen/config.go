@@ -172,6 +172,14 @@ type Config struct {
 	// labeled by at least one public source at scale 1.0 (Table 1: 391
 	// seed contracts).
 	SeedContractTarget int
+	// ApprovalPhishers, Pyramids, DrainerClones size the scam-shape
+	// populations the static fingerprint engine is scored against, at
+	// scale 1.0. BenignLookalikes sizes each adversarial-negative kind
+	// (payment routers, allowance helpers, airdrops, benign clones).
+	ApprovalPhishers int
+	Pyramids         int
+	DrainerClones    int
+	BenignLookalikes int
 }
 
 // DefaultConfig returns the paper-scale configuration with the given
@@ -191,6 +199,10 @@ func DefaultConfig(seed uint64) Config {
 		BenignSplitters:      40,
 		EtherscanCoverage:    0.108,
 		SeedContractTarget:   391,
+		ApprovalPhishers:     24,
+		Pyramids:             8,
+		DrainerClones:        30,
+		BenignLookalikes:     10,
 	}
 }
 

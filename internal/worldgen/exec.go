@@ -63,6 +63,17 @@ type GroundTruth struct {
 	// CashoutRoute records each cashed-out DaaS account's laundering
 	// destination class: "mixer" or "exchange" (§8.1).
 	CashoutRoute map[ethtypes.Address]string
+	// ScamContracts maps each planted fingerprint-family contract to
+	// its static family label (approval-phishing, pyramid-payout,
+	// proxy) — the positive set for scoring StaticScreen.
+	ScamContracts map[ethtypes.Address]string
+	// NegativeContracts maps each planted benign look-alike (router,
+	// allowance-helper, airdrop, benign-proxy) to its kind — the
+	// adversarial negatives the fingerprints must not flag.
+	NegativeContracts map[ethtypes.Address]string
+	// DrainerImpl is the shared implementation behind the malicious
+	// EIP-1167 clones.
+	DrainerImpl ethtypes.Address
 }
 
 func newGroundTruth() *GroundTruth {
@@ -75,6 +86,9 @@ func newGroundTruth() *GroundTruth {
 		ProfitTxs:       make(map[ethtypes.Hash]*Incident),
 		BenignSplitTxs:  make(map[ethtypes.Hash]bool),
 		CashoutRoute:    make(map[ethtypes.Address]string),
+
+		ScamContracts:     make(map[ethtypes.Address]string),
+		NegativeContracts: make(map[ethtypes.Address]string),
 	}
 }
 
@@ -110,6 +124,9 @@ func Build(plan *Plan) (*World, error) {
 	}
 	b.plantOperatorLinks()
 	if err := b.deploySplitters(); err != nil {
+		return nil, err
+	}
+	if err := b.buildScamShapes(); err != nil {
 		return nil, err
 	}
 	if err := b.runTimeline(); err != nil {

@@ -19,6 +19,7 @@ type Plan struct {
 	Families  []*FamilyPlan
 	Incidents []*Incident // sorted by time
 	Benign    BenignPlan
+	Scam      ScamPlan
 	Tokens    []TokenPlan
 	NFTs      []CollectionPlan
 }
@@ -193,6 +194,7 @@ func NewPlan(cfg Config) (*Plan, error) {
 	p.planIncidents(rng)
 	p.planSeedLabels(rng)
 	p.planBenign(rng)
+	p.planScam(rng)
 
 	sort.SliceStable(p.Incidents, func(i, j int) bool {
 		return p.Incidents[i].Time.Before(p.Incidents[j].Time)

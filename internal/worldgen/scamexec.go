@@ -1,0 +1,304 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/contracts"
+	"repro/internal/ethabi"
+	"repro/internal/ethtypes"
+	"repro/internal/evmstatic"
+)
+
+// buildScamShapes executes the ScamPlan: deploys the fingerprint-family
+// contracts and their benign look-alikes, then runs the user traffic
+// that makes each one economically real. These populations stay out of
+// ProfitTxs/VictimLossUSD — they are scored through ScamContracts and
+// NegativeContracts instead.
+func (b *builder) buildScamShapes() error {
+	for i := range b.w.Plan.Scam.Phishers {
+		if err := b.runPhisher(&b.w.Plan.Scam.Phishers[i]); err != nil {
+			return err
+		}
+	}
+	for i := range b.w.Plan.Scam.Pyramids {
+		if err := b.runPyramid(&b.w.Plan.Scam.Pyramids[i]); err != nil {
+			return err
+		}
+	}
+	if err := b.runClones(); err != nil {
+		return err
+	}
+	for i := range b.w.Plan.Scam.Negatives {
+		if err := b.runNegative(&b.w.Plan.Scam.Negatives[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deployScamContract mines one contract creation and checks it landed.
+func (b *builder) deployScamContract(deployer ethtypes.Address, initcode []byte, t time.Time, what string) (ethtypes.Address, error) {
+	_, rs := b.w.Chain.Mine(t, &chain.Transaction{From: deployer, Data: initcode})
+	if !rs[0].Status {
+		return ethtypes.Address{}, fmt.Errorf("worldgen: %s deployment failed: %s", what, rs[0].Err)
+	}
+	return rs[0].ContractAddress, nil
+}
+
+// runPhisher deploys one approval-phishing relay and replays its
+// planned drains. A transferFrom-sink relay spends an on-chain victim
+// approval; a permit-sink relay mints the allowance in-flight and the
+// receiver collects with a direct transferFrom — either way the tokens
+// end at the hardcoded receiver.
+func (b *builder) runPhisher(ph *PhisherPlan) error {
+	w := b.w
+	initcode, err := contracts.ApprovalPhisherDeploy(contracts.ApprovalPhisherSpec{
+		SinkSignature: ph.Sink,
+		Receiver:      ph.Receiver,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := b.deployScamContract(ph.Operator, initcode, ph.Start, "approval phisher")
+	if err != nil {
+		return err
+	}
+	w.Truth.ScamContracts[addr] = string(evmstatic.FamilyApprovalPhish)
+
+	permitSink := ph.Sink == "permit(address,address,uint256)"
+	for _, d := range ph.Drains {
+		token := w.TokenAddrs[d.TokenIdx]
+		amount := w.Oracle.TokensForUSD(token, d.LossUSD)
+		if amount.IsZero() {
+			amount = ethtypes.NewWei(1)
+		}
+		if err := b.mintERC20(token, d.Victim, amount, d.Time); err != nil {
+			return err
+		}
+		if !permitSink {
+			appr, err := ethabi.EncodeCall("approve(address,uint256)",
+				[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T},
+				[]any{addr, amount.Big()})
+			if err != nil {
+				return err
+			}
+			if _, rs := w.Chain.Mine(d.Time, &chain.Transaction{From: d.Victim, To: addrPtr(token), Data: appr}); !rs[0].Status {
+				return fmt.Errorf("worldgen: phish approval failed: %s", rs[0].Err)
+			}
+		}
+		drain, err := ethabi.EncodeCall(contracts.DrainSignature,
+			[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+			[]any{token, d.Victim, amount.Big()})
+		if err != nil {
+			return err
+		}
+		if _, rs := w.Chain.Mine(d.Time.Add(5*time.Minute), &chain.Transaction{From: ph.Operator, To: addrPtr(addr), Data: drain}); !rs[0].Status {
+			return fmt.Errorf("worldgen: drain failed: %s", rs[0].Err)
+		}
+		if permitSink {
+			// The relay granted the receiver an allowance; collect it.
+			pull, err := ethabi.EncodeCall("transferFrom(address,address,uint256)",
+				[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+				[]any{d.Victim, ph.Receiver, amount.Big()})
+			if err != nil {
+				return err
+			}
+			if _, rs := w.Chain.Mine(d.Time.Add(10*time.Minute), &chain.Transaction{From: ph.Receiver, To: addrPtr(token), Data: pull}); !rs[0].Status {
+				return fmt.Errorf("worldgen: permit collection failed: %s", rs[0].Err)
+			}
+		}
+	}
+	return nil
+}
+
+// runPyramid deploys one payout pyramid and mines its joins; each
+// deposit equals the matrix total, so the contract fans the full value
+// out to the upline payees within the join transaction.
+func (b *builder) runPyramid(py *PyramidPlan) error {
+	w := b.w
+	spec := py.pyramidSpec()
+	initcode, err := contracts.PyramidDeploy(spec)
+	if err != nil {
+		return err
+	}
+	addr, err := b.deployScamContract(py.Creator, initcode, py.Start, "pyramid")
+	if err != nil {
+		return err
+	}
+	w.Truth.ScamContracts[addr] = string(evmstatic.FamilyPyramid)
+
+	deposit := ethtypes.WeiFromBig(spec.Total())
+	for _, j := range py.Joins {
+		b.fundVictim(j.Joiner, deposit.Add(ethtypes.Ether(1)), j.Time)
+		if _, rs := w.Chain.Mine(j.Time, &chain.Transaction{From: j.Joiner, To: addrPtr(addr), Value: deposit}); !rs[0].Status {
+			return fmt.Errorf("worldgen: pyramid join failed: %s", rs[0].Err)
+		}
+	}
+	return nil
+}
+
+// runClones deploys the two shared implementations, then every planned
+// EIP-1167 clone with its own profit-sharing configuration seeded into
+// clone storage, and routes the planned payments through the clones.
+func (b *builder) runClones() error {
+	w := b.w
+	sp := &w.Plan.Scam
+	if len(sp.Clones) == 0 {
+		return nil
+	}
+	implStart := DatasetStart.Add(-12 * time.Hour)
+	implFor := func(factory ethtypes.Address, what string) (ethtypes.Address, error) {
+		initcode, err := contracts.Deploy(contracts.Spec{
+			Style:            contracts.StyleFallback,
+			Operator:         factory,
+			Affiliate:        factory,
+			OperatorPerMille: 500,
+			Authorized:       factory,
+		})
+		if err != nil {
+			return ethtypes.Address{}, err
+		}
+		return b.deployScamContract(factory, initcode, implStart, what)
+	}
+	drainerImpl, err := implFor(sp.DrainerFactory, "drainer implementation")
+	if err != nil {
+		return err
+	}
+	benignImpl, err := implFor(sp.BenignFactory, "benign implementation")
+	if err != nil {
+		return err
+	}
+	w.Truth.DrainerImpl = drainerImpl
+
+	for i := range sp.Clones {
+		cl := &sp.Clones[i]
+		impl := drainerImpl
+		if cl.Benign {
+			impl = benignImpl
+		}
+		initcode, err := contracts.CloneDeploy(impl, contracts.Spec{
+			Style:            contracts.StyleFallback,
+			Operator:         cl.Operator,
+			Affiliate:        cl.Affiliate,
+			OperatorPerMille: cl.RatioPM,
+			Authorized:       cl.Operator,
+		})
+		if err != nil {
+			return err
+		}
+		addr, err := b.deployScamContract(cl.Deployer, initcode, cl.Start, "clone")
+		if err != nil {
+			return err
+		}
+		if cl.Benign {
+			w.Truth.NegativeContracts[addr] = NegativeBenignProxy
+		} else {
+			w.Truth.ScamContracts[addr] = string(evmstatic.FamilyProxy)
+		}
+		for _, pay := range cl.Payments {
+			wei := w.Oracle.EtherForUSD(pay.USD, pay.Time)
+			b.fundVictim(pay.From, wei.Add(ethtypes.Ether(1)), pay.Time)
+			if _, rs := w.Chain.Mine(pay.Time, &chain.Transaction{From: pay.From, To: addrPtr(addr), Value: wei}); !rs[0].Status {
+				return fmt.Errorf("worldgen: clone payment failed: %s", rs[0].Err)
+			}
+		}
+	}
+	return nil
+}
+
+// runNegative deploys one benign look-alike and its traffic.
+func (b *builder) runNegative(np *NegativePlan) error {
+	w := b.w
+	var initcode []byte
+	var err error
+	var airdrop contracts.AirdropSpec
+	switch np.Kind {
+	case NegativeRouter:
+		initcode, err = contracts.BenignRouterDeploy()
+	case NegativeAllowanceHelper:
+		initcode, err = contracts.AllowanceHelperDeploy()
+	case NegativeAirdrop:
+		airdrop = contracts.AirdropSpec{
+			Owner:      np.Owner,
+			Recipients: np.Recipients,
+			Amount:     ethtypes.GWei(np.AmountGwei).Big(),
+		}
+		initcode, err = contracts.AirdropDeploy(airdrop)
+	default:
+		return fmt.Errorf("worldgen: unknown negative kind %q", np.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	addr, err := b.deployScamContract(np.Owner, initcode, np.Start, np.Kind)
+	if err != nil {
+		return err
+	}
+	w.Truth.NegativeContracts[addr] = np.Kind
+
+	token := w.TokenAddrs[0]
+	for _, u := range np.Users {
+		switch np.Kind {
+		case NegativeRouter:
+			// Top up the router, then pay the merchant through it.
+			amount := w.Oracle.TokensForUSD(token, u.USD)
+			if amount.IsZero() {
+				amount = ethtypes.NewWei(1)
+			}
+			if err := b.mintERC20(token, u.From, amount, u.Time); err != nil {
+				return err
+			}
+			topup, err := ethabi.EncodeCall("transfer(address,uint256)",
+				[]ethabi.Type{ethabi.AddressT, ethabi.Uint256T},
+				[]any{addr, amount.Big()})
+			if err != nil {
+				return err
+			}
+			pay, err := ethabi.EncodeCall(contracts.RouterPaySignature,
+				[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+				[]any{token, np.Owner, amount.Big()})
+			if err != nil {
+				return err
+			}
+			_, rs := w.Chain.Mine(u.Time,
+				&chain.Transaction{From: u.From, To: addrPtr(token), Data: topup},
+				&chain.Transaction{From: u.From, To: addrPtr(addr), Data: pay})
+			for _, r := range rs {
+				if !r.Status {
+					return fmt.Errorf("worldgen: router payment failed: %s", r.Err)
+				}
+			}
+		case NegativeAllowanceHelper:
+			amount := w.Oracle.TokensForUSD(token, u.USD)
+			if amount.IsZero() {
+				amount = ethtypes.NewWei(1)
+			}
+			appr, err := ethabi.EncodeCall(contracts.ApproveForSignature,
+				[]ethabi.Type{ethabi.AddressT, ethabi.AddressT, ethabi.Uint256T},
+				[]any{token, np.Owner, amount.Big()})
+			if err != nil {
+				return err
+			}
+			if _, rs := w.Chain.Mine(u.Time, &chain.Transaction{From: u.From, To: addrPtr(addr), Data: appr}); !rs[0].Status {
+				return fmt.Errorf("worldgen: helper call failed: %s", rs[0].Err)
+			}
+		case NegativeAirdrop:
+			// Each round is owner-triggered; the attached value covers the
+			// full payout so the contract balance nets to zero.
+			total := new(big.Int).Mul(airdrop.Amount, big.NewInt(int64(len(np.Recipients))))
+			value := ethtypes.WeiFromBig(total)
+			b.fundVictim(np.Owner, value.Add(ethtypes.Ether(1)), u.Time)
+			data, err := ethabi.EncodeCall(contracts.DistributeSignature, nil, nil)
+			if err != nil {
+				return err
+			}
+			if _, rs := w.Chain.Mine(u.Time, &chain.Transaction{From: np.Owner, To: addrPtr(addr), Data: data, Value: value}); !rs[0].Status {
+				return fmt.Errorf("worldgen: airdrop round failed: %s", rs[0].Err)
+			}
+		}
+	}
+	return nil
+}

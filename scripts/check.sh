@@ -40,6 +40,35 @@ go test -count=1 -run 'TestQuarantinedCheckpointResumeRoundTrip' ./daas/
 echo "==> integrity fuzz smoke: validators are total over the seed corpus + 10s of new inputs"
 go test -count=1 -run=NONE -fuzz 'FuzzValidateRecord' -fuzztime 10s ./internal/integrity/
 
+echo "==> fingerprint agreement: static fingerprints match dynamic prober verdicts for every style x family"
+go test -count=1 -run 'TestFingerprintAgreementMatrix|TestStaticDynamicAgreement' ./internal/contracts/
+
+echo "==> static screen race: concurrent fingerprint screening over a generated world"
+go test -race -count=1 -run 'TestStaticScreen|TestAnnotateFingerprints' ./internal/core/
+
+echo "==> pathological bytecode: adversarial jump-dense contracts stay inside the visit budget"
+go test -count=1 -run 'TestAnalyzeBudgetedPathological' ./internal/evmstatic/
+
+echo "==> fingerprint fuzz smoke: the static engine is total over the template corpus + 10s of new inputs"
+go test -count=1 -run=NONE -fuzz 'FuzzFingerprints' -fuzztime 10s ./internal/evmstatic/
+
+echo "==> bench: BenchmarkStaticAnalyze -> BENCH_static.json"
+go test -run=NONE -bench 'BenchmarkStaticAnalyze' -benchtime=50x ./internal/evmstatic/ \
+  | tee /dev/stderr \
+  | awk '
+    BEGIN { print "[" }
+    /^BenchmarkStaticAnalyze\// {
+      if (n++) printf ",\n"
+      printf "  {\"name\":\"%s\",\"iterations\":%s", $1, $2
+      for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ",\"%s\":%s", unit, $i
+      }
+      printf "}"
+    }
+    END { print "\n]" }' > BENCH_static.json
+
 echo "==> reprolint ./..."
 go run ./cmd/reprolint ./...
 
