@@ -1,0 +1,372 @@
+// Command benchdiff turns `go test -bench` output into a stable JSON
+// artifact and gates new results against a committed baseline.
+//
+//	go test -bench . -benchtime 1x | benchdiff emit -suite pipeline -o BENCH_pipeline.json
+//	benchdiff gate -current BENCH_pipeline.json -baseline scripts/bench/BENCH_pipeline.baseline.json -tolerance 5
+//
+// emit parses benchmark lines (including b.ReportMetric custom units
+// like p99-us or profit-txs) into a daas-bench/v1 file. gate compares
+// a current file against a baseline and exits non-zero on regression:
+//
+//   - time-like metrics (ns_op, B_op, allocs_op, *_s/_ms/_us/_ns) are
+//     lower-is-better, gated at baseline*tolerance;
+//   - throughput metrics (*ops_s) are higher-is-better, gated at
+//     baseline/tolerance;
+//   - everything else is a shape metric — deterministic counts such as
+//     profit-txs — gated two-sided at a tight tolerance, because any
+//     drift there is a correctness bug, not timing noise;
+//   - a benchmark present in the baseline but missing from the current
+//     file is a regression (a silently deleted benchmark must not pass).
+//
+// A missing baseline file is bootstrapped: the current results are
+// written there and the gate passes, so the first CI run on a new
+// machine self-seeds. Intentional performance changes are recorded
+// with -update, which rewrites the baseline and passes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the artifact format.
+const SchemaVersion = "daas-bench/v1"
+
+// Entry is one benchmark's parsed results.
+type Entry struct {
+	// Name is the benchmark name with the trailing -N GOMAXPROCS
+	// suffix stripped, so baselines survive machines with different
+	// core counts.
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps sanitized unit names (ns/op -> ns_op, p99-us ->
+	// p99_us) to values.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the emitted artifact.
+type File struct {
+	Schema  string  `json:"schema"`
+	Suite   string  `json:"suite"`
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "emit":
+		err = runEmit(os.Args[2:])
+	case "gate":
+		err = runGate(os.Args[2:], os.Stdout)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchdiff emit -suite NAME [-o FILE] [input files | stdin]
+  benchdiff gate -current FILE -baseline FILE [-tolerance X] [-shape-tolerance X] [-update]`)
+}
+
+func runEmit(args []string) error {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	suite := fs.String("suite", "", "suite name recorded in the artifact")
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite == "" {
+		return fmt.Errorf("emit: -suite is required")
+	}
+	var readers []io.Reader
+	if fs.NArg() == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	entries, err := ParseGoBench(io.MultiReader(readers...))
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("emit: no benchmark lines found in input")
+	}
+	file := &File{Schema: SchemaVersion, Suite: *suite, Entries: entries}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   7 B/op ..."
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+
+// cpuSuffix strips the trailing -N GOMAXPROCS marker.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// unitSan maps unit characters outside [A-Za-z0-9_] to underscores, so
+// ns/op, p99-us, and MB/s become stable JSON keys.
+var unitSan = regexp.MustCompile(`[^A-Za-z0-9_]`)
+
+// ParseGoBench parses `go test -bench` output into entries, merging
+// repeated runs of the same benchmark by keeping the last occurrence
+// (matching go test's own behaviour of reporting each run separately —
+// for gating, one representative run is enough).
+func ParseGoBench(r io.Reader) ([]Entry, error) {
+	byName := make(map[string]*Entry)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(m[1], "")
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			continue
+		}
+		metrics := make(map[string]float64, len(fields)/2)
+		ok := true
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			metrics[unitSan.ReplaceAllString(fields[i+1], "_")] = v
+		}
+		if !ok || len(metrics) == 0 {
+			continue
+		}
+		e, seen := byName[name]
+		if !seen {
+			e = &Entry{Name: name, Metrics: make(map[string]float64)}
+			byName[name] = e
+			order = append(order, name)
+		}
+		e.Iterations = iters
+		for k, v := range metrics {
+			e.Metrics[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+// metricClass classifies a sanitized unit for gating.
+type metricClass int
+
+const (
+	lowerBetter  metricClass = iota // latency, allocations
+	higherBetter                    // throughput
+	shape                           // deterministic counts
+)
+
+func classify(unit string) metricClass {
+	switch unit {
+	case "ns_op", "B_op", "allocs_op", "MB_s":
+		if unit == "MB_s" {
+			return higherBetter
+		}
+		return lowerBetter
+	}
+	if strings.HasSuffix(unit, "ops_s") {
+		return higherBetter
+	}
+	for _, suf := range []string{"_s", "_ms", "_us", "_ns"} {
+		if strings.HasSuffix(unit, suf) {
+			return lowerBetter
+		}
+	}
+	return shape
+}
+
+// Regression describes one gate failure.
+type Regression struct {
+	Benchmark string
+	Metric    string
+	Baseline  float64
+	Current   float64
+	Reason    string
+}
+
+func (r Regression) String() string {
+	if r.Metric == "" {
+		return fmt.Sprintf("%s: %s", r.Benchmark, r.Reason)
+	}
+	return fmt.Sprintf("%s %s: baseline %g, current %g (%s)", r.Benchmark, r.Metric, r.Baseline, r.Current, r.Reason)
+}
+
+// Compare gates current against baseline. tolerance is the allowed
+// ratio for timing metrics (e.g. 5 = current may be up to 5x slower);
+// shapeTol is the allowed relative drift for shape metrics (e.g. 0.01
+// = ±1%). New benchmarks and new metrics in current pass silently —
+// they gate once they reach the baseline.
+func Compare(current, baseline *File, tolerance, shapeTol float64) []Regression {
+	var regs []Regression
+	curByName := make(map[string]Entry, len(current.Entries))
+	for _, e := range current.Entries {
+		curByName[e.Name] = e
+	}
+	for _, base := range baseline.Entries {
+		cur, ok := curByName[base.Name]
+		if !ok {
+			regs = append(regs, Regression{Benchmark: base.Name, Reason: "benchmark missing from current results"})
+			continue
+		}
+		metrics := make([]string, 0, len(base.Metrics))
+		for unit := range base.Metrics {
+			metrics = append(metrics, unit)
+		}
+		sort.Strings(metrics)
+		for _, unit := range metrics {
+			bv := base.Metrics[unit]
+			cv, ok := cur.Metrics[unit]
+			if !ok {
+				regs = append(regs, Regression{Benchmark: base.Name, Metric: unit, Baseline: bv, Reason: "metric missing from current results"})
+				continue
+			}
+			switch classify(unit) {
+			case lowerBetter:
+				if bv > 0 && cv > bv*tolerance {
+					regs = append(regs, Regression{base.Name, unit, bv, cv,
+						fmt.Sprintf("%.2fx slower than baseline (tolerance %gx)", cv/bv, tolerance)})
+				}
+			case higherBetter:
+				if bv > 0 && cv < bv/tolerance {
+					regs = append(regs, Regression{base.Name, unit, bv, cv,
+						fmt.Sprintf("%.2fx less throughput than baseline (tolerance %gx)", bv/cv, tolerance)})
+				}
+			case shape:
+				lo, hi := bv*(1-shapeTol), bv*(1+shapeTol)
+				if bv < 0 {
+					lo, hi = hi, lo
+				}
+				if cv < lo || cv > hi {
+					regs = append(regs, Regression{base.Name, unit, bv, cv,
+						fmt.Sprintf("shape metric drifted beyond ±%g%% — deterministic output changed", shapeTol*100)})
+				}
+			}
+		}
+	}
+	return regs
+}
+
+func runGate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	curPath := fs.String("current", "", "current results file (from benchdiff emit)")
+	basePath := fs.String("baseline", "", "committed baseline file")
+	tolerance := fs.Float64("tolerance", 5, "allowed slowdown ratio for timing metrics")
+	shapeTol := fs.Float64("shape-tolerance", 0.01, "allowed relative drift for shape metrics")
+	update := fs.Bool("update", false, "rewrite the baseline from current results and pass (intentional change)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *curPath == "" || *basePath == "" {
+		return fmt.Errorf("gate: -current and -baseline are required")
+	}
+	cur, err := readFile(*curPath)
+	if err != nil {
+		return err
+	}
+	if *update {
+		if err := writeBaseline(*basePath, cur); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchdiff: baseline %s updated from %s\n", *basePath, *curPath)
+		return nil
+	}
+	base, err := readFile(*basePath)
+	if os.IsNotExist(err) {
+		// Bootstrap: first run on this machine seeds the baseline.
+		if err := writeBaseline(*basePath, cur); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchdiff: no baseline at %s — bootstrapped from current results\n", *basePath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	regs := Compare(cur, base, *tolerance, *shapeTol)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "benchdiff: %s ok against %s (%d benchmarks, tolerance %gx)\n",
+			cur.Suite, *basePath, len(base.Entries), *tolerance)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("gate: %d regression(s) in suite %s", len(regs), cur.Suite)
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+func writeBaseline(path string, f *File) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

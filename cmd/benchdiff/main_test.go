@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable1_DatasetCollection-8   	       1	512345678 ns/op	       1910 contracts	      87077 profit-txs
+BenchmarkPipelineConcurrency/workers=1-8         	       1	900000000 ns/op	      87077 profit-txs
+BenchmarkPipelineConcurrency/workers=16-8        	       1	120000000 ns/op	      87077 profit-txs
+BenchmarkLoadgenSource-8   	       5	  31234567 ns/op	       123.4 p50-us	       456.7 p99-us	     64321 achieved-ops-s
+PASS
+ok  	repro	3.456s
+`
+
+func TestParseGoBench(t *testing.T) {
+	entries, err := ParseGoBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("parsed %d entries, want 4: %+v", len(entries), entries)
+	}
+	// -8 cpu suffix stripped, subtests kept distinct.
+	if entries[0].Name != "BenchmarkTable1_DatasetCollection" {
+		t.Errorf("name = %q (cpu suffix not stripped?)", entries[0].Name)
+	}
+	if entries[1].Name != "BenchmarkPipelineConcurrency/workers=1" {
+		t.Errorf("subtest name = %q", entries[1].Name)
+	}
+	// Units sanitized: ns/op -> ns_op, profit-txs -> profit_txs.
+	e := entries[0]
+	if e.Metrics["ns_op"] != 512345678 {
+		t.Errorf("ns_op = %g", e.Metrics["ns_op"])
+	}
+	if e.Metrics["profit_txs"] != 87077 || e.Metrics["contracts"] != 1910 {
+		t.Errorf("custom metrics = %v", e.Metrics)
+	}
+	lg := entries[3]
+	if lg.Metrics["p99_us"] != 456.7 || lg.Metrics["achieved_ops_s"] != 64321 {
+		t.Errorf("loadgen metrics = %v", lg.Metrics)
+	}
+	if lg.Iterations != 5 {
+		t.Errorf("iterations = %d", lg.Iterations)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]metricClass{
+		"ns_op":          lowerBetter,
+		"B_op":           lowerBetter,
+		"allocs_op":      lowerBetter,
+		"p99_us":         lowerBetter,
+		"build_p50_ms":   lowerBetter,
+		"lag_p99_us":     lowerBetter,
+		"achieved_ops_s": higherBetter,
+		"MB_s":           higherBetter,
+		"profit_txs":     shape,
+		"contracts":      shape,
+	}
+	for unit, want := range cases {
+		if got := classify(unit); got != want {
+			t.Errorf("classify(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func bench(name string, metrics map[string]float64) Entry {
+	return Entry{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func file(entries ...Entry) *File {
+	return &File{Schema: SchemaVersion, Suite: "test", Entries: entries}
+}
+
+// TestGateInjectedSlowdown: the gate demonstrably fails when a timing
+// metric regresses beyond tolerance — a 10x slowdown against a 2x
+// tolerance must be caught.
+func TestGateInjectedSlowdown(t *testing.T) {
+	base := file(bench("BenchmarkPipeline", map[string]float64{"ns_op": 1e8, "p99_us": 500}))
+	slow := file(bench("BenchmarkPipeline", map[string]float64{"ns_op": 1e9, "p99_us": 500}))
+	regs := Compare(slow, base, 2, 0.01)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the ns_op slowdown", regs)
+	}
+	if regs[0].Metric != "ns_op" || !strings.Contains(regs[0].Reason, "10.00x slower") {
+		t.Errorf("regression = %+v", regs[0])
+	}
+}
+
+func TestGateWithinTolerance(t *testing.T) {
+	base := file(bench("BenchmarkPipeline", map[string]float64{"ns_op": 1e8}))
+	ok := file(bench("BenchmarkPipeline", map[string]float64{"ns_op": 3e8}))
+	if regs := Compare(ok, base, 5, 0.01); len(regs) != 0 {
+		t.Errorf("3x slowdown under 5x tolerance flagged: %+v", regs)
+	}
+	// Faster is never a regression.
+	fast := file(bench("BenchmarkPipeline", map[string]float64{"ns_op": 1e6}))
+	if regs := Compare(fast, base, 5, 0.01); len(regs) != 0 {
+		t.Errorf("speedup flagged: %+v", regs)
+	}
+}
+
+// TestGateShapeDrift: deterministic counts get a tight two-sided gate —
+// both growth and shrinkage are regressions.
+func TestGateShapeDrift(t *testing.T) {
+	base := file(bench("BenchmarkPipeline", map[string]float64{"profit_txs": 87077}))
+	for _, cur := range []float64{80000, 95000} {
+		f := file(bench("BenchmarkPipeline", map[string]float64{"profit_txs": cur}))
+		if regs := Compare(f, base, 5, 0.01); len(regs) != 1 {
+			t.Errorf("shape drift to %g not flagged: %+v", cur, regs)
+		}
+	}
+	exact := file(bench("BenchmarkPipeline", map[string]float64{"profit_txs": 87077}))
+	if regs := Compare(exact, base, 5, 0.01); len(regs) != 0 {
+		t.Errorf("exact shape flagged: %+v", regs)
+	}
+}
+
+func TestGateThroughput(t *testing.T) {
+	base := file(bench("BenchmarkRPC", map[string]float64{"achieved_ops_s": 50000}))
+	slow := file(bench("BenchmarkRPC", map[string]float64{"achieved_ops_s": 5000}))
+	regs := Compare(slow, base, 2, 0.01)
+	if len(regs) != 1 || !strings.Contains(regs[0].Reason, "less throughput") {
+		t.Errorf("throughput collapse not flagged: %+v", regs)
+	}
+	ok := file(bench("BenchmarkRPC", map[string]float64{"achieved_ops_s": 30000}))
+	if regs := Compare(ok, base, 2, 0.01); len(regs) != 0 {
+		t.Errorf("within-tolerance throughput flagged: %+v", regs)
+	}
+}
+
+// TestGateMissingBenchmark: silently deleting a benchmark must fail the
+// gate, not pass it.
+func TestGateMissingBenchmark(t *testing.T) {
+	base := file(
+		bench("BenchmarkA", map[string]float64{"ns_op": 1}),
+		bench("BenchmarkB", map[string]float64{"ns_op": 1}),
+	)
+	cur := file(bench("BenchmarkA", map[string]float64{"ns_op": 1}))
+	regs := Compare(cur, base, 5, 0.01)
+	if len(regs) != 1 || regs[0].Benchmark != "BenchmarkB" {
+		t.Errorf("missing benchmark not flagged: %+v", regs)
+	}
+	// A new benchmark in current (absent from baseline) passes.
+	grown := file(
+		bench("BenchmarkA", map[string]float64{"ns_op": 1}),
+		bench("BenchmarkB", map[string]float64{"ns_op": 1}),
+		bench("BenchmarkC", map[string]float64{"ns_op": 999}),
+	)
+	if regs := Compare(grown, base, 5, 0.01); len(regs) != 0 {
+		t.Errorf("new benchmark flagged: %+v", regs)
+	}
+}
+
+// TestRunGateEndToEnd exercises the CLI surface: bootstrap, pass,
+// injected regression, and -update.
+func TestRunGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	curPath := filepath.Join(dir, "current.json")
+	basePath := filepath.Join(dir, "baseline.json")
+
+	write := func(path string, f *File) {
+		t.Helper()
+		b, err := jsonMarshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(curPath, file(bench("BenchmarkX", map[string]float64{"ns_op": 1e8})))
+
+	// 1. No baseline: bootstrap and pass.
+	var out bytes.Buffer
+	if err := runGate([]string{"-current", curPath, "-baseline", basePath}, &out); err != nil {
+		t.Fatalf("bootstrap gate failed: %v", err)
+	}
+	if _, err := os.Stat(basePath); err != nil {
+		t.Fatalf("baseline not bootstrapped: %v", err)
+	}
+
+	// 2. Same results: pass.
+	if err := runGate([]string{"-current", curPath, "-baseline", basePath}, &out); err != nil {
+		t.Fatalf("identical gate failed: %v", err)
+	}
+
+	// 3. Injected 10x slowdown: fail.
+	write(curPath, file(bench("BenchmarkX", map[string]float64{"ns_op": 1e9})))
+	out.Reset()
+	err := runGate([]string{"-current", curPath, "-baseline", basePath, "-tolerance", "2"}, &out)
+	if err == nil {
+		t.Fatal("injected slowdown passed the gate")
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("gate output missing REGRESSION line: %q", out.String())
+	}
+
+	// 4. -update accepts the new numbers; the gate then passes.
+	if err := runGate([]string{"-current", curPath, "-baseline", basePath, "-update"}, &out); err != nil {
+		t.Fatalf("update failed: %v", err)
+	}
+	if err := runGate([]string{"-current", curPath, "-baseline", basePath, "-tolerance", "2"}, &out); err != nil {
+		t.Fatalf("gate after update failed: %v", err)
+	}
+}
+
+func jsonMarshal(f *File) ([]byte, error) {
+	return json.Marshal(f)
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/daas"
 	"repro/internal/contracts"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/rpc"
+	"repro/internal/runreport"
 	"repro/internal/worldgen"
 )
 
@@ -45,6 +47,7 @@ func main() {
 		resume      = flag.Bool("resume", false, "resume the dataset build from -checkpoint when the file exists; the result is byte-identical to an uninterrupted run")
 		strict      = flag.Bool("strict", false, "exit non-zero when the integrity layer quarantined anything (the dataset itself is unaffected)")
 		maxQuar     = flag.Int64("max-quarantine", 0, "abort the run after this many quarantined records (0 = unlimited)")
+		runReport   = flag.String("run-report", "", "write the machine-readable run report (stage wall times, latency quantiles, metric snapshot, span tree, integrity manifest) to this JSON file")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -57,12 +60,31 @@ func main() {
 	if *traceRun {
 		spans = obs.NewRecorder()
 	}
+	var runRep *runreport.Builder
+	if *runReport != "" {
+		runRep = runreport.New("daasctl "+cmd, reg, spans)
+		runRep.SetSeed(*seed)
+	}
+	// flushReport writes the artifact; called both on the normal path
+	// and before strict-mode exits (os.Exit skips defers).
+	flushReport := func() {
+		if err := runRep.WriteFile(*runReport); err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer flushReport()
 	if *metricsAddr != "" {
 		srv, addr, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer srv.Close()
+		// Graceful drain: let an in-flight scrape of the final numbers
+		// complete before the process goes away.
+		defer func() {
+			if err := obs.Shutdown(srv, 2*time.Second); err != nil {
+				log.Print(err)
+			}
+		}()
 		log.Printf("obs: serving http://%s/metrics (+ /debug/vars, /debug/pprof)", addr)
 	}
 
@@ -130,7 +152,7 @@ func main() {
 			}
 			fmt.Printf("dataset written to %s\n", *outPath)
 		}
-		integrityEpilogue(client, nil, *strict)
+		integrityEpilogue(client, nil, *strict, runRep, flushReport)
 
 	case "validate":
 		ds, err := client.BuildDataset()
@@ -142,8 +164,9 @@ func main() {
 			log.Fatalf("validating: %v", err)
 		}
 		report.Validation(os.Stdout, rep)
-		integrityEpilogue(client, nil, *strict)
+		integrityEpilogue(client, nil, *strict, runRep, flushReport)
 		if len(rep.FalsePositives) > 0 {
+			flushReport()
 			os.Exit(1)
 		}
 
@@ -153,7 +176,7 @@ func main() {
 			log.Fatalf("study: %v", err)
 		}
 		printStudy(study)
-		integrityEpilogue(client, study, *strict)
+		integrityEpilogue(client, study, *strict, runRep, flushReport)
 
 	case "inspect":
 		// Offline inspection of a previously exported dataset.
@@ -239,12 +262,15 @@ func main() {
 // run and enforces -strict: any quarantined evidence turns the exit
 // code non-zero, with a reason-coded summary on stderr. The exported
 // dataset is never affected — strict mode only refuses to call a run
-// with known gaps a success.
-func integrityEpilogue(client *daas.Client, study *daas.Study, strict bool) {
+// with known gaps a success. The run report (if requested) is flushed
+// before any exit so the failing run still leaves its artifact.
+func integrityEpilogue(client *daas.Client, study *daas.Study, strict bool, runRep *runreport.Builder, flushReport func()) {
 	m := client.Manifest(study)
 	fmt.Println()
 	report.RenderManifest(os.Stdout, m)
+	runRep.SetManifest(m)
 	if strict && !m.Clean() {
+		flushReport()
 		fmt.Fprintln(os.Stderr, "strict mode: the integrity layer quarantined records during this run")
 		if err := client.Quarantine().Summarize(os.Stderr); err != nil {
 			log.Fatal(err)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/runreport"
 	"repro/internal/sitehunt"
 	"repro/internal/toolkit"
 	"repro/internal/website"
@@ -46,6 +47,7 @@ func main() {
 		resume      = flag.Bool("resume", false, "resume the dataset build from -checkpoint when the file exists; the result is byte-identical to an uninterrupted run")
 		strict      = flag.Bool("strict", false, "exit non-zero when the integrity layer quarantined anything (the dataset itself is unaffected)")
 		maxQuar     = flag.Int64("max-quarantine", 0, "abort the run after this many quarantined records (0 = unlimited)")
+		runReport   = flag.String("run-report", "", "write the machine-readable run report (stage wall times, latency quantiles, metric snapshot, span tree, integrity manifest) to this JSON file")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -57,12 +59,23 @@ func main() {
 		spans = obs.NewRecorder()
 		logger = obs.New(os.Stderr, obs.LevelDebug)
 	}
+	var rep *runreport.Builder
+	if *runReport != "" {
+		rep = runreport.New("repro", reg, spans)
+		rep.SetSeed(*seed)
+	}
 	if *metricsAddr != "" {
 		srv, addr, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer srv.Close()
+		// Graceful drain: a collector scraping the end-of-run numbers
+		// gets to finish instead of a torn-down connection.
+		defer func() {
+			if err := obs.Shutdown(srv, 2*time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 		fmt.Fprintf(w, "[obs] serving http://%s/metrics (+ /debug/vars, /debug/pprof)\n", addr)
 	}
 
@@ -74,10 +87,12 @@ func main() {
 	cfg := worldgen.DefaultConfig(*seed)
 	cfg.Scale = *scale
 	start := time.Now()
+	endStage := rep.Stage("worldgen")
 	world, err := worldgen.Generate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	endStage()
 	fmt.Fprintf(w, "[world] %d transactions in %s\n\n", world.Chain.TxCount(), time.Since(start).Round(time.Millisecond))
 
 	client := daas.New(core.LocalSource{Chain: world.Chain}, world.Labels, world.Oracle)
@@ -90,6 +105,7 @@ func main() {
 	client.Resume = *resume
 	client.MaxQuarantine = *maxQuar
 	start = time.Now()
+	endStage = rep.Stage("study")
 	study, err := client.StudyWith(daas.StudyOptions{
 		DatasetEnd:         worldgen.DatasetEnd,
 		PrimaryContractTxs: int(float64(measure.MinPrimaryTxs)**scale) + 1,
@@ -97,6 +113,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	endStage()
 	fmt.Fprintf(w, "[study] pipeline + analyses in %s\n\n", time.Since(start).Round(time.Millisecond))
 
 	sectionTable1(w, study, *scale)
@@ -111,7 +128,9 @@ func main() {
 	sectionTable3(w, world, study)
 	sectionSec81(w, study)
 	sectionLaundering(w, world)
+	endStage = rep.Stage("sitehunt")
 	sectionSec82AndTable4(w, *seed, *nSites, reg, logger)
+	endStage()
 
 	if *metricsAddr != "" || *traceRun {
 		sectionObservability(w, reg, spans)
@@ -121,6 +140,16 @@ func main() {
 	h(w, "Data Integrity")
 	report.RenderManifest(w, manifest)
 	fmt.Fprintln(w)
+	rep.SetManifest(manifest)
+	// Write the artifact before any strict-mode exit: os.Exit skips
+	// defers, and a run that fails the gate is exactly the run whose
+	// report matters most.
+	if err := rep.WriteFile(*runReport); err != nil {
+		log.Fatal(err)
+	}
+	if *runReport != "" {
+		fmt.Fprintf(w, "[obs] run report written to %s\n", *runReport)
+	}
 	if *strict && !manifest.Clean() {
 		fmt.Fprintln(os.Stderr, "strict mode: the integrity layer quarantined records during this run")
 		if err := client.Quarantine().Summarize(os.Stderr); err != nil {

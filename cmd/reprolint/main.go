@@ -186,14 +186,19 @@ func lintPackage(p *listedPackage, imp types.Importer) ([]string, error) {
 }
 
 // deterministicPackages lists the packages whose exported artifacts
-// (datasets, clusters, tables, static analyses) must be reproducible
-// byte-for-byte; rule 6 bans wall-clock and PRNG reads there.
+// (datasets, clusters, tables, static analyses, load-generator
+// schedules) must be reproducible byte-for-byte; rule 6 bans
+// wall-clock and PRNG reads there. internal/loadgen qualifies because
+// its op schedule is part of the determinism contract: timing flows
+// through obs.Now/obs.Since and randomness through its own seeded
+// generator, never the process clock or PRNG.
 var deterministicPackages = map[string]bool{
 	"internal/core":      true,
 	"internal/cluster":   true,
 	"internal/measure":   true,
 	"internal/report":    true,
 	"internal/evmstatic": true,
+	"internal/loadgen":   true,
 }
 
 // linter walks one package's ASTs applying the rules.

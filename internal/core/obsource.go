@@ -31,7 +31,7 @@ func NewInstrumentedSource(src ChainSource, r *obs.Registry) *InstrumentedSource
 		src:      src,
 		requests: r.CounterVec("daas_chain_requests_total", "chain source requests by method", "method"),
 		errors:   r.CounterVec("daas_chain_request_errors_total", "failed chain source requests by method", "method"),
-		latency:  r.HistogramVec("daas_chain_request_duration_seconds", "chain source request latency by method", nil, "method"),
+		latency:  r.HistogramVec("daas_chain_request_duration_seconds", "chain source request latency by method", obs.DefDurationBuckets, "method"),
 	}
 }
 

@@ -207,7 +207,7 @@ func (c *Client) metrics() *clientMetrics {
 			entries:   c.Metrics.Counter("daas_ct_entries_total", "certificate entries ingested from the CT log"),
 			errors:    c.Metrics.Counter("daas_ct_poll_errors_total", "failed CT log polls"),
 			badLeaves: c.Metrics.Counter("daas_ct_bad_leaves_total", "undecodable CT log entries skipped by the poller"),
-			duration:  c.Metrics.Histogram("daas_ct_poll_duration_seconds", "CT poll latency", nil),
+			duration:  c.Metrics.Histogram("daas_ct_poll_duration_seconds", "CT poll latency", obs.DefDurationBuckets),
 		}
 	})
 	return &c.cm

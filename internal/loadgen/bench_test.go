@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/rpc"
+	"repro/internal/worldgen"
+)
+
+// reportQuantiles attaches an op-latency distribution to the benchmark
+// line so benchdiff can gate on tail latency, not just ns/op.
+func reportQuantiles(b *testing.B, res *Result) {
+	b.Helper()
+	var p50, p95, p99 float64
+	var n uint64
+	for _, st := range res.PerOp {
+		// Weighted blend across ops keeps the metric scalar.
+		w := float64(st.Count)
+		p50 += st.P50Seconds * w
+		p95 += st.P95Seconds * w
+		p99 += st.P99Seconds * w
+		n += st.Count
+	}
+	if n > 0 {
+		f := 1e6 / float64(n)
+		b.ReportMetric(p50*f, "p50-us")
+		b.ReportMetric(p95*f, "p95-us")
+		b.ReportMetric(p99*f, "p99-us")
+	}
+	b.ReportMetric(res.AchievedRate, "achieved-ops-s")
+}
+
+// BenchmarkLoadgenSource: closed-loop mixed ops against the bare
+// in-process simulator — the floor every decorator stack is measured
+// against.
+func BenchmarkLoadgenSource(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.TestConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := FromWorld(w, Config{Seed: 11, Ops: 2000, Concurrency: 4})
+		res, err = g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportQuantiles(b, res)
+}
+
+// BenchmarkLoadgenOpenLoop: open-loop arrivals at a fixed offered
+// rate; the interesting numbers are tail latency and dispatch lag
+// under a paced schedule.
+func BenchmarkLoadgenOpenLoop(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.TestConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := FromWorld(w, Config{Seed: 11, Ops: 1000, Concurrency: 4, Rate: 50000})
+		res, err = g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportQuantiles(b, res)
+	b.ReportMetric(res.DispatchLagP99Seconds*1e6, "lag-p99-us")
+}
+
+// BenchmarkLoadgenPipeline: full §5.1 builds under the production
+// decorator stack; gates the end-to-end build latency quantiles and
+// the dataset shape (profit-txs is deterministic — any drift is a
+// correctness regression, not noise).
+func BenchmarkLoadgenPipeline(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.TestConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *PipelineResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = RunPipeline(w, PipelineConfig{Builds: 1, Concurrency: 4, CacheSize: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.P50Seconds*1e3, "build-p50-ms")
+	b.ReportMetric(res.P99Seconds*1e3, "build-p99-ms")
+	b.ReportMetric(float64(res.ProfitTxs), "profit-txs")
+}
+
+// BenchmarkLoadgenRPC: the same mixed-op workload over a real HTTP
+// JSON-RPC hop (httptest server + rpc client) — the wire-protocol
+// suite behind BENCH_rpc.json.
+func BenchmarkLoadgenRPC(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.TestConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(rpc.NewServer(w.Chain, w.Labels))
+	defer srv.Close()
+	client := rpc.NewClient(srv.URL)
+	var res *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := FromWorld(w, Config{Seed: 11, Ops: 500, Concurrency: 8})
+		g.Source = client
+		res, err = g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportQuantiles(b, res)
+}

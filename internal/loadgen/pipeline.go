@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fetchcache"
+	"repro/internal/obs"
+	"repro/internal/worldgen"
+)
+
+// PipelineConfig tunes RunPipeline.
+type PipelineConfig struct {
+	// Builds is how many complete §5.1 pipeline builds to run
+	// back-to-back. Default 1.
+	Builds int
+	// Concurrency is the pipeline's fetch worker count (0 = the
+	// pipeline default).
+	Concurrency int
+	// CacheSize, when positive, inserts a fetchcache of that capacity
+	// between the pipeline and the instrumented source — the production
+	// decorator stack instead of a bare simulator.
+	CacheSize int
+	// Registry receives the build-duration histogram and the
+	// instrumented source's metrics. Private registry when nil.
+	Registry *obs.Registry
+}
+
+// PipelineResult summarizes repeated full-pipeline builds under load:
+// wall-time quantiles across builds, the dataset shape (a determinism
+// check as much as a result), and the diffed metric snapshot the run
+// produced.
+type PipelineResult struct {
+	Builds         int     `json:"builds"`
+	ProfitTxs      int     `json:"profit_txs"`
+	Contracts      int     `json:"contracts"`
+	MeanSeconds    float64 `json:"mean_seconds"`
+	P50Seconds     float64 `json:"p50_seconds"`
+	P95Seconds     float64 `json:"p95_seconds"`
+	P99Seconds     float64 `json:"p99_seconds"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Identical reports whether every build exported byte-identical
+	// JSON — the invariant that separates a load harness from a fuzzer.
+	Identical bool `json:"identical"`
+	// Export is the first build's dataset JSON, so callers can compare
+	// against an unloaded baseline build.
+	Export []byte `json:"-"`
+	// Metrics is the run's registry delta.
+	Metrics obs.Snapshot `json:"-"`
+}
+
+// RunPipeline runs cfg.Builds complete pipeline builds over the world
+// through the instrumented (and optionally cached) source stack,
+// timing each build into daas_loadgen_build_duration_seconds.
+func RunPipeline(w *worldgen.World, cfg PipelineConfig) (*PipelineResult, error) {
+	if w == nil {
+		return nil, fmt.Errorf("loadgen: no world")
+	}
+	builds := cfg.Builds
+	if builds <= 0 {
+		builds = 1
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	buildHist := reg.Histogram("daas_loadgen_build_duration_seconds", "full pipeline build wall time under loadgen", obs.DefDurationBuckets)
+	base := reg.Snapshot()
+
+	var src core.ChainSource = core.NewInstrumentedSource(core.LocalSource{Chain: w.Chain}, reg)
+	if cfg.CacheSize > 0 {
+		src = fetchcache.New(src, cfg.CacheSize, reg)
+	}
+
+	res := &PipelineResult{Builds: builds, Identical: true}
+	start := obs.Now()
+	for i := 0; i < builds; i++ {
+		p := &core.Pipeline{
+			Source:      src,
+			Labels:      w.Labels,
+			Concurrency: cfg.Concurrency,
+			Metrics:     reg,
+		}
+		buildStart := obs.Now()
+		ds, err := p.Build()
+		buildHist.ObserveDuration(obs.Since(buildStart))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: build %d: %w", i+1, err)
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteJSON(&buf); err != nil {
+			return nil, fmt.Errorf("loadgen: export build %d: %w", i+1, err)
+		}
+		if i == 0 {
+			res.Export = buf.Bytes()
+			stats := ds.Stats()
+			res.ProfitTxs = stats.ProfitTxs
+			res.Contracts = stats.Contracts
+		} else if !bytes.Equal(res.Export, buf.Bytes()) {
+			res.Identical = false
+		}
+	}
+	res.ElapsedSeconds = obs.Since(start).Seconds()
+
+	snap := reg.Snapshot().Diff(base)
+	res.Metrics = snap
+	if smp := snap.Find("daas_loadgen_build_duration_seconds"); smp != nil && smp.Hist != nil && smp.Hist.Count > 0 {
+		res.MeanSeconds = smp.Hist.Mean()
+		res.P50Seconds = smp.Hist.Quantile(0.50)
+		res.P95Seconds = smp.Hist.Quantile(0.95)
+		res.P99Seconds = smp.Hist.Quantile(0.99)
+	}
+	return res, nil
+}

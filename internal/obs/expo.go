@@ -73,23 +73,29 @@ func (f *family) writeChild(w io.Writer, c *child) error {
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, c.gauge.Load())
 		return err
 	case KindHistogram:
+		// One coherent snapshot serves the whole expansion: _count is
+		// derived from the same bucket loads as the cumulative series,
+		// so _bucket{le="+Inf"} always equals _count — reading the
+		// buckets, sum, and count as independent atomics mid-update
+		// could publish a count the buckets had not caught up to yet.
+		snap := c.histSnapshot()
 		var cum uint64
-		for i, upper := range c.hist.upper {
-			cum += c.hist.buckets[i].Load()
+		for i, upper := range snap.Upper {
+			cum += snap.Counts[i]
 			le := labelString(f.labels, c.labelValues, "le", formatFloat(upper))
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
 				return err
 			}
 		}
-		cum += c.hist.buckets[len(c.hist.upper)].Load()
+		cum += snap.Counts[len(snap.Upper)]
 		le := labelString(f.labels, c.labelValues, "le", "+Inf")
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(c.hist.sum())); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(snap.Sum)); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, c.count.Load())
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, snap.Count)
 		return err
 	}
 	return nil
@@ -182,13 +188,14 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 					fmt.Fprintf(tw, "%s\t%d\n", name, v)
 				}
 			case KindHistogram:
-				n := c.count.Load()
-				if n == 0 {
+				snap := c.histSnapshot()
+				if snap.Count == 0 {
 					continue
 				}
-				sum := c.hist.sum()
-				fmt.Fprintf(tw, "%s\tcount=%d mean=%s sum=%s\n",
-					name, n, formatFloat(sum/float64(n)), formatFloat(sum))
+				fmt.Fprintf(tw, "%s\tcount=%d mean=%s p50=%s p95=%s p99=%s sum=%s\n",
+					name, snap.Count, formatFloat(snap.Mean()),
+					formatFloat(snap.Quantile(0.50)), formatFloat(snap.Quantile(0.95)),
+					formatFloat(snap.Quantile(0.99)), formatFloat(snap.Sum))
 			}
 		}
 	}

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // Handler serves the registry in Prometheus text exposition format.
@@ -72,8 +74,9 @@ func (r *Registry) snapshotMap() map[string]any {
 			case KindGauge:
 				out[name] = c.gauge.Load()
 			case KindHistogram:
-				out[name+"_count"] = c.count.Load()
-				out[name+"_sum"] = c.hist.sum()
+				snap := c.histSnapshot()
+				out[name+"_count"] = snap.Count
+				out[name+"_sum"] = snap.Sum
 			}
 		}
 	}
@@ -81,8 +84,9 @@ func (r *Registry) snapshotMap() map[string]any {
 }
 
 // Serve starts the introspection server on addr in a background
-// goroutine and returns the server (for Close) and the bound address,
-// which differs from addr when it asked for an ephemeral port.
+// goroutine and returns the server (for Shutdown/Close) and the bound
+// address, which differs from addr when it asked for an ephemeral
+// port.
 func Serve(addr string, r *Registry) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -91,4 +95,21 @@ func Serve(addr string, r *Registry) (*http.Server, string, error) {
 	srv := &http.Server{Handler: NewMux(r)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
+}
+
+// Shutdown drains an introspection server started with Serve: new
+// connections stop being accepted, but a scrape already in flight —
+// typically a collector grabbing the final end-of-run numbers — gets
+// up to timeout to complete instead of being torn down with the run.
+// Nil-safe.
+func Shutdown(srv *http.Server, timeout time.Duration) error {
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("obs: draining introspection server: %w", err)
+	}
+	return nil
 }

@@ -40,6 +40,36 @@ var DefBuckets = []float64{
 	1, 5,
 }
 
+// DefDurationBuckets are the log-spaced (HDR-style) duration
+// boundaries, in seconds: five boundaries per decade from 1µs to 10s.
+// The constant ratio between adjacent bounds (10^(1/5) ≈ 1.58) bounds
+// the relative error of a Quantile estimate by the bucket width at any
+// magnitude, which fixed hand-picked boundaries cannot promise.
+// Latency instruments (chain source, RPC wire, CT polls, loadgen)
+// should use these.
+var DefDurationBuckets = LogBuckets(1e-6, 10, 5)
+
+// LogBuckets returns log-spaced histogram boundaries covering
+// [min, max]: perDecade boundaries per factor of ten, computed in
+// exponent form so the spacing does not accumulate floating-point
+// drift. min and max must be positive with min < max; perDecade must
+// be positive. Invalid arguments yield nil (the caller then falls back
+// to DefBuckets).
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		return nil
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		v := min * math.Pow(10, float64(i)/float64(perDecade))
+		if v > max*(1+1e-12) {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 // Registry holds named metric families. The zero value is not usable;
 // call NewRegistry. All methods tolerate a nil receiver, handing out
 // nil instruments whose operations are no-ops, so instrumented code
@@ -262,6 +292,47 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.c.hist.sum()
+}
+
+// Snapshot returns a coherent copy of the histogram's buckets: the
+// total count is derived from the bucket counters themselves, so the
+// cumulative +Inf bucket always equals the count even while observers
+// are mid-flight. Nil on a no-op instrument.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	if h == nil || h.c == nil || h.c.hist == nil {
+		return nil
+	}
+	return h.c.histSnapshot()
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// rank, the same estimator Prometheus's histogram_quantile uses. NaN
+// when the histogram is empty or the instrument is a no-op.
+func (h *Histogram) Quantile(p float64) float64 {
+	return h.Snapshot().Quantile(p)
+}
+
+// histSnapshot reads the histogram once: every bucket counter is
+// loaded into a plain slice and the total observation count is the sum
+// of those loads, never the separate observation counter (which an
+// in-flight Observe may have bumped ahead of its bucket). This is what
+// keeps _bucket{le="+Inf"} == _count in every export.
+func (c *child) histSnapshot() *HistSnapshot {
+	h := c.hist
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		v := h.buckets[i].Load()
+		counts[i] = v
+		total += v
+	}
+	return &HistSnapshot{
+		Upper:  h.upper,
+		Counts: counts,
+		Count:  total,
+		Sum:    h.sum(),
+	}
 }
 
 // CounterVec is a counter family partitioned by labels. Nil-safe.

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"math"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry: every family and
+// every sample, in registration order, with histogram buckets read
+// coherently (see child.histSnapshot). Snapshots are plain data — they
+// marshal to JSON for run-report artifacts, diff against an earlier
+// snapshot to isolate one phase of a run, and answer quantile queries
+// without touching the live registry again.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one named metric family in a snapshot.
+type FamilySnapshot struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help,omitempty"`
+	Kind    string   `json:"kind"`
+	Labels  []string `json:"labels,omitempty"`
+	Samples []Sample `json:"samples"`
+}
+
+// Sample is one (label-values) child of a family at snapshot time.
+type Sample struct {
+	LabelValues []string      `json:"label_values,omitempty"`
+	Counter     uint64        `json:"counter,omitempty"`
+	Gauge       int64         `json:"gauge,omitempty"`
+	Hist        *HistSnapshot `json:"histogram,omitempty"`
+}
+
+// HistSnapshot is a coherent copy of one histogram: per-bucket counts
+// (last entry is the +Inf bucket), the total count derived from those
+// buckets, and the value sum. The invariant sum(Counts) == Count holds
+// by construction.
+type HistSnapshot struct {
+	// Upper holds the finite bucket upper bounds; Counts has one more
+	// entry than Upper, the +Inf bucket.
+	Upper  []float64 `json:"upper"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot captures every family and sample coherently. The result is
+// independent of the live registry: subsequent observations do not
+// mutate it. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	families := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		families = append(families, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range families {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   f.kind.String(),
+			Labels: append([]string(nil), f.labels...),
+		}
+		for _, c := range f.snapshot() {
+			smp := Sample{LabelValues: append([]string(nil), c.labelValues...)}
+			switch f.kind {
+			case KindCounter:
+				smp.Counter = c.count.Load()
+			case KindGauge:
+				smp.Gauge = c.gauge.Load()
+			case KindHistogram:
+				smp.Hist = c.histSnapshot()
+			}
+			fs.Samples = append(fs.Samples, smp)
+		}
+		s.Families = append(s.Families, fs)
+	}
+	return s
+}
+
+// Diff returns the activity between base and s: counters and histogram
+// buckets are subtracted per matching (family, label-values) sample,
+// gauges keep their current (instantaneous) value. Samples and
+// families that appeared after base pass through unchanged; a counter
+// or bucket that ran backwards (instrument reset) keeps its current
+// value rather than underflowing. Family and sample order is s's
+// order, so diffing is deterministic.
+func (s Snapshot) Diff(base Snapshot) Snapshot {
+	baseFams := make(map[string]*FamilySnapshot, len(base.Families))
+	for i := range base.Families {
+		baseFams[base.Families[i].Name] = &base.Families[i]
+	}
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(s.Families))}
+	for _, f := range s.Families {
+		df := FamilySnapshot{
+			Name:    f.Name,
+			Help:    f.Help,
+			Kind:    f.Kind,
+			Labels:  f.Labels,
+			Samples: make([]Sample, 0, len(f.Samples)),
+		}
+		var baseSamples map[string]*Sample
+		if bf := baseFams[f.Name]; bf != nil && bf.Kind == f.Kind {
+			baseSamples = make(map[string]*Sample, len(bf.Samples))
+			for i := range bf.Samples {
+				baseSamples[strings.Join(bf.Samples[i].LabelValues, labelSep)] = &bf.Samples[i]
+			}
+		}
+		for _, smp := range f.Samples {
+			prev := baseSamples[strings.Join(smp.LabelValues, labelSep)]
+			df.Samples = append(df.Samples, diffSample(smp, prev))
+		}
+		out.Families = append(out.Families, df)
+	}
+	return out
+}
+
+func diffSample(cur Sample, prev *Sample) Sample {
+	if prev == nil {
+		return cur
+	}
+	out := Sample{LabelValues: cur.LabelValues, Gauge: cur.Gauge}
+	if cur.Counter >= prev.Counter {
+		out.Counter = cur.Counter - prev.Counter
+	} else {
+		out.Counter = cur.Counter
+	}
+	if cur.Hist != nil {
+		out.Hist = diffHist(cur.Hist, prev.Hist)
+	}
+	return out
+}
+
+// diffHist subtracts bucket-by-bucket, recomputing Count from the
+// diffed buckets so the +Inf == Count invariant survives subtraction.
+// A bucket-layout change between the snapshots makes subtraction
+// meaningless, so the current histogram passes through whole.
+func diffHist(cur, prev *HistSnapshot) *HistSnapshot {
+	if prev == nil || len(prev.Counts) != len(cur.Counts) || !equalFloats(prev.Upper, cur.Upper) {
+		return cur
+	}
+	out := &HistSnapshot{Upper: cur.Upper, Counts: make([]uint64, len(cur.Counts))}
+	for i, c := range cur.Counts {
+		if c >= prev.Counts[i] {
+			out.Counts[i] = c - prev.Counts[i]
+		} else {
+			out.Counts[i] = c
+		}
+		out.Count += out.Counts[i]
+	}
+	out.Sum = cur.Sum - prev.Sum
+	if out.Sum < 0 {
+		out.Sum = cur.Sum
+	}
+	return out
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns the sample for the given family name and label values,
+// nil when absent.
+func (s Snapshot) Find(name string, labelValues ...string) *Sample {
+	for i := range s.Families {
+		if s.Families[i].Name != name {
+			continue
+		}
+		for j := range s.Families[i].Samples {
+			if equalStrings(s.Families[i].Samples[j].LabelValues, labelValues) {
+				return &s.Families[i].Samples[j]
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) by linear
+// interpolation inside the bucket containing the rank — the classic
+// fixed-bucket estimator (Prometheus histogram_quantile): exact at
+// bucket boundaries, off by at most one bucket width inside. Values in
+// the +Inf bucket have no upper bound, so quantiles landing there
+// report the largest finite boundary. NaN on an empty or nil
+// histogram.
+func (h *HistSnapshot) Quantile(p float64) float64 {
+	if h == nil || h.Count == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.Count)
+	var cum uint64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Upper) {
+			// +Inf bucket.
+			if len(h.Upper) == 0 {
+				return math.Inf(1)
+			}
+			return h.Upper[len(h.Upper)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.Upper[i-1]
+		}
+		return lower + (h.Upper[i]-lower)*(rank-float64(prev))/float64(n)
+	}
+	// Unreachable while the Count invariant holds; report the largest
+	// bound defensively.
+	if len(h.Upper) == 0 {
+		return math.Inf(1)
+	}
+	return h.Upper[len(h.Upper)-1]
+}
+
+// Mean returns the average observed value (NaN when empty).
+func (h *HistSnapshot) Mean() float64 {
+	if h == nil || h.Count == 0 {
+		return math.NaN()
+	}
+	return h.Sum / float64(h.Count)
+}

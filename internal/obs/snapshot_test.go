@@ -1,0 +1,377 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLogBuckets pins the generator: five per decade from 1µs to 10s
+// is 36 strictly increasing boundaries with a constant ratio.
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(1e-6, 10, 5)
+	if len(b) != 36 {
+		t.Fatalf("len = %d, want 36", len(b))
+	}
+	if b[0] != 1e-6 || math.Abs(b[35]-10) > 1e-9 {
+		t.Fatalf("range = [%g, %g], want [1e-06, 10]", b[0], b[35])
+	}
+	wantRatio := math.Pow(10, 0.2)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("boundaries not increasing at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		if r := b[i] / b[i-1]; math.Abs(r-wantRatio) > 1e-9 {
+			t.Fatalf("ratio at %d = %g, want %g", i, r, wantRatio)
+		}
+	}
+	if DefDurationBuckets == nil || len(DefDurationBuckets) != 36 {
+		t.Fatalf("DefDurationBuckets: %v", DefDurationBuckets)
+	}
+	for _, bad := range [][3]float64{{0, 1, 5}, {1, 1, 5}, {1, 10, 0}, {-1, 1, 3}} {
+		if got := LogBuckets(bad[0], bad[1], int(bad[2])); got != nil {
+			t.Fatalf("LogBuckets(%v) = %v, want nil", bad, got)
+		}
+	}
+}
+
+// TestQuantileUniform checks estimation accuracy against a uniform
+// distribution under fine linear buckets: the estimator's error is
+// bounded by one bucket width (0.01 here), and boundary quantiles are
+// exact.
+func TestQuantileUniform(t *testing.T) {
+	var buckets []float64
+	for v := 0.01; v <= 1.0001; v += 0.01 {
+		buckets = append(buckets, v)
+	}
+	r := NewRegistry()
+	h := r.Histogram("uniform", "", buckets)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Observe((float64(i) + 0.5) / n) // uniform on (0, 1)
+	}
+	for _, p := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99} {
+		got := h.Quantile(p)
+		if math.Abs(got-p) > 0.01+1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want within one bucket width (0.01) of %v", p, got, p)
+		}
+	}
+}
+
+// TestQuantileLogBuckets checks the estimator under the log-spaced
+// duration buckets against a two-mode latency distribution with known
+// quantiles: estimates must land within one bucket ratio (×1.585) of
+// the true value — the accuracy the HDR-style spacing promises at any
+// magnitude.
+func TestQuantileLogBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", "", DefDurationBuckets)
+	// 90% fast mode at 100µs, 10% slow mode at 50ms: true p50 = 1e-4,
+	// true p95 and p99 = 5e-2.
+	for i := 0; i < 900; i++ {
+		h.Observe(100e-6)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(50e-3)
+	}
+	ratio := math.Pow(10, 0.2)
+	for _, tc := range []struct{ p, want float64 }{
+		{0.50, 100e-6}, {0.95, 50e-3}, {0.99, 50e-3},
+	} {
+		got := h.Quantile(tc.p)
+		if got < tc.want/ratio-1e-12 || got > tc.want*ratio+1e-12 {
+			t.Fatalf("Quantile(%v) = %g, want within ×%.3f of %g", tc.p, got, ratio, tc.want)
+		}
+	}
+}
+
+// TestQuantileEdgeCases pins the contract at the boundaries: empty
+// histograms answer NaN, overflow-bucket ranks report the largest
+// finite bound, and p is clamped to [0, 1].
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Histogram("empty", "", []float64{1, 2})
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty Quantile = %v, want NaN", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("nil Quantile = %v, want NaN", got)
+	}
+	over := r.Histogram("overflow", "", []float64{1, 2})
+	over.Observe(100) // +Inf bucket only
+	if got := over.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow Quantile = %v, want last finite bound 2", got)
+	}
+	clamped := r.Histogram("clamped", "", []float64{1, 2})
+	clamped.Observe(0.5)
+	if got := clamped.Quantile(7); math.IsNaN(got) || got > 1 {
+		t.Fatalf("Quantile(7) = %v, want clamped into the first bucket", got)
+	}
+	if got := clamped.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestSnapshotDiff verifies that Diff isolates the activity between
+// two snapshots: counters and histogram buckets subtract, gauges stay
+// instantaneous, and the +Inf == Count invariant survives subtraction.
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("dur_seconds", "", []float64{1, 10})
+	c.Add(5)
+	g.Set(3)
+	h.Observe(0.5)
+	h.Observe(5)
+	base := r.Snapshot()
+
+	c.Add(2)
+	g.Set(9)
+	h.Observe(20)
+	diff := r.Snapshot().Diff(base)
+
+	if got := diff.Find("reqs_total").Counter; got != 2 {
+		t.Fatalf("diffed counter = %d, want 2", got)
+	}
+	if got := diff.Find("depth").Gauge; got != 9 {
+		t.Fatalf("diffed gauge = %d, want instantaneous 9", got)
+	}
+	dh := diff.Find("dur_seconds").Hist
+	if dh.Count != 1 || dh.Counts[2] != 1 || dh.Counts[0] != 0 {
+		t.Fatalf("diffed histogram = %+v, want exactly the one new +Inf observation", dh)
+	}
+	var total uint64
+	for _, n := range dh.Counts {
+		total += n
+	}
+	if total != dh.Count {
+		t.Fatalf("diff broke the bucket/count invariant: %d != %d", total, dh.Count)
+	}
+	if math.Abs(dh.Sum-20) > 1e-9 {
+		t.Fatalf("diffed sum = %v, want 20", dh.Sum)
+	}
+}
+
+// TestSnapshotDeterminism: snapshots of a quiescent registry are
+// byte-identical when marshaled, diffing a snapshot against itself
+// zeroes all activity, and the family order tracks registration order.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(4)
+	r.Counter("a_total", "").Add(2)
+	hv := r.HistogramVec("lat_seconds", "", nil, "op")
+	hv.With("tx").Observe(0.01)
+	hv.With("rcpt").Observe(0.2)
+
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("repeated snapshots differ:\n%s\n%s", j1, j2)
+	}
+	if got := []string{s1.Families[0].Name, s1.Families[1].Name}; got[0] != "b_total" || got[1] != "a_total" {
+		t.Fatalf("family order = %v, want registration order [b_total a_total]", got)
+	}
+	zero := s2.Diff(s1)
+	for _, f := range zero.Families {
+		for _, smp := range f.Samples {
+			if smp.Counter != 0 {
+				t.Fatalf("self-diff left counter activity in %s: %d", f.Name, smp.Counter)
+			}
+			if smp.Hist != nil && smp.Hist.Count != 0 {
+				t.Fatalf("self-diff left histogram activity in %s: %d", f.Name, smp.Hist.Count)
+			}
+		}
+	}
+	// Snapshots are copies: later observations must not leak in.
+	r.Counter("a_total", "").Add(100)
+	if got := s1.Find("a_total").Counter; got != 2 {
+		t.Fatalf("snapshot mutated by later observation: %d", got)
+	}
+}
+
+// TestPrometheusCoherentUnderConcurrentObserve scrapes the registry
+// while observers hammer a histogram and asserts, on every scrape,
+// that the cumulative +Inf bucket equals _count and that _bucket
+// values are monotonically non-decreasing in le — the invariants that
+// break when buckets, sum, and count are read as independent atomics
+// mid-update. Run under -race this doubles as the data-race check for
+// the snapshot path.
+func TestPrometheusCoherentUnderConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("daas_coherence_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	const workers, perWorker, scrapes = 4, 20000, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%1000) / 500)
+			}
+		}(w)
+	}
+	for s := 0; s < scrapes; s++ {
+		var b bytes.Buffer
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		assertHistogramCoherent(t, &b)
+	}
+	wg.Wait()
+	// Final quiescent scrape must account for every observation.
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	inf, count := parseInfAndCount(t, &b)
+	if want := uint64(workers * perWorker); inf != want || count != want {
+		t.Fatalf("final scrape: +Inf=%d _count=%d, want both %d", inf, count, want)
+	}
+}
+
+// TestSnapshotCoherentUnderConcurrentObserve asserts the same
+// invariant on the Snapshot API itself.
+func TestSnapshotCoherentUnderConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snap_seconds", "", DefDurationBuckets)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+					h.Observe(float64(i%100) / 1e4)
+				}
+			}
+		}()
+	}
+	for s := 0; s < 500; s++ {
+		snap := h.Snapshot()
+		var total uint64
+		for _, n := range snap.Counts {
+			total += n
+		}
+		if total != snap.Count {
+			t.Fatalf("scrape %d: bucket total %d != count %d", s, total, snap.Count)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// assertHistogramCoherent parses a Prometheus exposition and checks
+// every histogram family's invariants.
+func assertHistogramCoherent(t *testing.T, b *bytes.Buffer) {
+	t.Helper()
+	inf, count := parseInfAndCount(t, b)
+	if inf != count {
+		t.Fatalf("incoherent scrape: +Inf bucket %d != _count %d", inf, count)
+	}
+}
+
+// parseInfAndCount extracts the +Inf cumulative bucket and _count of
+// the single-histogram expositions these tests produce, asserting
+// bucket monotonicity along the way.
+func parseInfAndCount(t *testing.T, b *bytes.Buffer) (inf, count uint64) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(b.Bytes()))
+	var prev uint64
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if strings.Contains(fields[0], "_sum") {
+			continue // float-valued
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		switch {
+		case strings.Contains(fields[0], `le="+Inf"`):
+			inf = v
+		case strings.Contains(fields[0], "_bucket"):
+			if v < prev {
+				t.Fatalf("bucket series not monotonic: %q after %d", line, prev)
+			}
+			prev = v
+		case strings.Contains(fields[0], "_count"):
+			count = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return inf, count
+}
+
+// TestWriteSummaryQuantiles checks the human summary now carries the
+// per-histogram p50/p95/p99 columns.
+func TestWriteSummaryQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sum_seconds", "", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	var b bytes.Buffer
+	if err := r.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"p50=", "p95=", "p99=", "count=100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnapshotJSONRoundTrip: the snapshot marshals and unmarshals
+// without losing quantile capability — what the run-report artifact
+// depends on.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rt_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	j, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j, &back); err != nil {
+		t.Fatal(err)
+	}
+	hb := back.Find("rt_seconds").Hist
+	if hb == nil || hb.Count != 2 {
+		t.Fatalf("round trip lost histogram: %+v", hb)
+	}
+	if q := hb.Quantile(0.5); math.IsNaN(q) || q > 1 {
+		t.Fatalf("round-tripped Quantile(0.5) = %v", q)
+	}
+	_ = fmt.Sprintf("%v", hb)
+}

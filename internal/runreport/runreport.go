@@ -1,0 +1,232 @@
+// Package runreport assembles the machine-readable end-of-run
+// artifact (RUNREPORT.json): per-stage wall times, latency quantiles
+// for every duration histogram the run touched, the full metric
+// registry snapshot, a span-tree summary, the data-integrity
+// manifest, and build identification. One file answers "what did this
+// run do and how fast" without re-running anything — the JSON twin of
+// the human-readable observability summary.
+package runreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// Schema identifies the artifact format; bump on breaking changes.
+const Schema = "daas-runreport/v1"
+
+// Stage is one named phase of the run with its wall time.
+type Stage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Latency condenses one duration histogram into its quantiles.
+type Latency struct {
+	Metric      string   `json:"metric"`
+	LabelValues []string `json:"label_values,omitempty"`
+	Count       uint64   `json:"count"`
+	MeanSeconds float64  `json:"mean_seconds"`
+	P50Seconds  float64  `json:"p50_seconds"`
+	P95Seconds  float64  `json:"p95_seconds"`
+	P99Seconds  float64  `json:"p99_seconds"`
+}
+
+// SpanNode is one node of the span-tree summary.
+type SpanNode struct {
+	Name     string     `json:"name"`
+	Seconds  float64    `json:"seconds"`
+	Children []SpanNode `json:"children,omitempty"`
+}
+
+// Report is the complete run-report artifact.
+type Report struct {
+	Schema      string           `json:"schema"`
+	Tool        string           `json:"tool"`
+	Seed        uint64           `json:"seed,omitempty"`
+	GoVersion   string           `json:"go_version"`
+	Module      string           `json:"module,omitempty"`
+	Revision    string           `json:"revision,omitempty"`
+	StartedAt   time.Time        `json:"started_at"`
+	FinishedAt  time.Time        `json:"finished_at"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Stages      []Stage          `json:"stages,omitempty"`
+	Latencies   []Latency        `json:"latencies,omitempty"`
+	Metrics     obs.Snapshot     `json:"metrics"`
+	Spans       []SpanNode       `json:"spans,omitempty"`
+	Manifest    *report.Manifest `json:"manifest,omitempty"`
+}
+
+// Builder accumulates a run's report. All methods are nil-safe so
+// callers can wire it unconditionally and construct it only when the
+// -run-report flag asks for one.
+type Builder struct {
+	tool    string
+	reg     *obs.Registry
+	spans   *obs.Recorder
+	base    obs.Snapshot
+	start   time.Time
+	seed    uint64
+	stages  []Stage
+	maniSet bool
+	mani    report.Manifest
+}
+
+// New starts a report for tool, snapshotting reg so the final metrics
+// section is this run's delta even on a shared default registry.
+func New(tool string, reg *obs.Registry, spans *obs.Recorder) *Builder {
+	b := &Builder{tool: tool, reg: reg, spans: spans, start: time.Now()}
+	if reg != nil {
+		b.base = reg.Snapshot()
+	}
+	return b
+}
+
+// SetSeed records the world seed.
+func (b *Builder) SetSeed(seed uint64) {
+	if b == nil {
+		return
+	}
+	b.seed = seed
+}
+
+// SetManifest attaches the data-integrity manifest.
+func (b *Builder) SetManifest(m report.Manifest) {
+	if b == nil {
+		return
+	}
+	b.mani, b.maniSet = m, true
+}
+
+// Stage starts a named phase and returns its end function:
+//
+//	done := rep.Stage("worldgen")
+//	… work …
+//	done()
+func (b *Builder) Stage(name string) func() {
+	if b == nil {
+		return func() {}
+	}
+	start := obs.Now()
+	return func() {
+		b.stages = append(b.stages, Stage{Name: name, Seconds: obs.Since(start).Seconds()})
+	}
+}
+
+// Build assembles the report from everything recorded so far. Safe to
+// call more than once; each call reflects the registry at that moment.
+func (b *Builder) Build() *Report {
+	if b == nil {
+		return nil
+	}
+	now := time.Now()
+	r := &Report{
+		Schema:      Schema,
+		Tool:        b.tool,
+		Seed:        b.seed,
+		GoVersion:   runtime.Version(),
+		StartedAt:   b.start.UTC(),
+		FinishedAt:  now.UTC(),
+		WallSeconds: now.Sub(b.start).Seconds(),
+		Stages:      append([]Stage(nil), b.stages...),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		r.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				r.Revision = s.Value
+			}
+		}
+	}
+	if b.reg != nil {
+		r.Metrics = b.reg.Snapshot().Diff(b.base)
+		r.Latencies = extractLatencies(r.Metrics)
+	}
+	if b.spans != nil {
+		for _, root := range b.spans.Roots() {
+			r.Spans = append(r.Spans, spanNode(root))
+		}
+	}
+	if b.maniSet {
+		m := b.mani
+		r.Manifest = &m
+	}
+	return r
+}
+
+// WriteFile builds the report and writes it atomically (temp file +
+// rename) so a collector never reads a torn artifact.
+func (b *Builder) WriteFile(path string) error {
+	if b == nil || path == "" {
+		return nil
+	}
+	r := b.Build()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runreport: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".runreport-*.json")
+	if err != nil {
+		return fmt.Errorf("runreport: temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runreport: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runreport: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runreport: rename: %w", err)
+	}
+	return nil
+}
+
+// extractLatencies pulls quantiles out of every non-empty duration
+// histogram in the snapshot, in registration order.
+func extractLatencies(s obs.Snapshot) []Latency {
+	var out []Latency
+	for _, f := range s.Families {
+		if f.Kind != obs.KindHistogram.String() || !strings.HasSuffix(f.Name, "_duration_seconds") {
+			continue
+		}
+		for _, smp := range f.Samples {
+			h := smp.Hist
+			if h == nil || h.Count == 0 {
+				continue
+			}
+			out = append(out, Latency{
+				Metric:      f.Name,
+				LabelValues: smp.LabelValues,
+				Count:       h.Count,
+				MeanSeconds: h.Mean(),
+				P50Seconds:  h.Quantile(0.50),
+				P95Seconds:  h.Quantile(0.95),
+				P99Seconds:  h.Quantile(0.99),
+			})
+		}
+	}
+	return out
+}
+
+func spanNode(s *obs.Span) SpanNode {
+	n := SpanNode{Name: s.Name(), Seconds: s.Duration().Seconds()}
+	for _, c := range s.Children() {
+		n.Children = append(n.Children, spanNode(c))
+	}
+	return n
+}

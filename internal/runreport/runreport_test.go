@@ -1,0 +1,131 @@
+package runreport
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+func TestBuilderNilSafe(t *testing.T) {
+	var b *Builder
+	b.SetSeed(1)
+	b.SetManifest(report.Manifest{})
+	b.Stage("x")()
+	if b.Build() != nil {
+		t.Error("nil builder built a report")
+	}
+	if err := b.WriteFile("unused"); err != nil {
+		t.Errorf("nil builder WriteFile: %v", err)
+	}
+}
+
+func TestReportAssembly(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Pre-existing activity must not leak into the report's delta.
+	pre := reg.Counter("daas_pre_total", "")
+	pre.Inc()
+
+	spans := obs.NewRecorder()
+	b := New("testtool", reg, spans)
+	b.SetSeed(1910)
+
+	done := b.Stage("build")
+	hist := reg.Histogram("daas_stage_duration_seconds", "", obs.DefDurationBuckets)
+	for i := 0; i < 100; i++ {
+		hist.Observe(0.001)
+	}
+	reg.Counter("daas_work_total", "").Add(5)
+	done()
+
+	ctx, sp := obs.Start(obs.WithRecorder(context.Background(), spans), "root")
+	_, child := obs.Start(ctx, "child")
+	child.End()
+	sp.End()
+
+	b.SetManifest(report.Manifest{TxFetched: 42})
+	r := b.Build()
+
+	if r.Schema != Schema || r.Tool != "testtool" || r.Seed != 1910 {
+		t.Errorf("header wrong: %+v", r)
+	}
+	if r.GoVersion == "" {
+		t.Error("missing go version")
+	}
+	if len(r.Stages) != 1 || r.Stages[0].Name != "build" || r.Stages[0].Seconds < 0 {
+		t.Errorf("stages = %+v", r.Stages)
+	}
+	if r.WallSeconds <= 0 || r.FinishedAt.Before(r.StartedAt) {
+		t.Errorf("timing wrong: wall=%g started=%v finished=%v", r.WallSeconds, r.StartedAt, r.FinishedAt)
+	}
+
+	// Latency extraction: only the non-empty *_duration_seconds family.
+	if len(r.Latencies) != 1 {
+		t.Fatalf("latencies = %+v, want exactly one", r.Latencies)
+	}
+	lat := r.Latencies[0]
+	if lat.Metric != "daas_stage_duration_seconds" || lat.Count != 100 {
+		t.Errorf("latency = %+v", lat)
+	}
+	// 1ms observations under log buckets: p50 within one bucket ratio.
+	if lat.P50Seconds < 0.0005 || lat.P50Seconds > 0.002 {
+		t.Errorf("p50 = %g, want ~0.001", lat.P50Seconds)
+	}
+
+	// Metrics are the delta: the pre-run counter must diff to zero.
+	if smp := r.Metrics.Find("daas_pre_total"); smp != nil && smp.Counter != 0 {
+		t.Errorf("pre-run counter leaked into delta: %d", smp.Counter)
+	}
+	if smp := r.Metrics.Find("daas_work_total"); smp == nil || smp.Counter != 5 {
+		t.Errorf("work counter missing from delta: %+v", smp)
+	}
+
+	if len(r.Spans) != 1 || r.Spans[0].Name != "root" || len(r.Spans[0].Children) != 1 {
+		t.Errorf("spans = %+v", r.Spans)
+	}
+	if r.Manifest == nil || r.Manifest.TxFetched != 42 {
+		t.Errorf("manifest = %+v", r.Manifest)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "RUNREPORT.json")
+
+	reg := obs.NewRegistry()
+	b := New("tool", reg, nil)
+	b.Stage("s")()
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if r.Schema != Schema {
+		t.Errorf("schema = %q", r.Schema)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1 (temp file left behind?)", len(entries))
+	}
+
+	// Overwrite works (rename over existing).
+	time.Sleep(time.Millisecond)
+	if err := b.WriteFile(path); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+}

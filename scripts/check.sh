@@ -22,8 +22,11 @@ go test -race ./internal/core/... ./internal/fetchcache/... ./internal/rpc/...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> bench smoke: BenchmarkPipelineConcurrency"
-go test -run=NONE -bench=BenchmarkPipelineConcurrency -benchtime=1x .
+echo "==> loadgen smoke: fixed-seed schedules are deterministic, exports stay byte-identical"
+go test -count=1 -run 'TestScheduleDeterministic|TestPipelineByteIdentical' ./internal/loadgen/
+
+echo "==> benchdiff self-test: the gate demonstrably fails on an injected slowdown"
+go test -count=1 ./cmd/benchdiff/
 
 echo "==> fault-matrix smoke: seeded fault schedules must not change the dataset"
 go test -count=1 -run 'TestFaultMatrixBuildIsByteIdentical' ./daas/
@@ -52,22 +55,36 @@ go test -count=1 -run 'TestAnalyzeBudgetedPathological' ./internal/evmstatic/
 echo "==> fingerprint fuzz smoke: the static engine is total over the template corpus + 10s of new inputs"
 go test -count=1 -run=NONE -fuzz 'FuzzFingerprints' -fuzztime 10s ./internal/evmstatic/
 
-echo "==> bench: BenchmarkStaticAnalyze -> BENCH_static.json"
+# ---- Benchmark artifacts + regression gates ------------------------
+# Each suite is emitted as a daas-bench/v1 JSON artifact and gated
+# against the committed baseline in scripts/bench/. Timing metrics get
+# a generous 5x tolerance (CI machines vary); shape metrics (profit-txs
+# and friends) are deterministic and gate tight. A missing baseline
+# bootstraps itself; record intentional changes with
+#   go run ./cmd/benchdiff gate -current BENCH_x.json \
+#     -baseline scripts/bench/BENCH_x.baseline.json -update
+
+echo "==> bench: pipeline suite -> BENCH_pipeline.json"
+go test -run=NONE -bench 'BenchmarkPipelineConcurrency|BenchmarkLoadgenSource|BenchmarkLoadgenOpenLoop|BenchmarkLoadgenPipeline' \
+  -benchtime=1x . ./internal/loadgen/ \
+  | tee /dev/stderr \
+  | go run ./cmd/benchdiff emit -suite pipeline -o BENCH_pipeline.json
+go run ./cmd/benchdiff gate -current BENCH_pipeline.json \
+  -baseline scripts/bench/BENCH_pipeline.baseline.json -tolerance 5
+
+echo "==> bench: rpc suite -> BENCH_rpc.json"
+go test -run=NONE -bench 'BenchmarkLoadgenRPC' -benchtime=1x ./internal/loadgen/ \
+  | tee /dev/stderr \
+  | go run ./cmd/benchdiff emit -suite rpc -o BENCH_rpc.json
+go run ./cmd/benchdiff gate -current BENCH_rpc.json \
+  -baseline scripts/bench/BENCH_rpc.baseline.json -tolerance 5
+
+echo "==> bench: static suite -> BENCH_static.json"
 go test -run=NONE -bench 'BenchmarkStaticAnalyze' -benchtime=50x ./internal/evmstatic/ \
   | tee /dev/stderr \
-  | awk '
-    BEGIN { print "[" }
-    /^BenchmarkStaticAnalyze\// {
-      if (n++) printf ",\n"
-      printf "  {\"name\":\"%s\",\"iterations\":%s", $1, $2
-      for (i = 3; i + 1 <= NF; i += 2) {
-        unit = $(i + 1)
-        gsub(/[^A-Za-z0-9_]/, "_", unit)
-        printf ",\"%s\":%s", unit, $i
-      }
-      printf "}"
-    }
-    END { print "\n]" }' > BENCH_static.json
+  | go run ./cmd/benchdiff emit -suite static -o BENCH_static.json
+go run ./cmd/benchdiff gate -current BENCH_static.json \
+  -baseline scripts/bench/BENCH_static.baseline.json -tolerance 5
 
 echo "==> reprolint ./..."
 go run ./cmd/reprolint ./...
