@@ -331,6 +331,17 @@ func runGate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// A baseline that shares no benchmark with the current file is not
+	// a regression — it is a stale or foreign baseline gating a
+	// brand-new suite (every entry would report "missing from current
+	// results", a uselessly misleading failure). Name the bootstrap
+	// path explicitly instead.
+	if len(cur.Entries) > 0 && overlapCount(cur, base) == 0 {
+		fmt.Fprintf(w, "benchdiff: baseline %s shares no benchmarks with %s (suite %s)\n", *basePath, *curPath, cur.Suite)
+		fmt.Fprintf(w, "benchdiff: if this suite is brand new, bootstrap its baseline with:\n")
+		fmt.Fprintf(w, "  go run ./cmd/benchdiff gate -current %s -baseline %s -update\n", *curPath, *basePath)
+		return fmt.Errorf("gate: baseline %s has no benchmark overlap with current results", *basePath)
+	}
 	regs := Compare(cur, base, *tolerance, *shapeTol)
 	if len(regs) == 0 {
 		fmt.Fprintf(w, "benchdiff: %s ok against %s (%d benchmarks, tolerance %gx)\n",
@@ -341,6 +352,21 @@ func runGate(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "REGRESSION %s\n", r)
 	}
 	return fmt.Errorf("gate: %d regression(s) in suite %s", len(regs), cur.Suite)
+}
+
+// overlapCount reports how many benchmark names appear in both files.
+func overlapCount(cur, base *File) int {
+	names := make(map[string]bool, len(cur.Entries))
+	for _, e := range cur.Entries {
+		names[e.Name] = true
+	}
+	n := 0
+	for _, e := range base.Entries {
+		if names[e.Name] {
+			n++
+		}
+	}
+	return n
 }
 
 func readFile(path string) (*File, error) {

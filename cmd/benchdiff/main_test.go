@@ -213,6 +213,63 @@ func TestRunGateEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunGateZeroOverlap: gating a brand-new suite against a stale or
+// foreign baseline must fail with the explicit -update bootstrap
+// command naming both paths, not a pile of "missing from current
+// results" regressions.
+func TestRunGateZeroOverlap(t *testing.T) {
+	dir := t.TempDir()
+	curPath := filepath.Join(dir, "BENCH_screen.json")
+	basePath := filepath.Join(dir, "BENCH_screen.baseline.json")
+	write := func(path string, f *File) {
+		t.Helper()
+		b, err := jsonMarshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(curPath, file(bench("BenchmarkScreenBatch", map[string]float64{"ns_op": 1e6})))
+	write(basePath, file(bench("BenchmarkSomethingElse", map[string]float64{"ns_op": 1e6})))
+
+	var out bytes.Buffer
+	err := runGate([]string{"-current", curPath, "-baseline", basePath}, &out)
+	if err == nil {
+		t.Fatal("zero-overlap gate passed")
+	}
+	if !strings.Contains(err.Error(), "no benchmark overlap") {
+		t.Errorf("error = %v, want overlap diagnosis", err)
+	}
+	for _, want := range []string{"-update", curPath, basePath, "bootstrap"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("gate output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Partial overlap still gates normally: the missing benchmark is a
+	// real regression, not a bootstrap case.
+	write(basePath, file(
+		bench("BenchmarkScreenBatch", map[string]float64{"ns_op": 1e6}),
+		bench("BenchmarkSomethingElse", map[string]float64{"ns_op": 1e6}),
+	))
+	out.Reset()
+	err = runGate([]string{"-current", curPath, "-baseline", basePath}, &out)
+	if err == nil || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("partial overlap did not gate: err=%v out=%q", err, out.String())
+	}
+
+	// The suggested command works: -update rewrites the baseline and
+	// the gate passes.
+	if err := runGate([]string{"-current", curPath, "-baseline", basePath, "-update"}, &out); err != nil {
+		t.Fatalf("bootstrap -update failed: %v", err)
+	}
+	if err := runGate([]string{"-current", curPath, "-baseline", basePath}, &out); err != nil {
+		t.Fatalf("gate after bootstrap failed: %v", err)
+	}
+}
+
 func jsonMarshal(f *File) ([]byte, error) {
 	return json.Marshal(f)
 }

@@ -9,6 +9,12 @@
 //	daasctl -seed 1910 -scale 0.02 study
 //	daasctl -scale 0.02 dataset -o dataset.json
 //	daasctl -scale 0.02 validate
+//
+// It can also serve the screening engine over JSON-RPC, compiled from
+// a fresh pipeline build or a precompiled snapshot:
+//
+//	daasctl -scale 0.02 -listen :8546 serve-screen
+//	daasctl -snapshot screen.snap -listen :8546 serve-screen
 package main
 
 import (
@@ -48,6 +54,9 @@ func main() {
 		strict      = flag.Bool("strict", false, "exit non-zero when the integrity layer quarantined anything (the dataset itself is unaffected)")
 		maxQuar     = flag.Int64("max-quarantine", 0, "abort the run after this many quarantined records (0 = unlimited)")
 		runReport   = flag.String("run-report", "", "write the machine-readable run report (stage wall times, latency quantiles, metric snapshot, span tree, integrity manifest) to this JSON file")
+		listenAddr  = flag.String("listen", ":8546", "serve-screen: listen address for the screening JSON-RPC endpoint")
+		domainsFile = flag.String("domains", "", "serve-screen: newline-delimited confirmed phishing domains to compile into the snapshot")
+		screenSnap  = flag.String("snapshot", "", "serve-screen: serve this precompiled screening snapshot (repro -screen-snapshot output) instead of building the pipeline")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -88,11 +97,13 @@ func main() {
 		log.Printf("obs: serving http://%s/metrics (+ /debug/vars, /debug/pprof)", addr)
 	}
 
-	// inspect works offline from an exported file; everything else
-	// needs a chain.
+	// inspect and diff work offline from exported files, and
+	// serve-screen with a precompiled snapshot needs no chain either;
+	// everything else does.
 	var client *daas.Client
 	var primaryTxs int
-	if cmd != "inspect" && cmd != "diff" {
+	offline := cmd == "inspect" || cmd == "diff" || (cmd == "serve-screen" && *screenSnap != "")
+	if !offline {
 		var err error
 		client, primaryTxs, err = buildClient(*rpcURL, *seed, *scale)
 		if err != nil {
@@ -246,6 +257,11 @@ func main() {
 			addr, an.ETHFunction, an.TokenFunction, float64(an.OperatorPerMille)/10)
 		fmt.Print(contracts.FormatDisassembly(code))
 
+	case "serve-screen":
+		if err := runServeScreen(client, reg, *listenAddr, *domainsFile, *screenSnap); err != nil {
+			log.Fatal(err)
+		}
+
 	case "analyze":
 		// Analyze a contract: dynamic probing cross-validated against the
 		// static pass, or the static pass alone with --static.
@@ -254,7 +270,7 @@ func main() {
 		}
 
 	default:
-		log.Fatalf("unknown subcommand %q (want dataset, validate, study, inspect, diff, disasm, or analyze)", cmd)
+		log.Fatalf("unknown subcommand %q (want dataset, validate, study, inspect, diff, disasm, analyze, or serve-screen)", cmd)
 	}
 }
 

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/daas"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/screen"
+)
+
+// runServeScreen stands up the account-screening service (§8.1 serving
+// path): compile a snapshot from the pipeline's outputs — or load a
+// precompiled one — install it in the zero-lock engine, and serve the
+// daas_screen/daas_screenBatch/daas_screenDomain JSON-RPC methods
+// until SIGINT/SIGTERM.
+func runServeScreen(client *daas.Client, reg *obs.Registry, listen, domainsPath, snapshotPath string) error {
+	var snap *screen.Snapshot
+	if snapshotPath != "" {
+		data, err := os.ReadFile(snapshotPath)
+		if err != nil {
+			return err
+		}
+		if snap, err = screen.UnmarshalSnapshot(data); err != nil {
+			return fmt.Errorf("loading snapshot %s: %w", snapshotPath, err)
+		}
+	} else {
+		ds, err := client.BuildDataset()
+		if err != nil {
+			return fmt.Errorf("building dataset: %w", err)
+		}
+		fams, err := client.Cluster(ds)
+		if err != nil {
+			return fmt.Errorf("clustering: %w", err)
+		}
+		var confirmed []string
+		if domainsPath != "" {
+			if confirmed, err = readDomainList(domainsPath); err != nil {
+				return err
+			}
+		}
+		snap = screen.Compile(ds, fams, confirmed)
+	}
+
+	eng := screen.NewEngine(reg)
+	eng.Swap(snap)
+	log.Printf("screen: snapshot installed (%d accounts, %d domains)", snap.Len(), snap.DomainCount())
+
+	srv := &http.Server{Addr: listen, Handler: &rpc.Server{Screen: eng, Metrics: reg}}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	log.Printf("screen: serving daas_screen/daas_screenBatch/daas_screenDomain on %s", listen)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		// Graceful drain: in-flight screening requests finish before the
+		// process goes away.
+		log.Printf("screen: received %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+// readDomainList loads a newline-delimited domain file (the §8.2
+// detector's confirmed phishing domains); blank lines and #-comments
+// are skipped. Normalization happens at snapshot compile time.
+func readDomainList(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}

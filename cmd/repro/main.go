@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runreport"
+	"repro/internal/screen"
 	"repro/internal/sitehunt"
 	"repro/internal/toolkit"
 	"repro/internal/website"
@@ -48,6 +49,7 @@ func main() {
 		strict      = flag.Bool("strict", false, "exit non-zero when the integrity layer quarantined anything (the dataset itself is unaffected)")
 		maxQuar     = flag.Int64("max-quarantine", 0, "abort the run after this many quarantined records (0 = unlimited)")
 		runReport   = flag.String("run-report", "", "write the machine-readable run report (stage wall times, latency quantiles, metric snapshot, span tree, integrity manifest) to this JSON file")
+		screenSnap  = flag.String("screen-snapshot", "", "compile the run's outputs (dataset accounts, family clusters, detected phishing domains) into a screening snapshot and write its deterministic bytes to this file (serve with daasctl serve-screen -snapshot)")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -129,8 +131,21 @@ func main() {
 	sectionSec81(w, study)
 	sectionLaundering(w, world)
 	endStage = rep.Stage("sitehunt")
-	sectionSec82AndTable4(w, *seed, *nSites, reg, logger)
+	siteRep := sectionSec82AndTable4(w, *seed, *nSites, reg, logger)
 	endStage()
+
+	if *screenSnap != "" {
+		snap := screen.Compile(study.Dataset, study.Families, siteRep.PhishingDomains())
+		data, err := snap.MarshalBinary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*screenSnap, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "[screen] snapshot (%d accounts, %d domains) written to %s\n",
+			snap.Len(), snap.DomainCount(), *screenSnap)
+	}
 
 	if *metricsAddr != "" || *traceRun {
 		sectionObservability(w, reg, spans)
@@ -383,7 +398,7 @@ func sectionSec81(w *os.File, study *daas.Study) {
 	fmt.Fprintln(w)
 }
 
-func sectionSec82AndTable4(w *os.File, seed uint64, nSites int, reg *obs.Registry, logger *obs.Logger) {
+func sectionSec82AndTable4(w *os.File, seed uint64, nSites int, reg *obs.Registry, logger *obs.Logger) *sitehunt.Report {
 	h(w, "§8.2 + Table 4: Toolkit-based Website Detection")
 	fleet := website.GenerateFleet(website.FleetConfig{
 		Seed: seed, Phishing: nSites, Benign: nSites / 3, Bait: nSites / 20,
@@ -456,6 +471,7 @@ func sectionSec82AndTable4(w *os.File, seed uint64, nSites int, reg *obs.Registr
 	}
 	fmt.Fprintln(w)
 	report.Table4(w, rep.TLDs, 10)
+	return rep
 }
 
 func max(a, b int) int {

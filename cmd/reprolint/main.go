@@ -199,6 +199,7 @@ var deterministicPackages = map[string]bool{
 	"internal/report":    true,
 	"internal/evmstatic": true,
 	"internal/loadgen":   true,
+	"internal/screen":    true,
 }
 
 // linter walks one package's ASTs applying the rules.

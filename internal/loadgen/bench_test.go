@@ -4,7 +4,9 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/ethtypes"
 	"repro/internal/rpc"
+	"repro/internal/screen"
 	"repro/internal/worldgen"
 )
 
@@ -95,6 +97,91 @@ func BenchmarkLoadgenPipeline(b *testing.B) {
 	b.ReportMetric(res.P50Seconds*1e3, "build-p50-ms")
 	b.ReportMetric(res.P99Seconds*1e3, "build-p99-ms")
 	b.ReportMetric(float64(res.ProfitTxs), "profit-txs")
+}
+
+// reportScreenQuantiles attaches the screening run's batch-latency
+// distribution and throughput to the benchmark line. The listed count
+// is a shape metric: the schedule and universe are seeded, so any
+// drift means the screening verdicts themselves changed.
+func reportScreenQuantiles(b *testing.B, res *ScreenRunResult) {
+	b.Helper()
+	b.ReportMetric(res.BatchP50Seconds*1e6, "p50-us")
+	b.ReportMetric(res.BatchP95Seconds*1e6, "p95-us")
+	b.ReportMetric(res.BatchP99Seconds*1e6, "p99-us")
+	b.ReportMetric(res.AchievedLookups, "achieved-ops-s")
+	b.ReportMetric(float64(res.Listed), "listed")
+}
+
+// BenchmarkScreenBatch: closed-loop screening batches against the
+// in-process engine while a background swapper continuously rebuilds
+// and installs fresh snapshots — the p99-gated swap-under-load
+// scenario behind BENCH_screen.json.
+func BenchmarkScreenBatch(b *testing.B) {
+	addrs, snap := screenUniverse()
+	eng := screen.NewEngine(nil)
+	eng.Swap(snap)
+	var res *ScreenRunResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := &ScreenGenerator{
+			Screen:    EngineScreener(eng),
+			Addresses: addrs,
+			Config:    ScreenConfig{Seed: 11, Batches: 500, BatchSize: 64, Concurrency: 4},
+			Swapper: func() {
+				_, rebuilt := screenUniverse()
+				eng.Swap(rebuilt)
+			},
+		}
+		res, err = g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors != 0 {
+			b.Fatalf("%d batch errors", res.Errors)
+		}
+	}
+	b.StopTimer()
+	reportScreenQuantiles(b, res)
+}
+
+// BenchmarkScreenBatchRPC: the same schedule over the wire —
+// daas_screenBatch via httptest server + rpc client, the deployment
+// shape of daasctl serve-screen.
+func BenchmarkScreenBatchRPC(b *testing.B) {
+	addrs, snap := screenUniverse()
+	eng := screen.NewEngine(nil)
+	eng.Swap(snap)
+	srv := httptest.NewServer(&rpc.Server{Screen: eng})
+	defer srv.Close()
+	client := rpc.NewClient(srv.URL)
+	remote := func(batch []ethtypes.Address) ([]bool, error) {
+		results, err := client.ScreenBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]bool, len(results))
+		for i, r := range results {
+			out[i] = r.Listed
+		}
+		return out, nil
+	}
+	var res *ScreenRunResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := &ScreenGenerator{
+			Screen:    remote,
+			Addresses: addrs,
+			Config:    ScreenConfig{Seed: 11, Batches: 100, BatchSize: 64, Concurrency: 8},
+		}
+		res, err = g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportScreenQuantiles(b, res)
 }
 
 // BenchmarkLoadgenRPC: the same mixed-op workload over a real HTTP

@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"testing"
+
+	"repro/internal/ethtypes"
+	"repro/internal/obs"
+	"repro/internal/screen"
+)
+
+// screenUniverse builds a snapshot listing the even addresses of a
+// 64-address universe, so roughly half the schedule's draws are hits.
+func screenUniverse() ([]ethtypes.Address, *screen.Snapshot) {
+	addrs := make([]ethtypes.Address, 64)
+	b := screen.NewBuilder()
+	for i := range addrs {
+		addrs[i][0] = byte(i)
+		addrs[i][19] = 0xee
+		if i%2 == 0 {
+			b.Add(screen.Record{Address: addrs[i], Kind: screen.KindOperator, Reason: screen.ReasonOperator})
+		}
+	}
+	return addrs, b.Build()
+}
+
+func TestScreenScheduleDeterministic(t *testing.T) {
+	addrs, _ := screenUniverse()
+	g := &ScreenGenerator{Addresses: addrs, Config: ScreenConfig{Seed: 42, Batches: 10, BatchSize: 16}}
+	a, err := g.ScreenSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.ScreenSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("schedule differs at [%d][%d]", i, j)
+			}
+		}
+	}
+	g.Config.Seed = 43
+	c, err := g.ScreenSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+
+	bad := &ScreenGenerator{Config: ScreenConfig{Seed: 1, Batches: 1, BatchSize: 1}}
+	if _, err := bad.ScreenSchedule(); err == nil {
+		t.Error("empty universe accepted")
+	}
+}
+
+// TestScreenSwapUnderLoadByteIdentical is the acceptance gate: a run
+// with continuous snapshot churn returns exactly the verdict vector of
+// an unloaded run over the same logical blacklist.
+func TestScreenSwapUnderLoadByteIdentical(t *testing.T) {
+	addrs, snap := screenUniverse()
+	cfg := ScreenConfig{Seed: 42, Batches: 50, BatchSize: 32, Concurrency: 4}
+
+	quiet := screen.NewEngine(nil)
+	quiet.Swap(snap)
+	gQuiet := &ScreenGenerator{Screen: EngineScreener(quiet), Addresses: addrs, Config: cfg}
+	resQuiet, err := gQuiet.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	churned := screen.NewEngine(reg)
+	churned.Swap(snap)
+	cfg.Registry = reg
+	gChurn := &ScreenGenerator{
+		Screen:    EngineScreener(churned),
+		Addresses: addrs,
+		Config:    cfg,
+		Swapper: func() {
+			// Rebuild the same logical snapshot from scratch and swap it
+			// in — different object, identical contents.
+			_, rebuilt := screenUniverse()
+			churned.Swap(rebuilt)
+		},
+	}
+	resChurn, err := gChurn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resChurn.SwapCount == 0 {
+		t.Error("swapper never ran during the load")
+	}
+	if resChurn.Errors != 0 || resQuiet.Errors != 0 {
+		t.Fatalf("errors: churned %d, quiet %d", resChurn.Errors, resQuiet.Errors)
+	}
+	if len(resChurn.Verdicts) != len(resQuiet.Verdicts) {
+		t.Fatalf("verdict counts differ: %d vs %d", len(resChurn.Verdicts), len(resQuiet.Verdicts))
+	}
+	for i := range resChurn.Verdicts {
+		if resChurn.Verdicts[i] != resQuiet.Verdicts[i] {
+			t.Fatalf("verdict %d differs under churn", i)
+		}
+	}
+	if resChurn.Listed == 0 {
+		t.Error("no listed verdicts in a half-listed universe")
+	}
+
+	rs := reg.Snapshot()
+	if s := rs.Find("daas_loadgen_screen_batches_total"); s == nil || s.Counter != uint64(cfg.Batches) {
+		t.Errorf("batch counter = %+v, want %d", s, cfg.Batches)
+	}
+	if s := rs.Find("daas_screen_snapshot_swaps_total"); s == nil || s.Counter < uint64(resChurn.SwapCount) {
+		t.Errorf("engine swap counter = %+v, want >= %d", s, resChurn.SwapCount)
+	}
+}
+
+// TestScreenOpenLoop drives the paced dispatcher: every batch still
+// completes and the result carries rate and quantile fields.
+func TestScreenOpenLoop(t *testing.T) {
+	addrs, snap := screenUniverse()
+	eng := screen.NewEngine(nil)
+	eng.Swap(snap)
+	g := &ScreenGenerator{
+		Screen:    EngineScreener(eng),
+		Addresses: addrs,
+		Config:    ScreenConfig{Seed: 7, Batches: 20, BatchSize: 8, Concurrency: 2, Rate: 5000},
+	}
+	res, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" {
+		t.Errorf("mode = %q, want open", res.Mode)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if res.AchievedLookups <= 0 || res.BatchP99Seconds <= 0 {
+		t.Errorf("missing rate/quantiles: %+v", res)
+	}
+}
+
+// TestScreenRunValidation covers the config error paths.
+func TestScreenRunValidation(t *testing.T) {
+	addrs, _ := screenUniverse()
+	if _, err := (&ScreenGenerator{Addresses: addrs, Config: ScreenConfig{Batches: 1, BatchSize: 1}}).Run(); err == nil {
+		t.Error("nil backend accepted")
+	}
+	eng := screen.NewEngine(nil)
+	if _, err := (&ScreenGenerator{Screen: EngineScreener(eng), Addresses: addrs}).Run(); err == nil {
+		t.Error("zero batches accepted")
+	}
+}

@@ -435,6 +435,74 @@ func (c *Client) StaticCall(to ethtypes.Address, data []byte) ([]byte, error) {
 	return decodeHexBlob(raw)
 }
 
+// ScreenResult is one screening verdict from the daas_screen* methods.
+type ScreenResult struct {
+	Address ethtypes.Address
+	// Listed reports whether the address is on the blacklist; the
+	// remaining fields are only meaningful when it is.
+	Listed        bool
+	Kind          string
+	Reason        string
+	Family        string
+	Tainted       bool
+	StaticFlagged bool
+}
+
+func fromScreenResultJSON(in screenResultJSON) (ScreenResult, error) {
+	a, err := ethtypes.HexToAddress(in.Address)
+	if err != nil {
+		return ScreenResult{}, err
+	}
+	return ScreenResult{
+		Address: a, Listed: in.Listed, Kind: in.Kind, Reason: in.Reason,
+		Family: in.Family, Tainted: in.Tainted, StaticFlagged: in.StaticFlagged,
+	}, nil
+}
+
+// Screen asks the screening service for one address verdict.
+func (c *Client) Screen(addr ethtypes.Address) (ScreenResult, error) {
+	var raw screenResultJSON
+	if err := c.call("daas_screen", []string{addr.Hex()}, &raw); err != nil {
+		return ScreenResult{}, err
+	}
+	return fromScreenResultJSON(raw)
+}
+
+// ScreenBatch screens many addresses in one round trip via
+// daas_screenBatch (a flat address array in a single request, cheaper
+// than n enveloped daas_screen calls). Results come back in input
+// order.
+func (c *Client) ScreenBatch(addrs []ethtypes.Address) ([]ScreenResult, error) {
+	params := make([]string, len(addrs))
+	for i, a := range addrs {
+		params[i] = a.Hex()
+	}
+	var raw []screenResultJSON
+	if err := c.call("daas_screenBatch", params, &raw); err != nil {
+		return nil, err
+	}
+	if len(raw) != len(addrs) {
+		return nil, fmt.Errorf("rpc: daas_screenBatch: %d results for %d addresses", len(raw), len(addrs))
+	}
+	out := make([]ScreenResult, len(raw))
+	for i, rj := range raw {
+		r, err := fromScreenResultJSON(rj)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: daas_screenBatch item %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// ScreenDomain asks the screening service whether a website domain is
+// a confirmed drainer deployment.
+func (c *Client) ScreenDomain(domain string) (bool, error) {
+	var out bool
+	err := c.call("daas_screenDomain", []string{domain}, &out)
+	return out, err
+}
+
 // FetchLabels downloads the server's public label directory. Entries
 // that fail wire decoding or the published schema are skipped and
 // counted (LabelRejects/daas_labels_rejected_total) instead of

@@ -1,0 +1,200 @@
+package rpc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/ethtypes"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/screen"
+)
+
+func screenAddr(b byte) ethtypes.Address {
+	var a ethtypes.Address
+	for i := range a {
+		a[i] = b
+	}
+	return a
+}
+
+// newScreenServer builds a screening-only server (nil chain) over a
+// small snapshot, mirroring what daasctl serve-screen runs.
+func newScreenServer(t *testing.T, reg *obs.Registry) (*rpc.Client, func()) {
+	t.Helper()
+	b := screen.NewBuilder()
+	b.Add(screen.Record{Address: screenAddr(1), Kind: screen.KindContract, Reason: screen.ReasonContract, Family: "Inferno", Tainted: true, StaticFlagged: true})
+	b.Add(screen.Record{Address: screenAddr(2), Kind: screen.KindOperator, Reason: screen.ReasonOperator})
+	b.AddDomain("Evil-Drainer.example")
+	eng := screen.NewEngine(reg)
+	eng.Swap(b.Build())
+	srv := httptest.NewServer(&rpc.Server{Screen: eng, Metrics: reg})
+	return rpc.NewClient(srv.URL), srv.Close
+}
+
+func TestScreenRPC(t *testing.T) {
+	client, done := newScreenServer(t, nil)
+	defer done()
+
+	got, err := client.Screen(screenAddr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rpc.ScreenResult{
+		Address: screenAddr(1), Listed: true, Kind: "contract",
+		Reason: screen.ReasonContract, Family: "Inferno", Tainted: true, StaticFlagged: true,
+	}
+	if got != want {
+		t.Errorf("Screen = %+v, want %+v", got, want)
+	}
+	clean, err := client.Screen(screenAddr(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Listed || clean.Reason != "" {
+		t.Errorf("clean address came back listed: %+v", clean)
+	}
+
+	for query, want := range map[string]bool{
+		"evil-drainer.example":      true,
+		"EVIL-DRAINER.example:8443": true,
+		"benign.example":            false,
+	} {
+		listed, err := client.ScreenDomain(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if listed != want {
+			t.Errorf("ScreenDomain(%q) = %v, want %v", query, listed, want)
+		}
+	}
+}
+
+func TestScreenBatchRPC(t *testing.T) {
+	client, done := newScreenServer(t, nil)
+	defer done()
+
+	addrs := []ethtypes.Address{screenAddr(9), screenAddr(1), screenAddr(2), screenAddr(9)}
+	results, err := client.ScreenBatch(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(addrs) {
+		t.Fatalf("got %d results for %d addresses", len(results), len(addrs))
+	}
+	wantListed := []bool{false, true, true, false}
+	for i, r := range results {
+		if r.Address != addrs[i] {
+			t.Errorf("result %d address = %s, want %s (order must match input)", i, r.Address, addrs[i])
+		}
+		if r.Listed != wantListed[i] {
+			t.Errorf("result %d listed = %v, want %v", i, r.Listed, wantListed[i])
+		}
+	}
+	if results[1].Kind != "contract" || results[2].Kind != "operator" {
+		t.Errorf("batch kinds = %q, %q", results[1].Kind, results[2].Kind)
+	}
+
+	if empty, err := client.ScreenBatch(nil); err != nil || len(empty) != 0 {
+		t.Errorf("empty batch = %v, %v", empty, err)
+	}
+}
+
+// TestScreenArrayBatchTransport drives daas_screen through the generic
+// JSON-RPC array-batch framing (many envelopes in one POST), the
+// transport the batched collector methods already use.
+func TestScreenArrayBatchTransport(t *testing.T) {
+	client, done := newScreenServer(t, nil)
+	defer done()
+
+	body := []byte(`[` +
+		`{"jsonrpc":"2.0","id":1,"method":"daas_screen","params":["` + screenAddr(1).Hex() + `"]},` +
+		`{"jsonrpc":"2.0","id":2,"method":"daas_screen","params":["` + screenAddr(9).Hex() + `"]}]`)
+	resp, err := http.Post(client.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var outs []struct {
+		ID     int64           `json:"id"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&outs); err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d responses, want 2", len(outs))
+	}
+	var verdicts [2]struct {
+		Listed bool `json:"listed"`
+	}
+	for i, out := range outs {
+		if err := json.Unmarshal(out.Result, &verdicts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !verdicts[0].Listed || verdicts[1].Listed {
+		t.Errorf("array-batch verdicts = %+v", verdicts)
+	}
+}
+
+// TestServerMetrics is the satellite for server-side observability:
+// per-method request counts, errors, and latency histograms.
+func TestServerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	client, done := newScreenServer(t, reg)
+	defer done()
+
+	if _, err := client.Screen(screenAddr(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ScreenBatch([]ethtypes.Address{screenAddr(1), screenAddr(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// One error: chain method on a screening-only server.
+	if _, err := client.BlockNumber(); err == nil {
+		t.Fatal("chain method succeeded without a chain backend")
+	}
+	// One unknown method, counted under the bounded "unknown" label.
+	resp, err := http.Post(client.URL, "application/json",
+		bytes.NewReader([]byte(`{"jsonrpc":"2.0","id":7,"method":"daas_bogus","params":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	snap := reg.Snapshot()
+	if s := snap.Find("daas_rpc_server_requests_total", "daas_screen"); s == nil || s.Counter != 1 {
+		t.Errorf("daas_screen requests = %+v, want 1", s)
+	}
+	if s := snap.Find("daas_rpc_server_requests_total", "daas_screenBatch"); s == nil || s.Counter != 1 {
+		t.Errorf("daas_screenBatch requests = %+v, want 1", s)
+	}
+	if s := snap.Find("daas_rpc_server_request_errors_total", "eth_blockNumber"); s == nil || s.Counter != 1 {
+		t.Errorf("eth_blockNumber errors = %+v, want 1", s)
+	}
+	if s := snap.Find("daas_rpc_server_requests_total", "unknown"); s == nil || s.Counter != 1 {
+		t.Errorf("unknown-method requests = %+v, want 1", s)
+	}
+	if s := snap.Find("daas_rpc_server_request_duration_seconds", "daas_screen"); s == nil || s.Hist == nil || s.Hist.Count != 1 {
+		t.Errorf("daas_screen latency = %+v, want one observation", s)
+	}
+}
+
+// TestScreenUnavailable: a server without an engine answers the screen
+// methods with a clean error, and a screening-only server answers
+// chain methods likewise.
+func TestScreenUnavailable(t *testing.T) {
+	srv := httptest.NewServer(&rpc.Server{Chain: world.Chain, Labels: world.Labels})
+	defer srv.Close()
+	client := rpc.NewClient(srv.URL)
+	if _, err := client.Screen(screenAddr(1)); err == nil {
+		t.Error("Screen succeeded without an engine")
+	}
+	if _, err := client.ScreenDomain("evil.example"); err == nil {
+		t.Error("ScreenDomain succeeded without an engine")
+	}
+}

@@ -6,17 +6,76 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
+	"time"
 
 	"repro/internal/chain"
 	"repro/internal/ethtypes"
 	"repro/internal/labels"
+	"repro/internal/obs"
+	"repro/internal/screen"
 )
 
 // Server serves a chain (and optionally a label directory) over
 // JSON-RPC 2.0. It implements http.Handler; mount it wherever.
 type Server struct {
+	// Chain backs the eth_*/repro_* methods; nil (a screening-only
+	// server) answers them with an error instead of crashing.
 	Chain  *chain.Chain
 	Labels *labels.Directory
+	// Screen, when set, serves the daas_screen* methods off the engine's
+	// current snapshot.
+	Screen *screen.Engine
+	// Metrics, when set, records server-side per-method request counts,
+	// errors, and latency (daas_rpc_server_* metric names).
+	Metrics *obs.Registry
+
+	metricsOnce sync.Once
+	sm          serverMetrics
+}
+
+// serverMetrics caches the server's instruments; all nil (no-op) when
+// Metrics is unset.
+type serverMetrics struct {
+	requests *obs.CounterVec
+	errors   *obs.CounterVec
+	latency  *obs.HistogramVec
+}
+
+var noopServerMetrics serverMetrics
+
+func (s *Server) metrics() *serverMetrics {
+	if s.Metrics == nil {
+		return &noopServerMetrics
+	}
+	s.metricsOnce.Do(func() {
+		s.sm = serverMetrics{
+			requests: s.Metrics.CounterVec("daas_rpc_server_requests_total", "JSON-RPC requests served by method", "method"),
+			errors:   s.Metrics.CounterVec("daas_rpc_server_request_errors_total", "JSON-RPC requests answered with an error by method", "method"),
+			latency:  s.Metrics.HistogramVec("daas_rpc_server_request_duration_seconds", "server-side request handling latency by method", obs.DefDurationBuckets, "method"),
+		}
+	})
+	return &s.sm
+}
+
+// knownMethods bounds the method label cardinality: requests for
+// anything else are counted under "unknown" so a garbage-spraying
+// client cannot grow the registry without limit.
+var knownMethods = map[string]bool{
+	"eth_blockNumber": true, "eth_getBlockByNumber": true,
+	"eth_getTransactionByHash": true, "repro_getReceipt": true,
+	"eth_getBalance": true, "eth_getCode": true, "eth_call": true,
+	"repro_getStorageAt": true, "repro_isContract": true,
+	"repro_transactionsOf": true, "repro_getLogs": true,
+	"repro_labels": true, "daas_screen": true,
+	"daas_screenBatch": true, "daas_screenDomain": true,
+}
+
+func metricMethod(m string) string {
+	if knownMethods[m] {
+		return m
+	}
+	return "unknown"
 }
 
 // NewServer returns a handler for the given chain.
@@ -71,8 +130,15 @@ func (s *Server) serveBatch(w http.ResponseWriter, body []byte) {
 	_ = json.NewEncoder(w).Encode(out)
 }
 
-// handle dispatches one request into one response envelope.
+// handle dispatches one request into one response envelope. Every
+// request — batched or not — is booked against the server-side
+// instruments here, so daas_rpc_server_requests_total counts batch
+// items individually.
 func (s *Server) handle(req request) response {
+	sm := s.metrics()
+	method := metricMethod(req.Method)
+	sm.requests.With(method).Inc()
+	start := time.Now()
 	resp := response{JSONRPC: "2.0", ID: req.ID}
 	result, rpcErr := s.dispatch(req.Method, req.Params)
 	if rpcErr != nil {
@@ -85,6 +151,10 @@ func (s *Server) handle(req request) response {
 			resp.Result = raw
 		}
 	}
+	sm.latency.With(method).ObserveDuration(time.Since(start))
+	if resp.Error != nil {
+		sm.errors.With(method).Inc()
+	}
 	return resp
 }
 
@@ -94,6 +164,12 @@ func writeResponse(w http.ResponseWriter, resp response) {
 }
 
 func (s *Server) dispatch(method string, params json.RawMessage) (any, *rpcError) {
+	if result, rpcErr, handled := s.dispatchScreen(method, params); handled {
+		return result, rpcErr
+	}
+	if s.Chain == nil && method != "repro_labels" {
+		return nil, &rpcError{Code: codeInternal, Message: "method " + method + " needs a chain backend"}
+	}
 	switch method {
 	case "eth_blockNumber":
 		return s.Chain.BlockCount() - 1, nil
@@ -266,6 +342,72 @@ func (s *Server) dispatch(method string, params json.RawMessage) (any, *rpcError
 	default:
 		return nil, &rpcError{Code: codeMethodNotFound, Message: "unknown method " + method}
 	}
+}
+
+// dispatchScreen answers the daas_screen* methods off the screening
+// engine's current snapshot; handled is false for every other method.
+// daas_screenBatch takes a flat address array in one request — the
+// high-throughput path — while single daas_screen requests also ride
+// the generic JSON-RPC array-batch transport.
+func (s *Server) dispatchScreen(method string, params json.RawMessage) (any, *rpcError, bool) {
+	switch method {
+	case "daas_screen":
+		if s.Screen == nil {
+			return nil, screenUnavailable(), true
+		}
+		a, rpcErr := addressParam(params)
+		if rpcErr != nil {
+			return nil, rpcErr, true
+		}
+		return s.screenOne(a), nil, true
+
+	case "daas_screenBatch":
+		if s.Screen == nil {
+			return nil, screenUnavailable(), true
+		}
+		var args []string
+		if err := json.Unmarshal(params, &args); err != nil {
+			return nil, invalidParams("want [address, ...]"), true
+		}
+		out := make([]screenResultJSON, len(args))
+		for i, raw := range args {
+			a, err := ethtypes.HexToAddress(raw)
+			if err != nil {
+				return nil, invalidParams(fmt.Sprintf("address %d: %s", i, err)), true
+			}
+			out[i] = s.screenOne(a)
+		}
+		return out, nil, true
+
+	case "daas_screenDomain":
+		if s.Screen == nil {
+			return nil, screenUnavailable(), true
+		}
+		var args []string
+		if err := json.Unmarshal(params, &args); err != nil || len(args) != 1 {
+			return nil, invalidParams("want [domain]"), true
+		}
+		return s.Screen.ScreenDomain(args[0]), nil, true
+	}
+	return nil, nil, false
+}
+
+// screenOne books one engine lookup into the wire DTO.
+func (s *Server) screenOne(a ethtypes.Address) screenResultJSON {
+	rec, ok := s.Screen.Screen(a)
+	out := screenResultJSON{Address: a.Hex(), Listed: ok}
+	if ok {
+		out.Kind = rec.Kind.String()
+		out.Reason = rec.Reason
+		out.Family = rec.Family
+		out.Tainted = rec.Tainted
+		out.StaticFlagged = rec.StaticFlagged
+	}
+	return out
+}
+
+func screenUnavailable() *rpcError {
+	return &rpcError{Code: codeInternal, Message: "screening unavailable: no engine configured"}
 }
 
 func invalidParams(msg string) *rpcError {

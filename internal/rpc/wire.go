@@ -115,6 +115,19 @@ type logEntryJSON struct {
 	Timestamp   int64   `json:"timestamp"`
 }
 
+// screenResultJSON is one daas_screen/daas_screenBatch verdict. The
+// record fields are omitted for clean addresses, so a mostly-clean
+// batch response stays compact.
+type screenResultJSON struct {
+	Address       string `json:"address"`
+	Listed        bool   `json:"listed"`
+	Kind          string `json:"kind,omitempty"`
+	Reason        string `json:"reason,omitempty"`
+	Family        string `json:"family,omitempty"`
+	Tainted       bool   `json:"tainted,omitempty"`
+	StaticFlagged bool   `json:"staticFlagged,omitempty"`
+}
+
 type labelJSON struct {
 	Address  string `json:"address"`
 	Source   string `json:"source"`

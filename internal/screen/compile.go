@@ -1,0 +1,60 @@
+package screen
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+)
+
+// Compile builds a snapshot from the pipeline's outputs: every dataset
+// account with its Table 1 partition as the reason, family names and
+// taint flags from the §7.1 clustering (families may be nil when
+// clustering was skipped), and the §8.2 detector's confirmed phishing
+// domains. This is the one source of truth both the wallet guard and
+// the screening RPC serve from.
+func Compile(ds *core.Dataset, families []*cluster.Family, phishingDomains []string) *Snapshot {
+	b := NewBuilder()
+	type famInfo struct {
+		name    string
+		tainted bool
+	}
+	famOf := make(map[ethtypes.Address]famInfo)
+	for _, fam := range families {
+		info := famInfo{name: fam.Name, tainted: fam.Tainted}
+		for _, a := range fam.Operators {
+			famOf[a] = info
+		}
+		for _, a := range fam.Contracts {
+			famOf[a] = info
+		}
+		for _, a := range fam.Affiliates {
+			famOf[a] = info
+		}
+	}
+	add := func(a ethtypes.Address, kind Kind, reason string, staticFlagged bool) {
+		fi := famOf[a]
+		b.Add(Record{
+			Address:       a,
+			Kind:          kind,
+			Reason:        reason,
+			Family:        fi.name,
+			Tainted:       fi.tainted,
+			StaticFlagged: staticFlagged,
+		})
+	}
+	if ds != nil {
+		for _, rec := range ds.SortedContracts() {
+			add(rec.Address, KindContract, ReasonContract, rec.StaticFlagged)
+		}
+		for _, rec := range ds.SortedOperators() {
+			add(rec.Address, KindOperator, ReasonOperator, false)
+		}
+		for _, rec := range ds.SortedAffiliates() {
+			add(rec.Address, KindAffiliate, ReasonAffiliate, false)
+		}
+	}
+	for _, d := range phishingDomains {
+		b.AddDomain(d)
+	}
+	return b.Build()
+}

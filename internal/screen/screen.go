@@ -1,0 +1,100 @@
+// Package screen is the read-optimized account-screening engine behind
+// the paper's §8.1 defense loop: wallets block "any user transactions
+// interacting with" recovered DaaS accounts, which turns the
+// measurement pipeline's outputs (dataset accounts, family clusters,
+// confirmed phishing domains) into a serving workload — "is this
+// address/contract/domain a known operator, affiliate, drainer
+// contract, or phishing site?" answered at wallet scale.
+//
+// The design is an immutable Snapshot compiled from pipeline outputs
+// into cache-friendly flat structures: a single open-addressing hash
+// index over 20-byte addresses backed by flat arrays with integer
+// record IDs (no per-entry pointers, zero heap allocations on the
+// lookup path) and a sorted, normalized domain table answered by
+// binary search. An Engine publishes the current snapshot through an
+// atomic pointer, so reads never take a lock and a pipeline rebuild
+// swaps the whole snapshot in one atomic store. Snapshot bytes are
+// deterministic: the same inputs always serialize to identical bytes,
+// regardless of insertion order.
+package screen
+
+import "strings"
+
+// Kind classifies a listed account, mirroring the dataset's Table 1
+// partitions plus a manual bucket for operator-curated entries.
+type Kind uint8
+
+// Account kinds.
+const (
+	// KindManual marks an entry added by hand (Guard.BlockAddress,
+	// operator hotlists) rather than recovered by the pipeline.
+	KindManual Kind = iota
+	// KindContract marks a profit-sharing drainer contract.
+	KindContract
+	// KindOperator marks a DaaS operator account.
+	KindOperator
+	// KindAffiliate marks an affiliate account.
+	KindAffiliate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindManual:
+		return "manual"
+	case KindContract:
+		return "contract"
+	case KindOperator:
+		return "operator"
+	case KindAffiliate:
+		return "affiliate"
+	default:
+		return "unknown"
+	}
+}
+
+// Canonical reason strings for pipeline-recovered entries. The guard's
+// verdict details and the screening API both quote these, so the two
+// consumers of a dataset stay word-for-word consistent (§8.1 reporting
+// flows through wallets and explorers alike).
+const (
+	ReasonContract  = "daas profit-sharing contract"
+	ReasonOperator  = "daas operator account"
+	ReasonAffiliate = "daas affiliate account"
+)
+
+// NormalizeDomain canonicalizes a domain for table storage and lookup:
+// lowercase, no trailing dot (DNS root marker), no port suffix. IDN
+// input passes through without punycode conversion — punycode labels
+// are already lowercase ASCII, and raw Unicode labels are only
+// case-folded, never re-encoded. The fast path returns the input
+// string unchanged (no allocation) when it is already canonical.
+func NormalizeDomain(domain string) string {
+	// Strip one :port suffix. A colon inside an IPv6 literal is not a
+	// port separator; those contain more than one colon or brackets.
+	if i := strings.LastIndexByte(domain, ':'); i >= 0 && strings.IndexByte(domain, ':') == i && !strings.ContainsAny(domain, "[]") {
+		domain = domain[:i]
+	}
+	domain = strings.TrimSuffix(domain, ".")
+	if isLowerASCII(domain) {
+		return domain
+	}
+	return strings.ToLower(domain)
+}
+
+// isLowerASCII reports whether s contains no ASCII uppercase letters,
+// i.e. ToLower would return it unchanged for canonical-form checks.
+// Non-ASCII bytes pass: NormalizeDomain leaves IDN input as given.
+func isLowerASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			return false
+		}
+		if c >= 0x80 {
+			// Multi-byte rune: fall back to ToLower, which handles any
+			// cased non-ASCII letters.
+			return false
+		}
+	}
+	return true
+}

@@ -9,6 +9,7 @@ package sitehunt
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -42,6 +43,23 @@ type Report struct {
 
 // Detected returns the number of confirmed phishing sites.
 func (r *Report) Detected() int { return len(r.Detections) }
+
+// PhishingDomains returns the confirmed phishing domains, sorted and
+// deduplicated — the feed a screening snapshot compiles in
+// (screen.Compile) so wallets can refuse signatures requested by
+// detected drainer deployments.
+func (r *Report) PhishingDomains() []string {
+	seen := make(map[string]bool, len(r.Detections))
+	out := make([]string, 0, len(r.Detections))
+	for _, d := range r.Detections {
+		if !seen[d.Domain] {
+			seen[d.Domain] = true
+			out = append(out, d.Domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Detector wires the pipeline stages together.
 type Detector struct {

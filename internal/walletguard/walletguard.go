@@ -6,16 +6,25 @@
 //
 // The blacklist is built straight from a recovered dataset, closing
 // the loop from measurement (§5–§7) to protection (§9).
+//
+// Storage is an internal/screen snapshot: mutations (BlockAddress,
+// LoadDataset, BlockDomain, LoadSnapshot) go through a mutex-guarded
+// builder and publish a freshly compiled immutable snapshot with one
+// atomic store, while Screen and CheckDomain read lock-free — safe for
+// unlimited concurrent screening during a dataset reload, and sharing
+// one source of truth with the serving-scale screening engine.
 package walletguard
 
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/ethtypes"
+	"repro/internal/screen"
 )
 
 // Severity grades a warning.
@@ -64,10 +73,10 @@ type Verdict struct {
 // Guard screens pending transactions.
 type Guard struct {
 	chain *chain.Chain
-	// blacklist holds DaaS accounts (contracts, operators, affiliates).
-	blacklist map[ethtypes.Address]string
-	// phishingDomains holds confirmed drainer-deployment domains.
-	phishingDomains map[string]bool
+	// mu guards builder; the published snapshot is read lock-free.
+	mu      sync.Mutex
+	builder *screen.Builder
+	snap    atomic.Pointer[screen.Snapshot]
 	// DrainThreshold is the fraction of the sender's ETH balance whose
 	// outflow triggers the drain notice (default 0.95).
 	DrainThreshold float64
@@ -76,45 +85,80 @@ type Guard struct {
 // New returns a guard over the given chain with an empty blacklist.
 func New(c *chain.Chain) *Guard {
 	return &Guard{
-		chain:           c,
-		blacklist:       make(map[ethtypes.Address]string),
-		phishingDomains: make(map[string]bool),
-		DrainThreshold:  0.95,
+		chain:          c,
+		builder:        screen.NewBuilder(),
+		DrainThreshold: 0.95,
 	}
+}
+
+// publishLocked compiles the builder state and swaps it in; callers
+// hold mu.
+func (g *Guard) publishLocked() {
+	g.snap.Store(g.builder.Build())
 }
 
 // BlockAddress adds one account to the blacklist with a reason tag.
 func (g *Guard) BlockAddress(a ethtypes.Address, reason string) {
-	g.blacklist[a] = reason
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.builder.Add(screen.Record{Address: a, Kind: screen.KindManual, Reason: reason})
+	g.publishLocked()
 }
 
 // LoadDataset blacklists every account of a recovered DaaS dataset —
 // the reporting flow of §8.1 (wallets like MetaMask "block any user
-// transactions interacting with them").
+// transactions interacting with them"). The new entries become visible
+// in one atomic snapshot swap; concurrent Screen calls see either the
+// whole dataset or none of it, never a partial load.
 func (g *Guard) LoadDataset(ds *core.Dataset) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for _, rec := range ds.SortedContracts() {
-		g.blacklist[rec.Address] = "daas profit-sharing contract"
+		g.builder.Add(screen.Record{Address: rec.Address, Kind: screen.KindContract, Reason: screen.ReasonContract, StaticFlagged: rec.StaticFlagged})
 	}
 	for _, rec := range ds.SortedOperators() {
-		g.blacklist[rec.Address] = "daas operator account"
+		g.builder.Add(screen.Record{Address: rec.Address, Kind: screen.KindOperator, Reason: screen.ReasonOperator})
 	}
 	for _, rec := range ds.SortedAffiliates() {
-		g.blacklist[rec.Address] = "daas affiliate account"
+		g.builder.Add(screen.Record{Address: rec.Address, Kind: screen.KindAffiliate, Reason: screen.ReasonAffiliate})
 	}
+	g.publishLocked()
+}
+
+// LoadSnapshot adopts a compiled screening snapshot (screen.Compile
+// output) wholesale: the serving engine and the wallet guard then
+// consult literally the same record set. Entries added through
+// BlockAddress/BlockDomain afterwards layer on top.
+func (g *Guard) LoadSnapshot(s *screen.Snapshot) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.builder = screen.NewBuilder()
+	for _, rec := range s.Records() {
+		g.builder.Add(rec)
+	}
+	for _, d := range s.Domains() {
+		g.builder.AddDomain(d)
+	}
+	g.publishLocked()
 }
 
 // BlockDomain marks a website domain as a confirmed drainer deployment
-// (the §8.2 detector's output feeds this).
+// (the §8.2 detector's output feeds this). Domains are normalized via
+// screen.NormalizeDomain, so "Evil.Example.", "evil.example:443", and
+// "evil.example" all land on one entry.
 func (g *Guard) BlockDomain(domain string) {
-	g.phishingDomains[strings.ToLower(domain)] = true
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.builder.AddDomain(domain)
+	g.publishLocked()
 }
 
 // BlacklistSize reports the number of blocked accounts.
-func (g *Guard) BlacklistSize() int { return len(g.blacklist) }
+func (g *Guard) BlacklistSize() int { return g.snap.Load().Len() }
 
 // CheckDomain screens the website asking for the signature.
 func (g *Guard) CheckDomain(domain string) (Warning, bool) {
-	if g.phishingDomains[strings.ToLower(domain)] {
+	if g.snap.Load().LookupDomain(domain) {
 		return Warning{
 			Severity: SeverityCritical,
 			Code:     "drainer-website",
@@ -126,17 +170,27 @@ func (g *Guard) CheckDomain(domain string) (Warning, bool) {
 
 // Screen simulates a pending transaction and returns the verdict. The
 // optional originDomain is the website that requested the signature.
+// The snapshot is loaded once at entry, so one verdict is always
+// judged against a single consistent blacklist even while a reload is
+// swapping snapshots underneath.
 func (g *Guard) Screen(tx *chain.Transaction, originDomain string) Verdict {
+	snap := g.snap.Load()
+	lookup := func(a ethtypes.Address) (string, bool) {
+		rec, ok := snap.Lookup(a)
+		return rec.Reason, ok
+	}
 	v := Verdict{}
-	if originDomain != "" {
-		if w, bad := g.CheckDomain(originDomain); bad {
-			v.Warnings = append(v.Warnings, w)
-			v.Block = true
-		}
+	if originDomain != "" && snap.LookupDomain(originDomain) {
+		v.Warnings = append(v.Warnings, Warning{
+			Severity: SeverityCritical,
+			Code:     "drainer-website",
+			Detail:   fmt.Sprintf("website %s is a confirmed drainer deployment", originDomain),
+		})
+		v.Block = true
 	}
 	// Direct recipient check (cheap, before simulation).
 	if tx.To != nil {
-		if reason, bad := g.blacklist[*tx.To]; bad {
+		if reason, bad := lookup(*tx.To); bad {
 			v.Warnings = append(v.Warnings, Warning{
 				Severity: SeverityCritical,
 				Code:     "recipient-blacklisted",
@@ -161,7 +215,7 @@ func (g *Guard) Screen(tx *chain.Transaction, originDomain string) Verdict {
 
 	outflow := ethtypes.Wei{}
 	for _, tr := range r.Transfers {
-		if reason, bad := g.blacklist[tr.To]; bad && tr.From == tx.From {
+		if reason, bad := lookup(tr.To); bad && tr.From == tx.From {
 			v.Warnings = append(v.Warnings, Warning{
 				Severity: SeverityCritical,
 				Code:     "transfer-to-blacklist",
@@ -178,7 +232,7 @@ func (g *Guard) Screen(tx *chain.Transaction, originDomain string) Verdict {
 		if ap.Owner != tx.From {
 			continue
 		}
-		if reason, bad := g.blacklist[ap.Spender]; bad {
+		if reason, bad := lookup(ap.Spender); bad {
 			v.Warnings = append(v.Warnings, Warning{
 				Severity: SeverityCritical,
 				Code:     "approval-to-blacklist",

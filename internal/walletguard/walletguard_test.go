@@ -2,6 +2,7 @@ package walletguard_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -195,6 +196,53 @@ func TestWarningOrderingDeterministic(t *testing.T) {
 		if i > 0 && a.Warnings[i].Severity > a.Warnings[i-1].Severity {
 			t.Fatal("warnings not sorted by severity")
 		}
+	}
+}
+
+// TestGuardConcurrentReload screens while dataset reloads swap the
+// snapshot underneath; under -race this is the regression gate for the
+// old read/write race on the blacklist maps. Every reload publishes
+// the same logical blacklist, so verdicts must never waver.
+func TestGuardConcurrentReload(t *testing.T) {
+	_, g, contractAddr := setup(t)
+	ds := core.NewDataset()
+	ds.Contracts[contractAddr] = &core.ContractRecord{Address: contractAddr, FirstSeen: ts(), LastSeen: ts(), StaticFlagged: true}
+	ds.Operators[operator] = &core.AccountRecord{Address: operator, FirstSeen: ts(), LastSeen: ts()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			g.LoadDataset(ds)
+			g.BlockDomain("uniswap-claim.com")
+		}
+	}()
+	data, _ := contracts.ClaimData("Claim(address)", affiliate)
+	tx := &chain.Transaction{From: victim, To: to(contractAddr), Value: ethtypes.Ether(9), Data: data}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if v := g.Screen(tx, "uniswap-claim.com"); !v.Block {
+					t.Error("phishing claim passed during reload")
+					return
+				}
+				if _, hit := g.CheckDomain("uniswap-claim.com"); !hit {
+					t.Error("blocked domain missed during reload")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	// setup blocked contract+operator manually; the dataset re-adds the
+	// same two addresses, so the final blacklist still holds exactly
+	// them.
+	if g.BlacklistSize() != 2 {
+		t.Errorf("blacklist size = %d, want 2", g.BlacklistSize())
 	}
 }
 

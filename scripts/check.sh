@@ -25,6 +25,12 @@ go test -race ./...
 echo "==> loadgen smoke: fixed-seed schedules are deterministic, exports stay byte-identical"
 go test -count=1 -run 'TestScheduleDeterministic|TestPipelineByteIdentical' ./internal/loadgen/
 
+echo "==> screen race: zero-lock engine and wallet guard under concurrent snapshot swaps"
+go test -race -count=1 -run 'TestEngineSwapUnderConcurrentReads|TestGuardConcurrentReload' ./internal/screen/ ./internal/walletguard/
+
+echo "==> screen loadgen: batch schedule deterministic, verdicts byte-identical under swap churn"
+go test -count=1 -run 'TestScreenScheduleDeterministic|TestScreenSwapUnderLoadByteIdentical' ./internal/loadgen/
+
 echo "==> benchdiff self-test: the gate demonstrably fails on an injected slowdown"
 go test -count=1 ./cmd/benchdiff/
 
@@ -85,6 +91,13 @@ go test -run=NONE -bench 'BenchmarkStaticAnalyze' -benchtime=50x ./internal/evms
   | go run ./cmd/benchdiff emit -suite static -o BENCH_static.json
 go run ./cmd/benchdiff gate -current BENCH_static.json \
   -baseline scripts/bench/BENCH_static.baseline.json -tolerance 5
+
+echo "==> bench: screen suite -> BENCH_screen.json"
+go test -run=NONE -bench 'BenchmarkScreenBatch' -benchtime=1x ./internal/loadgen/ \
+  | tee /dev/stderr \
+  | go run ./cmd/benchdiff emit -suite screen -o BENCH_screen.json
+go run ./cmd/benchdiff gate -current BENCH_screen.json \
+  -baseline scripts/bench/BENCH_screen.baseline.json -tolerance 5
 
 echo "==> reprolint ./..."
 go run ./cmd/reprolint ./...
