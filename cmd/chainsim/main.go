@@ -6,6 +6,8 @@
 //
 //	chainsim -listen :8545 -seed 1910 -scale 0.05
 //	chainsim -oneshot -scale 0.01        # generate, print stats, exit
+//	chainsim -grow 2s                    # serve a live head: one block per interval
+//	chainsim -grow 1s -reorg-every 50    # live head with a staged reorg every 50 blocks
 package main
 
 import (
@@ -16,16 +18,19 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chain"
 	"repro/internal/rpc"
 	"repro/internal/worldgen"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":8545", "JSON-RPC listen address")
-		seed    = flag.Uint64("seed", 1910, "world generation seed")
-		scale   = flag.Float64("scale", 0.05, "population scale (1.0 = paper scale, 87k profit-sharing txs)")
-		oneshot = flag.Bool("oneshot", false, "generate the world, print statistics, and exit")
+		listen     = flag.String("listen", ":8545", "JSON-RPC listen address")
+		seed       = flag.Uint64("seed", 1910, "world generation seed")
+		scale      = flag.Float64("scale", 0.05, "population scale (1.0 = paper scale, 87k profit-sharing txs)")
+		oneshot    = flag.Bool("oneshot", false, "generate the world, print statistics, and exit")
+		grow       = flag.Duration("grow", 0, "serve a live head: start at genesis and advance one block per interval (0 = serve the fully mined chain)")
+		reorgEvery = flag.Int("reorg-every", 0, "with -grow, stage a reorg every Nth block: mine an orphan, then heal back onto the canonical chain on the next tick")
 	)
 	flag.Parse()
 
@@ -53,8 +58,42 @@ func main() {
 		os.Exit(0)
 	}
 
-	server := rpc.NewServer(world.Chain, world.Labels)
-	log.Printf("serving JSON-RPC on %s (methods: eth_*, repro_*)", *listen)
+	served := world.Chain
+	if *grow > 0 {
+		// Serve a follower chain whose head advances on a timer, so a
+		// radar daemon pointed here sees blocks arrive live. Staged
+		// reorgs (orphan, then heal) exercise its rollback path.
+		f := chain.NewFollower(world.Chain)
+		served = f.Chain()
+		go func() {
+			tick := time.NewTicker(*grow)
+			defer tick.Stop()
+			mined, orphaned := 0, false
+			for range tick.C {
+				if orphaned {
+					f.Heal()
+					orphaned = false
+					log.Printf("grow: healed reorg, head back on the canonical chain at %d", served.BlockCount()-1)
+					continue
+				}
+				blk, ok := f.Advance()
+				if !ok {
+					log.Printf("grow: caught up with the generated chain at block %d", served.BlockCount()-1)
+					return
+				}
+				mined++
+				if *reorgEvery > 0 && mined%*reorgEvery == 0 {
+					orphan := f.MineOrphan(blk.Timestamp.Add(7 * time.Second))
+					orphaned = true
+					log.Printf("grow: staged reorg — mined orphan block %d", orphan.Number)
+				}
+			}
+		}()
+		log.Printf("grow: head advancing every %s (reorg every %d blocks)", *grow, *reorgEvery)
+	}
+
+	server := rpc.NewServer(served, world.Labels)
+	log.Printf("serving JSON-RPC on %s (methods: eth_*, repro_*, daas_*)", *listen)
 	if err := http.ListenAndServe(*listen, server); err != nil {
 		log.Fatalf("rpc server: %v", err)
 	}

@@ -54,9 +54,11 @@ func main() {
 		strict      = flag.Bool("strict", false, "exit non-zero when the integrity layer quarantined anything (the dataset itself is unaffected)")
 		maxQuar     = flag.Int64("max-quarantine", 0, "abort the run after this many quarantined records (0 = unlimited)")
 		runReport   = flag.String("run-report", "", "write the machine-readable run report (stage wall times, latency quantiles, metric snapshot, span tree, integrity manifest) to this JSON file")
-		listenAddr  = flag.String("listen", ":8546", "serve-screen: listen address for the screening JSON-RPC endpoint")
-		domainsFile = flag.String("domains", "", "serve-screen: newline-delimited confirmed phishing domains to compile into the snapshot")
+		listenAddr  = flag.String("listen", ":8546", "serve-screen/radar: listen address for the JSON-RPC endpoint")
+		domainsFile = flag.String("domains", "", "serve-screen/radar: newline-delimited confirmed phishing domains to compile into the snapshot")
 		screenSnap  = flag.String("snapshot", "", "serve-screen: serve this precompiled screening snapshot (repro -screen-snapshot output) instead of building the pipeline")
+		pollIvl     = flag.Duration("poll", time.Second, "radar: head poll interval")
+		reorgWindow = flag.Int("reorg-window", 32, "radar: maximum reorg depth the daemon can roll back without a full resync")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -102,7 +104,9 @@ func main() {
 	// everything else does.
 	var client *daas.Client
 	var primaryTxs int
-	offline := cmd == "inspect" || cmd == "diff" || (cmd == "serve-screen" && *screenSnap != "")
+	// radar builds its own source stack (it needs the integrity layer's
+	// per-tx pins for reorg rollback), so it skips the shared client too.
+	offline := cmd == "inspect" || cmd == "diff" || cmd == "radar" || (cmd == "serve-screen" && *screenSnap != "")
 	if !offline {
 		var err error
 		client, primaryTxs, err = buildClient(*rpcURL, *seed, *scale)
@@ -262,6 +266,23 @@ func main() {
 			log.Fatal(err)
 		}
 
+	case "radar":
+		err := runRadar(reg, radarOptions{
+			RPCURL:      *rpcURL,
+			Seed:        *seed,
+			Scale:       *scale,
+			Listen:      *listenAddr,
+			DomainsPath: *domainsFile,
+			Checkpoint:  *checkpoint,
+			Resume:      *resume,
+			Poll:        *pollIvl,
+			ReorgWindow: *reorgWindow,
+			Verbose:     *verbose || *traceRun,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
 	case "analyze":
 		// Analyze a contract: dynamic probing cross-validated against the
 		// static pass, or the static pass alone with --static.
@@ -270,7 +291,7 @@ func main() {
 		}
 
 	default:
-		log.Fatalf("unknown subcommand %q (want dataset, validate, study, inspect, diff, disasm, analyze, or serve-screen)", cmd)
+		log.Fatalf("unknown subcommand %q (want dataset, validate, study, inspect, diff, disasm, analyze, serve-screen, or radar)", cmd)
 	}
 }
 

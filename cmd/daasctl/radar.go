@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/integrity"
+	"repro/internal/labels"
+	"repro/internal/obs"
+	"repro/internal/radar"
+	"repro/internal/retry"
+	"repro/internal/rpc"
+	"repro/internal/screen"
+	"repro/internal/worldgen"
+)
+
+// radarOptions carries the flags the radar subcommand consumes.
+type radarOptions struct {
+	RPCURL      string
+	Seed        uint64
+	Scale       float64
+	Listen      string
+	DomainsPath string
+	Checkpoint  string
+	Resume      bool
+	Poll        time.Duration
+	ReorgWindow int
+	Verbose     bool
+}
+
+// runRadar stands up the live detection daemon (§8.1 monitoring
+// path): follow the chain head — a remote node over JSON-RPC or a
+// locally generated world — through the integrity-pinned source stack,
+// classify arriving transactions, keep the dataset and §7.1 families
+// current, and hot-swap the screening snapshot per update batch. The
+// same endpoint serves daas_screen* off the live engine and
+// daas_radarStatus/daas_radarUpdates off the daemon, until
+// SIGINT/SIGTERM.
+func runRadar(reg *obs.Registry, opts radarOptions) error {
+	var (
+		base   core.ChainSource
+		blocks radar.BlockSource
+		lbls   *labels.Directory
+	)
+	if opts.RPCURL != "" {
+		rc := rpc.NewClient(opts.RPCURL)
+		rc.Metrics = reg
+		rc.Retry = &retry.Policy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, Metrics: reg}
+		dir, err := rc.FetchLabels()
+		if err != nil {
+			return fmt.Errorf("fetching labels from %s: %w", opts.RPCURL, err)
+		}
+		lbls = dir
+		base = rc
+		blocks = rpc.ClientBlocks{Client: rc}
+		log.Printf("radar: following %s (%d phishing reports ingested)", opts.RPCURL, len(lbls.AllPhishing()))
+	} else {
+		cfg := worldgen.DefaultConfig(opts.Seed)
+		cfg.Scale = opts.Scale
+		world, err := worldgen.Generate(cfg)
+		if err != nil {
+			return fmt.Errorf("generating world: %w", err)
+		}
+		lbls = world.Labels
+		base = core.LocalSource{Chain: world.Chain}
+		blocks = radar.ChainBlocks{Chain: world.Chain}
+		log.Printf("radar: following local world seed=%d scale=%.3f (%d blocks)",
+			opts.Seed, opts.Scale, world.Chain.BlockCount())
+	}
+
+	// The integrity layer pins every record the radar admits; on a
+	// reorg the daemon releases the pins above the fork, so rolled-back
+	// evidence cannot linger in the cache or quarantine ledger.
+	src := integrity.Wrap(base, integrity.NewQuarantine(reg), reg)
+
+	var confirmed []string
+	if opts.DomainsPath != "" {
+		var err error
+		if confirmed, err = readDomainList(opts.DomainsPath); err != nil {
+			return err
+		}
+	}
+
+	level := obs.LevelInfo
+	if opts.Verbose {
+		level = obs.LevelDebug
+	}
+	eng := screen.NewEngine(reg)
+	r, err := radar.New(radar.Config{
+		Source:         src,
+		Blocks:         blocks,
+		Labels:         lbls,
+		Engine:         eng,
+		Domains:        confirmed,
+		PollInterval:   opts.Poll,
+		ReorgWindow:    opts.ReorgWindow,
+		CheckpointPath: opts.Checkpoint,
+		Resume:         opts.Resume,
+		Pins:           src,
+		Metrics:        reg,
+		Logger:         obs.New(os.Stderr, level),
+	})
+	if err != nil {
+		return err
+	}
+	st := r.Status()
+	log.Printf("radar: starting at cursor %d (resume=%v checkpoint=%q)", st.Cursor, opts.Resume, opts.Checkpoint)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		if err := r.Run(ctx); err != nil && err != context.Canceled {
+			log.Printf("radar: run loop: %v", err)
+		}
+	}()
+
+	srv := &http.Server{Addr: opts.Listen, Handler: &rpc.Server{Screen: eng, Radar: r, Labels: lbls, Metrics: reg}}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	log.Printf("radar: serving daas_radarStatus/daas_radarUpdates + daas_screen* on %s", opts.Listen)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		// Graceful drain: stop stepping (the in-flight step finishes and
+		// checkpoints at its block boundary), then let in-flight RPC
+		// requests complete.
+		log.Printf("radar: received %s, draining", sig)
+		cancel()
+		<-runDone
+		fin := r.Status()
+		log.Printf("radar: stopped at cursor %d (%d contracts, %d families, %d swaps, %d reorgs)",
+			fin.Cursor, fin.Stats.Contracts, fin.Families, fin.Swaps, fin.Reorgs)
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		return srv.Shutdown(sctx)
+	}
+}

@@ -90,6 +90,9 @@ type Chain struct {
 	canon    *state
 	natives  map[ethtypes.Address]NativeContract
 	txIndex  map[ethtypes.Address][]ethtypes.Hash
+	// journal records every state-building operation in order, so a
+	// Follower can re-execute the chain block-by-block (see follower.go).
+	journal []journalOp
 }
 
 // New returns an empty chain with a genesis block at the given time.
@@ -101,7 +104,9 @@ func New(genesisTime time.Time) *Chain {
 		natives:  make(map[ethtypes.Address]NativeContract),
 		txIndex:  make(map[ethtypes.Address][]ethtypes.Hash),
 	}
-	c.blocks = append(c.blocks, &Block{Number: 0, Timestamp: genesisTime})
+	genesis := &Block{Number: 0, Timestamp: genesisTime}
+	genesis.Hash() // memoize before the block is shared
+	c.blocks = append(c.blocks, genesis)
 	return c
 }
 
@@ -110,6 +115,7 @@ func New(genesisTime time.Time) *Chain {
 func (c *Chain) Fund(a ethtypes.Address, amount ethtypes.Wei) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.journal = append(c.journal, journalOp{kind: opFund, addr: a, amount: amount})
 	c.canon.setBalance(a, c.canon.balance(a).Add(amount))
 }
 
@@ -117,6 +123,7 @@ func (c *Chain) Fund(a ethtypes.Address, amount ethtypes.Wei) {
 func (c *Chain) RegisterNative(addr ethtypes.Address, contract NativeContract) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.journal = append(c.journal, journalOp{kind: opNative, addr: addr, native: contract})
 	c.natives[addr] = contract
 }
 
@@ -128,6 +135,7 @@ func (c *Chain) Mine(ts time.Time, txs ...*Transaction) (*Block, []*Receipt) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	c.journal = append(c.journal, journalOp{kind: opMine, ts: ts, txs: txs})
 	parent := c.blocks[len(c.blocks)-1]
 	block := &Block{Number: parent.Number + 1, Timestamp: ts, Parent: parent.Hash()}
 	receipts := make([]*Receipt, 0, len(txs))
@@ -136,6 +144,7 @@ func (c *Chain) Mine(ts time.Time, txs ...*Transaction) (*Block, []*Receipt) {
 		receipts = append(receipts, r)
 		block.TxHashes = append(block.TxHashes, r.TxHash)
 	}
+	block.Hash() // memoize under the write lock so readers never mutate
 	c.blocks = append(c.blocks, block)
 	return block, receipts
 }

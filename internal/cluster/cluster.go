@@ -4,11 +4,18 @@
 // contracts and affiliate accounts then inherit the family of their
 // operators. Families are named from Etherscan operator labels, falling
 // back to the dominant operator's address prefix.
+//
+// Two entry points produce families: the batch Clusterer walks every
+// operator history at once, while Incremental accumulates the same
+// edges block-by-block (the radar daemon's path). Both roll up through
+// the shared materialize step, so identical edge sets yield identical
+// family lists.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 
@@ -69,7 +76,6 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 		return nil, fmt.Errorf("cluster: Source is required")
 	}
 	merges := c.Metrics.CounterVec("daas_cluster_union_merges_total", "operator union-find merges per §7.1 edge kind", "edge")
-	familyGauge := c.Metrics.Gauge("daas_cluster_families", "recovered DaaS families")
 	ops := make([]ethtypes.Address, 0, len(ds.Operators))
 	for _, rec := range ds.SortedOperators() {
 		ops = append(ops, rec.Address)
@@ -124,14 +130,14 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 			if c.DisableSharedAccountEdges || c.Labels == nil {
 				continue
 			}
-			counterparty, ok := c.counterpartyOf(op, from, to)
+			counterparty, ok := counterpartyOf(op, from, to)
 			if !ok {
 				continue
 			}
 			if _, isContract := ds.Contracts[counterparty]; isContract {
 				continue
 			}
-			if !c.isEtherscanPhishing(counterparty) {
+			if !isEtherscanPhishing(c.Labels, counterparty) {
 				continue
 			}
 			if first, seen := sharedOwner[counterparty]; seen {
@@ -144,9 +150,46 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 		}
 	}
 
+	return materialize(ds, uf, tainted, c.Labels, c.Metrics), nil
+}
+
+// materialize turns a finished operator partition into the family
+// list: §7.1 step 2 contract/affiliate attribution through split
+// records, naming, taint and fingerprint rollups, and the activity
+// sort. Set representatives are first canonicalized to each set's
+// minimum member address, so the result depends only on the partition —
+// never on union-find internals — and the batch and incremental paths
+// agree byte-for-byte.
+func materialize(ds *core.Dataset, uf *unionFind, tainted map[ethtypes.Address]bool, lbls *labels.Directory, reg *obs.Registry) []*Family {
+	familyGauge := reg.Gauge("daas_cluster_families", "recovered DaaS families")
+
+	ops := make([]ethtypes.Address, 0, len(ds.Operators))
+	for _, rec := range ds.SortedOperators() {
+		ops = append(ops, rec.Address)
+	}
+	// ops is sorted ascending, so the first member seen per root is the
+	// set minimum — the canonical representative.
+	canon := make(map[ethtypes.Address]ethtypes.Address, len(ops))
+	for _, op := range ops {
+		root, ok := uf.find(op)
+		if !ok {
+			continue
+		}
+		if _, seen := canon[root]; !seen {
+			canon[root] = op
+		}
+	}
+	findCanon := func(a ethtypes.Address) (ethtypes.Address, bool) {
+		root, ok := uf.find(a)
+		if !ok {
+			return ethtypes.Address{}, false
+		}
+		return canon[root], true
+	}
+
 	// Step 2: attribute contracts and affiliates through split records.
 	type attribution struct {
-		votes map[ethtypes.Address]int // operator root -> votes
+		votes map[ethtypes.Address]int // canonical operator root -> votes
 	}
 	newAttr := func() *attribution { return &attribution{votes: make(map[ethtypes.Address]int)} }
 	contractAttr := make(map[ethtypes.Address]*attribution)
@@ -155,7 +198,7 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 
 	for _, splits := range ds.Splits {
 		for _, sp := range splits {
-			root, ok := uf.find(sp.Operator)
+			root, ok := findCanon(sp.Operator)
 			if !ok {
 				continue
 			}
@@ -174,7 +217,7 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 	// Materialize families.
 	byRoot := make(map[ethtypes.Address]*Family)
 	for _, op := range ops {
-		root, _ := uf.find(op)
+		root, _ := findCanon(op)
 		fam := byRoot[root]
 		if fam == nil {
 			fam = &Family{}
@@ -206,7 +249,7 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 	assign(affiliateAttr, func(f *Family, a ethtypes.Address) { f.Affiliates = append(f.Affiliates, a) })
 	for root, fam := range byRoot {
 		fam.SplitTxs = rootSplits[root]
-		c.nameFamily(fam, ds)
+		nameFamily(fam, ds, lbls)
 		for _, op := range fam.Operators {
 			if tainted[op] {
 				fam.Tainted = true
@@ -234,7 +277,7 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 			taintedFams++
 		}
 	}
-	c.Metrics.Gauge("daas_cluster_tainted_families", "families whose evidence touched quarantined records").Set(taintedFams)
+	reg.Gauge("daas_cluster_tainted_families", "families whose evidence touched quarantined records").Set(taintedFams)
 	out := make([]*Family, 0, len(byRoot))
 	for _, fam := range byRoot {
 		out = append(out, fam)
@@ -245,11 +288,11 @@ func (c *Clusterer) Cluster(ds *core.Dataset) ([]*Family, error) {
 		}
 		return out[i].Name < out[j].Name
 	})
-	return out, nil
+	return out
 }
 
 // counterpartyOf returns the other party of a transaction involving op.
-func (c *Clusterer) counterpartyOf(op, from, to ethtypes.Address) (ethtypes.Address, bool) {
+func counterpartyOf(op, from, to ethtypes.Address) (ethtypes.Address, bool) {
 	switch {
 	case from == op:
 		return to, true
@@ -260,8 +303,8 @@ func (c *Clusterer) counterpartyOf(op, from, to ethtypes.Address) (ethtypes.Addr
 	}
 }
 
-func (c *Clusterer) isEtherscanPhishing(a ethtypes.Address) bool {
-	for _, l := range c.Labels.Of(a) {
+func isEtherscanPhishing(dir *labels.Directory, a ethtypes.Address) bool {
+	for _, l := range dir.Of(a) {
 		if l.Source == labels.SourceEtherscan && l.Category == labels.CategoryPhishing {
 			return true
 		}
@@ -271,11 +314,11 @@ func (c *Clusterer) isEtherscanPhishing(a ethtypes.Address) bool {
 
 // nameFamily applies the §7.1 naming rule: an Etherscan family label on
 // any operator, else the dominant operator's six-hex-character prefix.
-func (c *Clusterer) nameFamily(fam *Family, ds *core.Dataset) {
+func nameFamily(fam *Family, ds *core.Dataset, lbls *labels.Directory) {
 	sortAddrs(fam.Operators)
-	if c.Labels != nil {
+	if lbls != nil {
 		for _, op := range fam.Operators {
-			if name, ok := c.Labels.EtherscanName(op); ok && !strings.HasPrefix(name, "Fake_Phishing") {
+			if name, ok := lbls.EtherscanName(op); ok && !strings.HasPrefix(name, "Fake_Phishing") {
 				fam.Name = name
 				fam.Named = true
 				return
@@ -316,16 +359,35 @@ func newUnionFind(members []ethtypes.Address) *unionFind {
 	return uf
 }
 
+// add registers a as a singleton set; a no-op when already a member.
+func (uf *unionFind) add(a ethtypes.Address) {
+	if _, ok := uf.parent[a]; !ok {
+		uf.parent[a] = a
+	}
+}
+
+// clone returns an independent copy sharing no state with the
+// original.
+func (uf *unionFind) clone() *unionFind {
+	return &unionFind{parent: maps.Clone(uf.parent), rank: maps.Clone(uf.rank)}
+}
+
+// find returns the set representative of a, compressing the walked
+// path. Iterative two-pass (walk to the root, then re-parent the whole
+// chain): a recursive implementation grows one stack frame per parent
+// link, and merge chains at mainnet scale — or adversarial input — run
+// long enough to overflow the goroutine stack.
 func (uf *unionFind) find(a ethtypes.Address) (ethtypes.Address, bool) {
-	p, ok := uf.parent[a]
+	root, ok := uf.parent[a]
 	if !ok {
 		return ethtypes.Address{}, false
 	}
-	if p == a {
-		return a, true
+	for root != uf.parent[root] {
+		root = uf.parent[root]
 	}
-	root, _ := uf.find(p)
-	uf.parent[a] = root
+	for a != root {
+		a, uf.parent[a] = uf.parent[a], root
+	}
 	return root, true
 }
 

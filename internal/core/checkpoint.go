@@ -42,6 +42,12 @@ type checkpointJSON struct {
 	Quarantine json.RawMessage `json:"quarantine,omitempty"`
 	// Coverage is the completeness ledger at the checkpoint boundary.
 	Coverage *coverageJSON `json:"coverage,omitempty"`
+	// Head and Radar are the version-3 radar extension: the last block
+	// number folded into the dataset, and the daemon's opaque state blob
+	// (incremental cluster snapshot, pending retries, reorg ring). Both
+	// absent in pipeline (version-2) checkpoints.
+	Head  *uint64         `json:"head_cursor,omitempty"`
+	Radar json.RawMessage `json:"radar,omitempty"`
 }
 
 // coverageJSON serializes a CoverageStats with hex-keyed degraded
@@ -80,6 +86,11 @@ func writeCheckpoint(path string, st *buildState) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return writeFileAtomic(path, buf)
+}
+
+// writeFileAtomic publishes buf at path via temp-file + fsync + rename.
+func writeFileAtomic(path string, buf []byte) (int64, error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {

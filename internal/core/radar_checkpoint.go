@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ethtypes"
+)
+
+// radarCheckpointVersion is the on-disk format of a head-following
+// radar checkpoint. Version 3 extends the pipeline's version-2 shape
+// with a head cursor and an opaque daemon-state blob; the pipeline
+// loader keeps refusing anything but version 2, so the two consumers
+// can never resume from each other's files by accident.
+const radarCheckpointVersion = 3
+
+// RadarCheckpoint is the persisted state of a head-following radar at
+// a block boundary: the dataset so far, the classified-transaction
+// set, the last block number folded in, and the daemon's own extension
+// blob (incremental cluster snapshot, pending retries, reorg ring) —
+// opaque to core. Together with the (replayable) chain these determine
+// the radar's entire future output, which is what makes resume
+// byte-identical to an uninterrupted run.
+type RadarCheckpoint struct {
+	Dataset    *Dataset
+	Classified map[ethtypes.Hash]bool
+	Head       uint64
+	Radar      json.RawMessage
+}
+
+// MarshalRadarCheckpoint serializes cp to its on-disk byte form. The
+// radar also uses these bytes as in-memory rollback restore points, so
+// restoring one must be equivalent to a resume from disk.
+func MarshalRadarCheckpoint(cp *RadarCheckpoint) ([]byte, error) {
+	var ds bytes.Buffer
+	if err := cp.Dataset.WriteJSON(&ds); err != nil {
+		return nil, fmt.Errorf("core: serializing radar checkpoint dataset: %w", err)
+	}
+	head := cp.Head
+	out := checkpointJSON{
+		Version:    radarCheckpointVersion,
+		Dataset:    json.RawMessage(ds.Bytes()),
+		Classified: sortedHashHex(cp.Classified),
+		Head:       &head,
+		Radar:      cp.Radar,
+	}
+	buf, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("core: serializing radar checkpoint: %w", err)
+	}
+	return buf, nil
+}
+
+// WriteRadarCheckpoint serializes cp to path atomically (temp file +
+// fsync + rename, like the pipeline checkpoint writer) and returns the
+// byte length written.
+func WriteRadarCheckpoint(path string, cp *RadarCheckpoint) (int64, error) {
+	buf, err := MarshalRadarCheckpoint(cp)
+	if err != nil {
+		return 0, err
+	}
+	return writeFileAtomic(path, buf)
+}
+
+// ReadRadarCheckpoint decodes a radar checkpoint from r.
+func ReadRadarCheckpoint(r io.Reader) (*RadarCheckpoint, error) {
+	var in checkpointJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding radar checkpoint: %w", err)
+	}
+	if in.Version != radarCheckpointVersion {
+		return nil, fmt.Errorf("core: radar checkpoint version %d, want %d", in.Version, radarCheckpointVersion)
+	}
+	if in.Head == nil {
+		return nil, fmt.Errorf("core: radar checkpoint missing head_cursor")
+	}
+	ds, err := ReadJSON(bytes.NewReader(in.Dataset))
+	if err != nil {
+		return nil, fmt.Errorf("core: radar checkpoint dataset: %w", err)
+	}
+	cp := &RadarCheckpoint{
+		Dataset:    ds,
+		Classified: make(map[ethtypes.Hash]bool, len(in.Classified)),
+		Head:       *in.Head,
+		Radar:      in.Radar,
+	}
+	for _, s := range in.Classified {
+		h, err := ethtypes.HexToHash(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: radar checkpoint classified tx: %w", err)
+		}
+		cp.Classified[h] = true
+	}
+	return cp, nil
+}
+
+// LoadRadarCheckpoint opens path and decodes it; a missing file
+// returns (nil, nil) so a resume run with no checkpoint starts fresh.
+func LoadRadarCheckpoint(path string) (*RadarCheckpoint, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: opening radar checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadRadarCheckpoint(f)
+}

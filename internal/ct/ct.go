@@ -183,11 +183,12 @@ type Client struct {
 // clientMetrics caches the client's instruments; all nil (no-op) when
 // Metrics is unset.
 type clientMetrics struct {
-	polls     *obs.Counter
-	entries   *obs.Counter
-	errors    *obs.Counter
-	badLeaves *obs.Counter
-	duration  *obs.Histogram
+	polls          *obs.Counter
+	entries        *obs.Counter
+	errors         *obs.Counter
+	badLeaves      *obs.Counter
+	windowsSkipped *obs.Counter
+	duration       *obs.Histogram
 }
 
 // noopClientMetrics serves calls made before Metrics is assigned; nil
@@ -203,11 +204,12 @@ func (c *Client) metrics() *clientMetrics {
 	}
 	c.metricsOnce.Do(func() {
 		c.cm = clientMetrics{
-			polls:     c.Metrics.Counter("daas_ct_polls_total", "CT log poll round trips (§8.2 step 1)"),
-			entries:   c.Metrics.Counter("daas_ct_entries_total", "certificate entries ingested from the CT log"),
-			errors:    c.Metrics.Counter("daas_ct_poll_errors_total", "failed CT log polls"),
-			badLeaves: c.Metrics.Counter("daas_ct_bad_leaves_total", "undecodable CT log entries skipped by the poller"),
-			duration:  c.Metrics.Histogram("daas_ct_poll_duration_seconds", "CT poll latency", obs.DefDurationBuckets),
+			polls:          c.Metrics.Counter("daas_ct_polls_total", "CT log poll round trips (§8.2 step 1)"),
+			entries:        c.Metrics.Counter("daas_ct_entries_total", "certificate entries ingested from the CT log"),
+			errors:         c.Metrics.Counter("daas_ct_poll_errors_total", "failed CT log polls"),
+			badLeaves:      c.Metrics.Counter("daas_ct_bad_leaves_total", "undecodable CT log entries skipped by the poller"),
+			windowsSkipped: c.Metrics.Counter("daas_ct_windows_skipped_total", "get-entries windows skipped because every leaf was confirmed poison"),
+			duration:       c.Metrics.Histogram("daas_ct_poll_duration_seconds", "CT poll latency", obs.DefDurationBuckets),
 		}
 	})
 	return &c.cm
@@ -230,13 +232,21 @@ func (c *Client) TreeSize() (int64, error) {
 // Poll fetches entries the client has not seen yet, advancing its
 // cursor. It returns nil when caught up.
 //
-// An undecodable entry (a poison pill in the wild: logs do serve
-// mangled leaves) is skipped and counted in daas_ct_bad_leaves_total
-// rather than failing the batch: failing would leave the cursor parked
-// before the bad entry, and every subsequent poll would re-fetch and
-// re-fail the same window, wedging ingestion forever. The cursor always
-// advances past the polled window; when a window is entirely bad the
-// poll moves on to the next one instead of reporting a false catch-up.
+// An undecodable entry can be one of two very different things: a
+// genuine poison pill (logs do serve permanently mangled leaves) or a
+// transient wire corruption that would decode fine on retry. The two
+// demand opposite cursor behavior — advancing past a transient drop
+// silently skips real certificates, while parking before a poison pill
+// re-fetches and re-fails the same window forever. Poll disambiguates
+// with one confirming re-fetch of the window: an entry is declared
+// poison only when it is undecodable in both fetches (counted in
+// daas_ct_bad_leaves_total and skipped); an entry that heals on the
+// re-fetch is returned normally. If the confirming fetch itself fails,
+// Poll returns the error with the cursor still parked before the
+// window, so nothing is skipped. The cursor advances only past fully
+// resolved windows; a window whose every leaf is confirmed poison is
+// counted in daas_ct_windows_skipped_total and the poll moves on to
+// the next window instead of reporting a false catch-up.
 func (c *Client) Poll() (entries []Entry, err error) {
 	cm := c.metrics()
 	cm.polls.Inc()
@@ -266,24 +276,52 @@ func (c *Client) Poll() (entries []Entry, err error) {
 		if len(out.Entries) == 0 {
 			return nil, nil
 		}
+		good := make(map[int64]Entry, len(out.Entries))
+		decode := func(wire []wireEntry) (anyBad bool) {
+			for _, we := range wire {
+				if _, ok := good[we.Index]; ok {
+					continue
+				}
+				der, err := base64.StdEncoding.DecodeString(we.LeafCert)
+				if err != nil {
+					anyBad = true
+					continue
+				}
+				good[we.Index] = Entry{Index: we.Index, DER: der, Issued: time.Unix(we.Issued, 0).UTC()}
+			}
+			return anyBad
+		}
+		if decode(out.Entries) {
+			// At least one leaf failed to decode: confirm poison with a
+			// second fetch of the same window before giving up on it. A
+			// fetch error here returns with the cursor still parked
+			// before the window — transient failures skip nothing.
+			var again entriesJSON
+			if err := c.get(path, &again); err != nil {
+				return nil, err
+			}
+			decode(again.Entries)
+		}
 		advanced := c.next
 		for _, we := range out.Entries {
 			if we.Index >= advanced {
 				advanced = we.Index + 1
 			}
-			der, err := base64.StdEncoding.DecodeString(we.LeafCert)
-			if err != nil {
+			e, ok := good[we.Index]
+			if !ok {
+				// Undecodable in both fetches: confirmed poison pill.
 				cm.badLeaves.Inc()
 				continue
 			}
-			entries = append(entries, Entry{Index: we.Index, DER: der, Issued: time.Unix(we.Issued, 0).UTC()})
+			entries = append(entries, e)
 		}
 		c.next = advanced
 		if len(entries) > 0 {
 			return entries, nil
 		}
-		// Whole window was poison; keep going so an all-bad stretch
-		// does not masquerade as "caught up".
+		// Whole window was confirmed poison; keep going so an all-bad
+		// stretch does not masquerade as "caught up".
+		cm.windowsSkipped.Inc()
 	}
 	return nil, nil
 }

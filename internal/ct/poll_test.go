@@ -109,6 +109,124 @@ func TestPollAllPoisonWindowAdvances(t *testing.T) {
 	if n := reg.Counter("daas_ct_bad_leaves_total", "").Value(); n != 3 {
 		t.Errorf("bad_leaves_total = %d, want 3", n)
 	}
+	if n := reg.Counter("daas_ct_windows_skipped_total", "").Value(); n != 1 {
+		t.Errorf("windows_skipped_total = %d, want 1", n)
+	}
+}
+
+// transientServer serves a log whose get-entries responses are mangled
+// or failed per call number — the transient wire corruption a
+// continuously polling radar feed hits in the wild.
+func transientServer(t *testing.T, log *Log, call func(n int) (mangle bool, status int)) *httptest.Server {
+	t.Helper()
+	var calls int
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ct/v1/get-sth", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, sthJSON{TreeSize: log.Size(), Timestamp: ts().Unix()})
+	})
+	mux.HandleFunc("/ct/v1/get-entries", func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		mangle, status := call(calls)
+		if status != 0 {
+			http.Error(w, "transient failure", status)
+			return
+		}
+		start, _ := strconv.ParseInt(r.URL.Query().Get("start"), 10, 64)
+		end, _ := strconv.ParseInt(r.URL.Query().Get("end"), 10, 64)
+		var out entriesJSON
+		for _, e := range log.Entries(start, end) {
+			leaf := base64.StdEncoding.EncodeToString(e.DER)
+			if mangle {
+				leaf = "!!!not-base64!!!"
+			}
+			out.Entries = append(out.Entries, wireEntry{Index: e.Index, LeafCert: leaf, Issued: e.Issued.Unix()})
+		}
+		writeJSON(w, out)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestPollTransientCorruptionNotSkipped is the regression test for the
+// transient-vs-poison cursor bug: a get-entries response whose leaves
+// are corrupted only once (they decode fine on re-fetch) used to be
+// treated as poison, advancing the cursor past the whole window and
+// silently dropping every certificate in it. The confirming re-fetch
+// must heal the window and return all entries with nothing counted as
+// a bad leaf.
+func TestPollTransientCorruptionNotSkipped(t *testing.T) {
+	log, _ := NewLog()
+	issueN(t, log, 4)
+	srv := transientServer(t, log, func(n int) (bool, int) {
+		return n == 1, 0 // first response mangled, re-fetch clean
+	})
+
+	reg := obs.NewRegistry()
+	client := NewClient(srv.URL)
+	client.Metrics = reg
+	entries, err := client.Poll()
+	if err != nil {
+		t.Fatalf("poll over transient corruption failed: %v", err)
+	}
+	if len(entries) != 4 {
+		var got []int64
+		for _, e := range entries {
+			got = append(got, e.Index)
+		}
+		t.Errorf("entries = %v, want [0 1 2 3]", got)
+	}
+	for _, e := range entries {
+		if _, derr := e.Domains(); derr != nil {
+			t.Errorf("returned entry %d unparseable: %v", e.Index, derr)
+		}
+	}
+	if n := reg.Counter("daas_ct_bad_leaves_total", "").Value(); n != 0 {
+		t.Errorf("bad_leaves_total = %d, want 0 (corruption was transient)", n)
+	}
+	if n := reg.Counter("daas_ct_windows_skipped_total", "").Value(); n != 0 {
+		t.Errorf("windows_skipped_total = %d, want 0", n)
+	}
+}
+
+// TestPollConfirmFetchErrorKeepsCursor: when the confirming re-fetch
+// itself fails, Poll must surface the error with the cursor still
+// parked before the window, so the next poll re-fetches it and no
+// entry is skipped.
+func TestPollConfirmFetchErrorKeepsCursor(t *testing.T) {
+	log, _ := NewLog()
+	issueN(t, log, 3)
+	srv := transientServer(t, log, func(n int) (bool, int) {
+		switch n {
+		case 1:
+			return true, 0 // mangled: triggers the confirming re-fetch
+		case 2:
+			return false, http.StatusInternalServerError
+		default:
+			return false, 0
+		}
+	})
+
+	reg := obs.NewRegistry()
+	client := NewClient(srv.URL)
+	client.Metrics = reg
+	if entries, err := client.Poll(); err == nil {
+		t.Fatalf("poll with failed confirm fetch returned %d entries, nil error; want error", len(entries))
+	}
+	entries, err := client.Poll()
+	if err != nil {
+		t.Fatalf("follow-up poll failed: %v", err)
+	}
+	if len(entries) != 3 || entries[0].Index != 0 || entries[2].Index != 2 {
+		var got []int64
+		for _, e := range entries {
+			got = append(got, e.Index)
+		}
+		t.Errorf("entries = %v, want [0 1 2]: cursor moved past an unresolved window", got)
+	}
+	if n := reg.Counter("daas_ct_bad_leaves_total", "").Value(); n != 0 {
+		t.Errorf("bad_leaves_total = %d, want 0", n)
+	}
 }
 
 // TestMetricsAssignedAfterFirstPoll is the regression test for the

@@ -88,6 +88,31 @@ func Wrap(src core.ChainSource, q *Quarantine, reg *obs.Registry) *Source {
 // Unwrap returns the wrapped source.
 func (s *Source) Unwrap() core.ChainSource { return s.src }
 
+// ReleasePinsAbove drops every receipt pin above the given block
+// number, returning how many were released. A reorg rollback calls
+// this before reprocessing the fork: transactions re-mined into a
+// different block are legitimate after a reorg, and stale pins would
+// reject their new positions as ReasonReorgPin violations. Transaction
+// pins (sender/recipient/value) are kept — a reorg moves a
+// transaction, it never rewrites its body.
+func (s *Source) ReleasePinsAbove(block uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	released := 0
+	for h, p := range s.pins {
+		if !p.haveRec || p.block <= block {
+			continue
+		}
+		released++
+		if p.haveTx {
+			s.pins[h] = &pin{haveTx: true, txFrom: p.txFrom, txTo: p.txTo, txValue: p.txValue}
+		} else {
+			delete(s.pins, h)
+		}
+	}
+	return released
+}
+
 // Quarantine returns the backing store.
 func (s *Source) Quarantine() *Quarantine { return s.q }
 

@@ -184,6 +184,38 @@ func BenchmarkScreenBatchRPC(b *testing.B) {
 	reportScreenQuantiles(b, res)
 }
 
+// BenchmarkRadarStream: the live-detection streaming workload behind
+// BENCH_radar.json — replay the generated chain through the radar
+// daemon while screening batches run against the engine it keeps
+// hot-swapping. Gates step latency, screening tail latency under
+// radar-driven swap churn, and the deterministic dataset shape
+// (profit-txs, contracts, families, swaps).
+func BenchmarkRadarStream(b *testing.B) {
+	w, err := worldgen.Generate(worldgen.TestConfig(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *RadarRunResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = RunRadar(w, RadarConfig{Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.StepP50Seconds*1e3, "step-p50-ms")
+	b.ReportMetric(res.StepP99Seconds*1e3, "step-p99-ms")
+	b.ReportMetric(res.ScreenP50Seconds*1e6, "p50-us")
+	b.ReportMetric(res.ScreenP95Seconds*1e6, "p95-us")
+	b.ReportMetric(res.ScreenP99Seconds*1e6, "p99-us")
+	b.ReportMetric(res.BlocksPerSecond, "blocks-s")
+	b.ReportMetric(float64(res.ProfitTxs), "profit-txs")
+	b.ReportMetric(float64(res.Contracts), "contracts")
+	b.ReportMetric(float64(res.Families), "families")
+	b.ReportMetric(float64(res.Swaps), "swaps")
+}
+
 // BenchmarkLoadgenRPC: the same mixed-op workload over a real HTTP
 // JSON-RPC hop (httptest server + rpc client) — the wire-protocol
 // suite behind BENCH_rpc.json.

@@ -1,0 +1,60 @@
+package radar
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/ethtypes"
+)
+
+// BlockRef is the radar's view of one block: enough to follow the head
+// (number, hash, parent) and to enumerate the transactions it must
+// classify. It deliberately carries no bodies — those flow through the
+// cache→integrity→retry record source, where per-tx pins live.
+type BlockRef struct {
+	Number   uint64
+	Hash     ethtypes.Hash
+	Parent   ethtypes.Hash
+	Time     time.Time
+	TxHashes []ethtypes.Hash
+}
+
+// BlockSource exposes the head cursor and block headers of a chain.
+// Implementations: ChainBlocks (in-process) and rpc.ClientBlocks
+// (remote node).
+type BlockSource interface {
+	// Head returns the number of the latest canonical block.
+	Head() (uint64, error)
+	// BlockRef returns the canonical block at height n.
+	BlockRef(n uint64) (BlockRef, error)
+}
+
+// ChainBlocks adapts an in-process simulated chain as a BlockSource.
+type ChainBlocks struct {
+	Chain *chain.Chain
+}
+
+// Head returns the latest block number.
+func (cb ChainBlocks) Head() (uint64, error) {
+	n := cb.Chain.BlockCount()
+	if n == 0 {
+		return 0, fmt.Errorf("radar: chain has no blocks")
+	}
+	return n - 1, nil
+}
+
+// BlockRef returns the canonical block at height n.
+func (cb ChainBlocks) BlockRef(n uint64) (BlockRef, error) {
+	blk, err := cb.Chain.BlockByNumber(n)
+	if err != nil {
+		return BlockRef{}, err
+	}
+	return BlockRef{
+		Number:   blk.Number,
+		Hash:     blk.Hash(),
+		Parent:   blk.Parent,
+		Time:     blk.Timestamp,
+		TxHashes: append([]ethtypes.Hash(nil), blk.TxHashes...),
+	}, nil
+}

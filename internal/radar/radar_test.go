@@ -1,0 +1,497 @@
+package radar_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ethtypes"
+	"repro/internal/faults"
+	"repro/internal/integrity"
+	"repro/internal/obs"
+	"repro/internal/radar"
+	"repro/internal/retry"
+	"repro/internal/screen"
+	"repro/internal/worldgen"
+)
+
+// batchExport runs the one-shot pipeline and clusterer over the
+// finished chain — the ground truth every radar test converges to.
+func batchExport(t *testing.T, world *worldgen.World) (dsBytes, famBytes []byte) {
+	t.Helper()
+	p := &core.Pipeline{Source: core.LocalSource{Chain: world.Chain}, Labels: world.Labels}
+	ds, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &cluster.Clusterer{Source: core.LocalSource{Chain: world.Chain}, Labels: world.Labels}
+	fams, err := cl.Cluster(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fj, err := json.MarshalIndent(fams, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), fj
+}
+
+func radarExport(t *testing.T, r *radar.Radar) (dsBytes, famBytes []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fj, err := json.MarshalIndent(r.Families(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), fj
+}
+
+func genWorld(t *testing.T, seed uint64) *worldgen.World {
+	t.Helper()
+	world, err := worldgen.Generate(worldgen.TestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world
+}
+
+// TestRadarMatchesBatchPipeline is the tentpole invariant: replaying
+// the chain block-by-block through the radar yields a dataset and
+// family export byte-identical to the one-shot pipeline — regardless
+// of how block arrivals are batched into steps.
+func TestRadarMatchesBatchPipeline(t *testing.T) {
+	world := genWorld(t, 7)
+	wantDS, wantFams := batchExport(t, world)
+
+	for _, stepEvery := range []int{1, 7, 1 << 30} {
+		f := chain.NewFollower(world.Chain)
+		dst := f.Chain()
+		r, err := radar.New(radar.Config{
+			Source: core.LocalSource{Chain: dst},
+			Blocks: radar.ChainBlocks{Chain: dst},
+			Labels: world.Labels,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, ok := f.Advance(); !ok {
+				break
+			}
+			n++
+			if n%stepEvery == 0 {
+				if _, err := r.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+		gotDS, gotFams := radarExport(t, r)
+		if !bytes.Equal(gotDS, wantDS) {
+			t.Fatalf("stepEvery=%d: radar dataset export differs from batch pipeline", stepEvery)
+		}
+		if !bytes.Equal(gotFams, wantFams) {
+			t.Fatalf("stepEvery=%d: radar family export differs from batch clusterer", stepEvery)
+		}
+		st := r.Status()
+		if st.Cursor != world.Chain.BlockCount()-1 {
+			t.Fatalf("stepEvery=%d: cursor %d, want %d", stepEvery, st.Cursor, world.Chain.BlockCount()-1)
+		}
+		if st.Stats.Contracts == 0 || st.Stats.Operators == 0 {
+			t.Fatalf("stepEvery=%d: radar admitted nothing (stats %+v)", stepEvery, st.Stats)
+		}
+	}
+}
+
+// TestRadarStaticAnnotationMatchesBatch repeats the byte-identity
+// check with static fingerprint annotation enabled on both sides.
+func TestRadarStaticAnnotationMatchesBatch(t *testing.T) {
+	world := genWorld(t, 9)
+	srcWorld := core.LocalSource{Chain: world.Chain}
+	static := &core.StaticScreen{Source: srcWorld, Storage: srcWorld}
+
+	p := &core.Pipeline{Source: core.LocalSource{Chain: world.Chain}, Labels: world.Labels}
+	ds, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AnnotateFingerprints(static); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := ds.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	f := chain.NewFollower(world.Chain)
+	dst := f.Chain()
+	srcDst := core.LocalSource{Chain: dst}
+	r, err := radar.New(radar.Config{
+		Source: srcDst,
+		Blocks: radar.ChainBlocks{Chain: dst},
+		Labels: world.Labels,
+		Static: &core.StaticScreen{Source: srcDst, Storage: srcDst},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := f.Advance(); !ok {
+			break
+		}
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := r.ExportJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("annotated radar export differs from annotated batch export")
+	}
+}
+
+// TestRadarCheckpointResume interrupts a radar mid-chain and resumes a
+// fresh daemon from its checkpoint: the final export must be
+// byte-identical to both an uninterrupted radar and the batch
+// pipeline, and the update-feed cursor must stay monotonic across the
+// resume.
+func TestRadarCheckpointResume(t *testing.T) {
+	world := genWorld(t, 7)
+	wantDS, wantFams := batchExport(t, world)
+	path := filepath.Join(t.TempDir(), "radar.ckpt")
+
+	cfg := radar.Config{
+		Labels:          world.Labels,
+		CheckpointPath:  path,
+		CheckpointEvery: 1,
+	}
+
+	f := chain.NewFollower(world.Chain)
+	dst := f.Chain()
+	cfg.Source = core.LocalSource{Chain: dst}
+	cfg.Blocks = radar.ChainBlocks{Chain: dst}
+	r1, err := radar.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int(world.Chain.BlockCount()) - 1
+	for i := 0; i < total/2; i++ {
+		if _, ok := f.Advance(); !ok {
+			t.Fatal("journal exhausted early")
+		}
+		if _, err := r1.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st1 := r1.Status()
+	if st1.Cursor == 0 {
+		t.Fatal("interrupted radar never advanced")
+	}
+	// r1 is abandoned here — the "crash". A fresh daemon resumes from
+	// its checkpoint against the same (still advancing) chain.
+	cfg.Resume = true
+	r2, err := radar.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := r2.Status()
+	if st2.Cursor != st1.Cursor {
+		t.Fatalf("resumed cursor %d, want %d", st2.Cursor, st1.Cursor)
+	}
+	if st2.UpdateCursor != st1.UpdateCursor {
+		t.Fatalf("resumed update cursor %d, want %d (feed must stay monotonic)", st2.UpdateCursor, st1.UpdateCursor)
+	}
+	for {
+		if _, ok := f.Advance(); !ok {
+			break
+		}
+		if _, err := r2.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r2.Step(); err != nil {
+		t.Fatal(err)
+	}
+	gotDS, gotFams := radarExport(t, r2)
+	if !bytes.Equal(gotDS, wantDS) {
+		t.Fatal("resumed radar dataset export differs from batch pipeline")
+	}
+	if !bytes.Equal(gotFams, wantFams) {
+		t.Fatal("resumed radar family export differs from batch clusterer")
+	}
+}
+
+// TestRadarReorgRollback stages a real reorg: the radar ingests an
+// orphan block carrying the next canonical block's transactions (so
+// admissions and timestamps genuinely diverge), the chain heals, and
+// the radar must roll back through a restore point and reconverge to
+// the batch export.
+func TestRadarReorgRollback(t *testing.T) {
+	world := genWorld(t, 7)
+	wantDS, wantFams := batchExport(t, world)
+
+	f := chain.NewFollower(world.Chain)
+	dst := f.Chain()
+	r, err := radar.New(radar.Config{
+		Source: core.LocalSource{Chain: dst},
+		Blocks: radar.ChainBlocks{Chain: dst},
+		Labels: world.Labels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int(world.Chain.BlockCount()) - 1
+	for i := 0; i < total/2; i++ {
+		if _, ok := f.Advance(); !ok {
+			t.Fatal("journal exhausted early")
+		}
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Build the orphan from the next canonical block's transactions,
+	// mined at a different timestamp: same txs, different receipts.
+	next, err := world.Chain.BlockByNumber(dst.BlockCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orphanTxs []*chain.Transaction
+	for _, h := range next.TxHashes {
+		tx, err := world.Chain.Transaction(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orphanTxs = append(orphanTxs, tx)
+	}
+	tip, err := dst.BlockByNumber(dst.BlockCount() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := f.MineOrphan(tip.Timestamp.Add(13*time.Second), orphanTxs...)
+	if _, err := r.Step(); err != nil { // ingest the orphan
+		t.Fatal(err)
+	}
+	if got := r.Status().Cursor; got != orphan.Number {
+		t.Fatalf("radar did not follow the orphan: cursor %d, want %d", got, orphan.Number)
+	}
+
+	f.Heal()
+	if _, err := r.Step(); err != nil { // detect + roll back
+		t.Fatal(err)
+	}
+	if got := r.Status().Reorgs; got != 1 {
+		t.Fatalf("reorg count %d, want 1", got)
+	}
+	ups, _, _ := r.Updates(0, 0)
+	sawReorg := false
+	for _, u := range ups {
+		if u.Kind == radar.KindReorg {
+			sawReorg = true
+		}
+	}
+	if !sawReorg {
+		t.Fatal("no reorg entry in the update feed")
+	}
+
+	for {
+		if _, ok := f.Advance(); !ok {
+			break
+		}
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	gotDS, gotFams := radarExport(t, r)
+	if !bytes.Equal(gotDS, wantDS) {
+		t.Fatal("post-reorg radar dataset export differs from batch pipeline")
+	}
+	if !bytes.Equal(gotFams, wantFams) {
+		t.Fatal("post-reorg radar family export differs from batch clusterer")
+	}
+}
+
+// TestRadarUpdatesCursorSemantics checks the feed contract: cursors
+// are monotonic, pagination by cursor never re-delivers, and a
+// consumer behind the ring sees dropped=true.
+func TestRadarUpdatesCursorSemantics(t *testing.T) {
+	world := genWorld(t, 7)
+	f := chain.NewFollower(world.Chain)
+	dst := f.Chain()
+	r, err := radar.New(radar.Config{
+		Source: core.LocalSource{Chain: dst},
+		Blocks: radar.ChainBlocks{Chain: dst},
+		Labels: world.Labels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := f.Advance(); !ok {
+			break
+		}
+	}
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	var got []radar.Update
+	cursor := uint64(0)
+	for {
+		page, latest, dropped := r.Updates(cursor, 3)
+		if dropped {
+			t.Fatal("fresh consumer reported dropped entries")
+		}
+		if len(page) == 0 {
+			if cursor != latest {
+				t.Fatalf("drained at cursor %d but latest is %d", cursor, latest)
+			}
+			break
+		}
+		for _, u := range page {
+			if u.Cursor <= cursor {
+				t.Fatalf("non-monotonic cursor %d after %d", u.Cursor, cursor)
+			}
+			cursor = u.Cursor
+			got = append(got, u)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no updates emitted for a full chain replay")
+	}
+	kinds := map[string]int{}
+	for _, u := range got {
+		kinds[u.Kind]++
+	}
+	if kinds[radar.KindContract] == 0 || kinds[radar.KindOperator] == 0 {
+		t.Fatalf("missing admission kinds in feed: %v", kinds)
+	}
+	if kinds[radar.KindFamilyContract] == 0 {
+		t.Fatalf("missing family_contract entries in feed: %v", kinds)
+	}
+}
+
+// TestRadarSoakConcurrent is the race-checked daemon soak: the radar
+// Runs against a chain advancing in another goroutine through a
+// fault-injected integrity/retry source stack, survives one forced
+// reorg, and serves Status/Updates/screen queries concurrently. After
+// the dust settles the export must equal the batch pipeline's (the
+// injected faults are transient and dry up, so the integrity layer
+// quarantines nothing).
+func TestRadarSoakConcurrent(t *testing.T) {
+	world := genWorld(t, 11)
+	wantDS, wantFams := batchExport(t, world)
+
+	f := chain.NewFollower(world.Chain)
+	dst := f.Chain()
+	reg := obs.NewRegistry()
+	inj := faults.NewInjector(faults.Plan{Seed: 3, Rate: 0.01, MaxFaults: 25}, reg)
+	src := integrity.Wrap(
+		retry.WrapSource(faults.WrapSource(core.LocalSource{Chain: dst}, inj),
+			&retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, Metrics: reg}),
+		integrity.NewQuarantine(reg), reg)
+	eng := screen.NewEngine(reg)
+	r, err := radar.New(radar.Config{
+		Source:       src,
+		Blocks:       radar.ChainBlocks{Chain: dst},
+		Labels:       world.Labels,
+		Engine:       eng,
+		PollInterval: time.Millisecond,
+		Pins:         src,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		_ = r.Run(ctx)
+	}()
+
+	total := int(world.Chain.BlockCount()) - 1
+	var probe ethtypes.Address
+	for i := 0; ; i++ {
+		if _, ok := f.Advance(); !ok {
+			break
+		}
+		if i == total/2 {
+			// Forced reorg: orphan an empty block, give the radar a
+			// moment to follow it, then heal.
+			tip, err := dst.BlockByNumber(dst.BlockCount() - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.MineOrphan(tip.Timestamp.Add(7 * time.Second))
+			time.Sleep(5 * time.Millisecond)
+			f.Heal()
+		}
+		if i%10 == 0 {
+			time.Sleep(time.Millisecond)
+			st := r.Status()
+			_, _, _ = r.Updates(st.UpdateCursor, 16)
+			eng.Screen(probe)
+			eng.ScreenDomain("wallet-sync.example")
+		}
+	}
+
+	// Wait for the daemon to drain the chain, then stop it and settle.
+	head := dst.BlockCount() - 1
+	deadline := time.Now().Add(30 * time.Second)
+	for r.Status().Cursor != head {
+		if time.Now().After(deadline) {
+			t.Fatalf("radar stalled at cursor %d, head %d", r.Status().Cursor, head)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-runDone
+	for {
+		advanced, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !advanced {
+			break
+		}
+	}
+
+	gotDS, gotFams := radarExport(t, r)
+	if !bytes.Equal(gotDS, wantDS) {
+		t.Fatal("soak radar dataset export differs from batch pipeline")
+	}
+	if !bytes.Equal(gotFams, wantFams) {
+		t.Fatal("soak radar family export differs from batch clusterer")
+	}
+	if eng.Snapshot() == nil {
+		t.Fatal("engine never received a snapshot swap")
+	}
+	if inj.Faults() == 0 {
+		t.Fatal("fault injector never fired — the soak exercised nothing")
+	}
+}

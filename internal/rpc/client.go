@@ -471,8 +471,26 @@ func (c *Client) Screen(addr ethtypes.Address) (ScreenResult, error) {
 // ScreenBatch screens many addresses in one round trip via
 // daas_screenBatch (a flat address array in a single request, cheaper
 // than n enveloped daas_screen calls). Results come back in input
-// order.
+// order. Workloads beyond the server's per-request cap are split into
+// multiple requests transparently.
 func (c *Client) ScreenBatch(addrs []ethtypes.Address) ([]ScreenResult, error) {
+	out := make([]ScreenResult, 0, len(addrs))
+	for off := 0; off < len(addrs); off += maxScreenBatch {
+		end := off + maxScreenBatch
+		if end > len(addrs) {
+			end = len(addrs)
+		}
+		chunk, err := c.screenBatchOne(addrs[off:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// screenBatchOne issues one daas_screenBatch request.
+func (c *Client) screenBatchOne(addrs []ethtypes.Address) ([]ScreenResult, error) {
 	params := make([]string, len(addrs))
 	for i, a := range addrs {
 		params[i] = a.Hex()

@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/ethtypes"
+	"repro/internal/radar"
+)
+
+// RadarBackend is the server-side surface of the live detection
+// daemon: a point-in-time status summary and the cursor-ordered update
+// feed. *radar.Radar satisfies it.
+type RadarBackend interface {
+	Status() radar.Status
+	Updates(after uint64, limit int) ([]radar.Update, uint64, bool)
+}
+
+// radarUpdatesJSON is the daas_radarUpdates result envelope. Cursor is
+// the feed's latest cursor (pass it back as "after" to poll forward);
+// Dropped warns that entries between "after" and the oldest retained
+// entry were evicted, so the consumer must resync from a full export.
+type radarUpdatesJSON struct {
+	Updates []radar.Update `json:"updates"`
+	Cursor  uint64         `json:"cursor"`
+	Dropped bool           `json:"dropped"`
+}
+
+// dispatchRadar answers the daas_radar* methods; handled is false for
+// every other method.
+func (s *Server) dispatchRadar(method string, params json.RawMessage) (any, *rpcError, bool) {
+	switch method {
+	case "daas_radarStatus":
+		if s.Radar == nil {
+			return nil, radarUnavailable(), true
+		}
+		return s.Radar.Status(), nil, true
+
+	case "daas_radarUpdates":
+		if s.Radar == nil {
+			return nil, radarUnavailable(), true
+		}
+		var args struct {
+			After uint64 `json:"after"`
+			Limit int    `json:"limit"`
+		}
+		if len(params) > 0 && string(params) != "[]" && string(params) != "null" {
+			if err := json.Unmarshal(params, &args); err != nil {
+				return nil, invalidParams("want {after, limit}"), true
+			}
+		}
+		ups, cursor, dropped := s.Radar.Updates(args.After, args.Limit)
+		return radarUpdatesJSON{Updates: ups, Cursor: cursor, Dropped: dropped}, nil, true
+	}
+	return nil, nil, false
+}
+
+func radarUnavailable() *rpcError {
+	return &rpcError{Code: codeInternal, Message: "radar unavailable: no daemon configured"}
+}
+
+// RadarStatus fetches the daemon's current status summary.
+func (c *Client) RadarStatus() (radar.Status, error) {
+	var out radar.Status
+	err := c.call("daas_radarStatus", []any{}, &out)
+	return out, err
+}
+
+// RadarUpdates fetches feed entries with cursor > after, at most limit
+// (limit <= 0 means no limit). It returns the entries, the feed's
+// latest cursor, and whether entries between after and the server's
+// retention window were dropped (resync from a full export if so).
+func (c *Client) RadarUpdates(after uint64, limit int) ([]radar.Update, uint64, bool, error) {
+	params := struct {
+		After uint64 `json:"after"`
+		Limit int    `json:"limit"`
+	}{After: after, Limit: limit}
+	var out radarUpdatesJSON
+	if err := c.call("daas_radarUpdates", params, &out); err != nil {
+		return nil, 0, false, err
+	}
+	return out.Updates, out.Cursor, out.Dropped, nil
+}
+
+// BlockByNumber fetches the canonical block header at height n.
+func (c *Client) BlockByNumber(n uint64) (radar.BlockRef, error) {
+	var raw blockJSON
+	if err := c.call("eth_getBlockByNumber", []uint64{n}, &raw); err != nil {
+		return radar.BlockRef{}, err
+	}
+	ref := radar.BlockRef{
+		Number: raw.Number,
+		Time:   time.Unix(raw.Timestamp, 0).UTC(),
+	}
+	var err error
+	if ref.Hash, err = ethtypes.HexToHash(raw.Hash); err != nil {
+		return radar.BlockRef{}, err
+	}
+	if ref.Parent, err = ethtypes.HexToHash(raw.Parent); err != nil {
+		return radar.BlockRef{}, err
+	}
+	for _, h := range raw.TxHashes {
+		th, err := ethtypes.HexToHash(h)
+		if err != nil {
+			return radar.BlockRef{}, err
+		}
+		ref.TxHashes = append(ref.TxHashes, th)
+	}
+	return ref, nil
+}
+
+// ClientBlocks adapts a Client as a radar.BlockSource, so the radar
+// daemon can follow the head of a remote node the same way it follows
+// an in-process chain.
+type ClientBlocks struct {
+	Client *Client
+}
+
+// Head returns the latest block number.
+func (cb ClientBlocks) Head() (uint64, error) {
+	return cb.Client.BlockNumber()
+}
+
+// BlockRef returns the canonical block at height n.
+func (cb ClientBlocks) BlockRef(n uint64) (radar.BlockRef, error) {
+	return cb.Client.BlockByNumber(n)
+}

@@ -1,0 +1,177 @@
+package rpc_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/radar"
+	"repro/internal/rpc"
+)
+
+// stubRadar is a canned RadarBackend for wire-contract tests.
+type stubRadar struct {
+	status   radar.Status
+	ups      []radar.Update
+	cursor   uint64
+	dropped  bool
+	gotAfter uint64
+	gotLimit int
+}
+
+func (s *stubRadar) Status() radar.Status { return s.status }
+
+func (s *stubRadar) Updates(after uint64, limit int) ([]radar.Update, uint64, bool) {
+	s.gotAfter, s.gotLimit = after, limit
+	return s.ups, s.cursor, s.dropped
+}
+
+func TestRadarRPCStatusAndUpdates(t *testing.T) {
+	stub := &stubRadar{
+		status: radar.Status{
+			Head: 42, Cursor: 40,
+			Stats:     core.Stats{Contracts: 3, Operators: 2, Affiliates: 5, ProfitTxs: 17},
+			SeedStats: core.Stats{Contracts: 1, Operators: 1, Affiliates: 2, ProfitTxs: 9},
+			Families:  2, Pending: 1, Reorgs: 1, Swaps: 6, UpdateCursor: 99,
+		},
+		ups: []radar.Update{
+			{Cursor: 98, Block: 40, Kind: radar.KindContract, Address: screenAddr(1).Hex(), Discovery: "seed"},
+			{Cursor: 99, Block: 40, Kind: radar.KindSwap},
+		},
+		cursor:  99,
+		dropped: true,
+	}
+	srv := httptest.NewServer(&rpc.Server{Radar: stub})
+	defer srv.Close()
+	client := rpc.NewClient(srv.URL)
+
+	st, err := client.RadarStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != stub.status {
+		t.Errorf("RadarStatus = %+v, want %+v", st, stub.status)
+	}
+
+	ups, cursor, dropped, err := client.RadarUpdates(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.gotAfter != 5 || stub.gotLimit != 2 {
+		t.Errorf("server received after=%d limit=%d, want 5, 2", stub.gotAfter, stub.gotLimit)
+	}
+	if cursor != 99 || !dropped {
+		t.Errorf("cursor=%d dropped=%v, want 99, true", cursor, dropped)
+	}
+	if len(ups) != 2 || ups[0] != stub.ups[0] || ups[1] != stub.ups[1] {
+		t.Errorf("updates = %+v, want %+v", ups, stub.ups)
+	}
+}
+
+// TestRadarUnavailable: a server without a daemon answers the radar
+// methods with a clean error instead of crashing.
+func TestRadarUnavailable(t *testing.T) {
+	srv := httptest.NewServer(&rpc.Server{Chain: world.Chain})
+	defer srv.Close()
+	client := rpc.NewClient(srv.URL)
+	if _, err := client.RadarStatus(); err == nil || !strings.Contains(err.Error(), "radar unavailable") {
+		t.Errorf("RadarStatus error = %v, want radar unavailable", err)
+	}
+	if _, _, _, err := client.RadarUpdates(0, 0); err == nil || !strings.Contains(err.Error(), "radar unavailable") {
+		t.Errorf("RadarUpdates error = %v, want radar unavailable", err)
+	}
+}
+
+// TestClientBlocksMatchesChain: the remote BlockSource adapter reports
+// the same head and block refs as the in-process one.
+func TestClientBlocksMatchesChain(t *testing.T) {
+	srv := httptest.NewServer(rpc.NewServer(world.Chain, world.Labels))
+	defer srv.Close()
+	remote := rpc.ClientBlocks{Client: rpc.NewClient(srv.URL)}
+	local := radar.ChainBlocks{Chain: world.Chain}
+
+	rh, err := remote.Head()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := local.Head()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh != lh {
+		t.Fatalf("remote head = %d, local head = %d", rh, lh)
+	}
+	for _, n := range []uint64{0, lh / 2, lh} {
+		rr, err := remote.BlockRef(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := local.BlockRef(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Number != lr.Number || rr.Hash != lr.Hash || rr.Parent != lr.Parent {
+			t.Errorf("block %d header differs over the wire: %+v vs %+v", n, rr, lr)
+		}
+		if rr.Time.Unix() != lr.Time.Unix() {
+			t.Errorf("block %d time differs: %v vs %v", n, rr.Time, lr.Time)
+		}
+		if len(rr.TxHashes) != len(lr.TxHashes) {
+			t.Fatalf("block %d tx count differs: %d vs %d", n, len(rr.TxHashes), len(lr.TxHashes))
+		}
+		for i := range rr.TxHashes {
+			if rr.TxHashes[i] != lr.TxHashes[i] {
+				t.Errorf("block %d tx %d differs", n, i)
+			}
+		}
+	}
+}
+
+// TestRadarFollowsRemoteNode runs the full daemon against a node it
+// only reaches over JSON-RPC — Source and BlockSource both ride the
+// wire — and checks the dataset export is byte-identical to the batch
+// pipeline run over the same client. This is the deployment shape of
+// daasctl radar against a live endpoint.
+func TestRadarFollowsRemoteNode(t *testing.T) {
+	srv := httptest.NewServer(rpc.NewServer(world.Chain, world.Labels))
+	defer srv.Close()
+	client := rpc.NewClient(srv.URL)
+
+	p := &core.Pipeline{Source: client, Labels: world.Labels}
+	wantDS, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := wantDS.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := radar.New(radar.Config{
+		Source: client,
+		Blocks: rpc.ClientBlocks{Client: client},
+		Labels: world.Labels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Status()
+	if st.Cursor != world.Chain.BlockCount()-1 {
+		t.Fatalf("cursor = %d, want %d", st.Cursor, world.Chain.BlockCount()-1)
+	}
+	var got bytes.Buffer
+	if err := r.ExportJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("remote-follow radar dataset differs from batch pipeline (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	if st.Stats.Contracts == 0 || st.Stats.ProfitTxs == 0 {
+		t.Errorf("empty stats over the wire: %+v", st.Stats)
+	}
+}

@@ -26,6 +26,9 @@ type Server struct {
 	// Screen, when set, serves the daas_screen* methods off the engine's
 	// current snapshot.
 	Screen *screen.Engine
+	// Radar, when set, serves the daas_radar* methods off the live
+	// detection daemon.
+	Radar RadarBackend
 	// Metrics, when set, records server-side per-method request counts,
 	// errors, and latency (daas_rpc_server_* metric names).
 	Metrics *obs.Registry
@@ -69,7 +72,13 @@ var knownMethods = map[string]bool{
 	"repro_transactionsOf": true, "repro_getLogs": true,
 	"repro_labels": true, "daas_screen": true,
 	"daas_screenBatch": true, "daas_screenDomain": true,
+	"daas_radarStatus": true, "daas_radarUpdates": true,
 }
+
+// maxScreenBatch caps one daas_screenBatch request. Anything larger is
+// rejected with invalid-params instead of tying up the handler; the
+// client splits oversized workloads into multiple requests.
+const maxScreenBatch = 4096
 
 func metricMethod(m string) string {
 	if knownMethods[m] {
@@ -165,6 +174,9 @@ func writeResponse(w http.ResponseWriter, resp response) {
 
 func (s *Server) dispatch(method string, params json.RawMessage) (any, *rpcError) {
 	if result, rpcErr, handled := s.dispatchScreen(method, params); handled {
+		return result, rpcErr
+	}
+	if result, rpcErr, handled := s.dispatchRadar(method, params); handled {
 		return result, rpcErr
 	}
 	if s.Chain == nil && method != "repro_labels" {
@@ -368,6 +380,9 @@ func (s *Server) dispatchScreen(method string, params json.RawMessage) (any, *rp
 		var args []string
 		if err := json.Unmarshal(params, &args); err != nil {
 			return nil, invalidParams("want [address, ...]"), true
+		}
+		if len(args) > maxScreenBatch {
+			return nil, invalidParams(fmt.Sprintf("batch of %d exceeds limit %d", len(args), maxScreenBatch)), true
 		}
 		out := make([]screenResultJSON, len(args))
 		for i, raw := range args {

@@ -63,15 +63,29 @@ const (
 )
 
 // NormalizeDomain canonicalizes a domain for table storage and lookup:
-// lowercase, no trailing dot (DNS root marker), no port suffix. IDN
-// input passes through without punycode conversion — punycode labels
-// are already lowercase ASCII, and raw Unicode labels are only
-// case-folded, never re-encoded. The fast path returns the input
-// string unchanged (no allocation) when it is already canonical.
+// lowercase, no trailing dot (DNS root marker), no port suffix, no
+// IPv6 brackets (`[2001:db8::1]:443` and `2001:db8::1` canonicalize
+// to the same string). IDN input passes through without punycode
+// conversion — punycode labels are already lowercase ASCII, and raw
+// Unicode labels are only case-folded, never re-encoded. The fast
+// path returns the input string unchanged (no allocation) when it is
+// already canonical.
 func NormalizeDomain(domain string) string {
-	// Strip one :port suffix. A colon inside an IPv6 literal is not a
-	// port separator; those contain more than one colon or brackets.
-	if i := strings.LastIndexByte(domain, ':'); i >= 0 && strings.IndexByte(domain, ':') == i && !strings.ContainsAny(domain, "[]") {
+	if len(domain) > 0 && domain[0] == '[' {
+		// Bracketed host, RFC 3986 style: "[v6-literal]" or
+		// "[v6-literal]:port". Unwrap the brackets and drop the port.
+		// Anything after "]" other than a single ":port" suffix is
+		// malformed; leave those inputs as given.
+		if end := strings.IndexByte(domain, ']'); end >= 0 {
+			rest := domain[end+1:]
+			if rest == "" || (rest[0] == ':' && strings.IndexByte(rest[1:], ':') < 0) {
+				domain = domain[1:end]
+			}
+		}
+	} else if i := strings.LastIndexByte(domain, ':'); i >= 0 && strings.IndexByte(domain, ':') == i {
+		// Strip one :port suffix. A colon inside an unbracketed IPv6
+		// literal is not a port separator; those contain more than one
+		// colon, so only a lone colon is treated as a port.
 		domain = domain[:i]
 	}
 	domain = strings.TrimSuffix(domain, ".")

@@ -94,10 +94,44 @@ func TestNormalizeDomain(t *testing.T) {
 		{"bürger.example", "bürger.example"},               // raw IDN passes through
 		{"", ""},
 		{".", ""},
+		// Bracketed IPv6 hosts must match their unbracketed form.
+		{"[2001:db8::1]:443", "2001:db8::1"},
+		{"[2001:db8::1]", "2001:db8::1"},
+		{"[::1]:8080", "::1"},
+		{"[::1]", "::1"},
+		{"[2001:DB8::A]:443", "2001:db8::a"},
+		// Unbracketed IPv6 literals keep every colon: only a lone colon
+		// is a port separator.
+		{"2001:db8::1", "2001:db8::1"},
+		{"::1", "::1"},
+		// Malformed bracket forms pass through rather than guessing.
+		{"[2001:db8::1]:443:extra", "[2001:db8::1]:443:extra"},
+		{"[2001:db8::1", "[2001:db8::1"},
 	}
 	for _, c := range cases {
 		if got := screen.NormalizeDomain(c.in); got != c.want {
 			t.Errorf("NormalizeDomain(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeDomainZeroAlloc pins the no-allocation contract for the
+// lookup path: canonical input returns the same string, and every
+// strip (port, root dot, brackets) is pure slicing.
+func TestNormalizeDomainZeroAlloc(t *testing.T) {
+	inputs := []string{
+		"evil.example",
+		"evil.example:443",
+		"evil.example.",
+		"2001:db8::1",
+		"[2001:db8::1]:443",
+		"[::1]",
+	}
+	for _, in := range inputs {
+		if allocs := testing.AllocsPerRun(100, func() {
+			_ = screen.NormalizeDomain(in)
+		}); allocs != 0 {
+			t.Errorf("NormalizeDomain(%q) allocates %.1f times per run, want 0", in, allocs)
 		}
 	}
 }

@@ -31,6 +31,12 @@ go test -race -count=1 -run 'TestEngineSwapUnderConcurrentReads|TestGuardConcurr
 echo "==> screen loadgen: batch schedule deterministic, verdicts byte-identical under swap churn"
 go test -count=1 -run 'TestScreenScheduleDeterministic|TestScreenSwapUnderLoadByteIdentical' ./internal/loadgen/
 
+echo "==> radar soak: race-checked daemon over a fault-injected chain with a forced reorg, converging to the batch export"
+go test -race -count=1 -run 'TestRadarSoakConcurrent|TestRadarReorgRollback|TestRadarCheckpointResume' ./internal/radar/
+
+echo "==> radar stream: dataset shape deterministic under concurrent screening load"
+go test -count=1 -run 'TestRadarStreamDeterministic' ./internal/loadgen/
+
 echo "==> benchdiff self-test: the gate demonstrably fails on an injected slowdown"
 go test -count=1 ./cmd/benchdiff/
 
@@ -98,6 +104,13 @@ go test -run=NONE -bench 'BenchmarkScreenBatch' -benchtime=1x ./internal/loadgen
   | go run ./cmd/benchdiff emit -suite screen -o BENCH_screen.json
 go run ./cmd/benchdiff gate -current BENCH_screen.json \
   -baseline scripts/bench/BENCH_screen.baseline.json -tolerance 5
+
+echo "==> bench: radar suite -> BENCH_radar.json"
+go test -run=NONE -bench 'BenchmarkRadarStream' -benchtime=1x ./internal/loadgen/ \
+  | tee /dev/stderr \
+  | go run ./cmd/benchdiff emit -suite radar -o BENCH_radar.json
+go run ./cmd/benchdiff gate -current BENCH_radar.json \
+  -baseline scripts/bench/BENCH_radar.baseline.json -tolerance 5
 
 echo "==> reprolint ./..."
 go run ./cmd/reprolint ./...
