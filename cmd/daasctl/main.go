@@ -59,6 +59,10 @@ func main() {
 		screenSnap  = flag.String("snapshot", "", "serve-screen: serve this precompiled screening snapshot (repro -screen-snapshot output) instead of building the pipeline")
 		pollIvl     = flag.Duration("poll", time.Second, "radar: head poll interval")
 		reorgWindow = flag.Int("reorg-window", 32, "radar: maximum reorg depth the daemon can roll back without a full resync")
+		maxInFlight = flag.Int("max-in-flight", 0, "serve-screen/radar: concurrent requests admitted before shedding with -32005 (0 = default 256, negative = unlimited)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "serve-screen/radar: per-request deadline (0 = default 10s, negative = none)")
+		maxBody     = flag.Int64("max-body-bytes", 0, "serve-screen/radar: request body cap in bytes (0 = default 4MiB, negative = unlimited)")
+		readyMaxLag = flag.Uint64("ready-max-lag", 0, "radar: /readyz reports not-ready when the cursor lags the head by more than this many blocks (0 = default 64)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -262,7 +266,8 @@ func main() {
 		fmt.Print(contracts.FormatDisassembly(code))
 
 	case "serve-screen":
-		if err := runServeScreen(client, reg, *listenAddr, *domainsFile, *screenSnap); err != nil {
+		lim := rpc.Limits{MaxInFlight: *maxInFlight, RequestTimeout: *reqTimeout, MaxBodyBytes: *maxBody}
+		if err := runServeScreen(client, reg, *listenAddr, *domainsFile, *screenSnap, lim); err != nil {
 			log.Fatal(err)
 		}
 
@@ -278,6 +283,12 @@ func main() {
 			Poll:        *pollIvl,
 			ReorgWindow: *reorgWindow,
 			Verbose:     *verbose || *traceRun,
+			Limits: rpc.Limits{
+				MaxInFlight:    *maxInFlight,
+				RequestTimeout: *reqTimeout,
+				MaxBodyBytes:   *maxBody,
+				ReadyMaxLag:    *readyMaxLag,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +32,7 @@ type radarOptions struct {
 	Poll        time.Duration
 	ReorgWindow int
 	Verbose     bool
+	Limits      rpc.Limits
 }
 
 // runRadar stands up the live detection daemon (§8.1 monitoring
@@ -113,38 +113,36 @@ func runRadar(reg *obs.Registry, opts radarOptions) error {
 	st := r.Status()
 	log.Printf("radar: starting at cursor %d (resume=%v checkpoint=%q)", st.Cursor, opts.Resume, opts.Checkpoint)
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
 	runDone := make(chan struct{})
 	go func() {
 		defer close(runDone)
-		if err := r.Run(ctx); err != nil && err != context.Canceled {
+		if err := r.Run(runCtx); err != nil && err != context.Canceled {
 			log.Printf("radar: run loop: %v", err)
 		}
 	}()
 
-	srv := &http.Server{Addr: opts.Listen, Handler: &rpc.Server{Screen: eng, Radar: r, Labels: lbls, Metrics: reg}}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	handler := &rpc.Server{Screen: eng, Radar: r, Labels: lbls, Metrics: reg, Limits: opts.Limits}
+	srv := handler.HTTPServer(opts.Listen)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	log.Printf("radar: serving daas_radarStatus/daas_radarUpdates + daas_screen* on %s", opts.Listen)
 
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-stop:
-		// Graceful drain: stop stepping (the in-flight step finishes and
-		// checkpoints at its block boundary), then let in-flight RPC
-		// requests complete.
-		log.Printf("radar: received %s, draining", sig)
-		cancel()
+	// Graceful drain, daemon first: on SIGINT/SIGTERM stop stepping (the
+	// in-flight step finishes and checkpoints at its block boundary),
+	// then let in-flight RPC requests complete before the listener goes
+	// away.
+	serveCtx, serveCancel := context.WithCancel(context.Background())
+	go func() {
+		defer serveCancel()
+		<-sigCtx.Done()
+		log.Printf("radar: received shutdown signal, draining")
+		cancelRun()
 		<-runDone
 		fin := r.Status()
 		log.Printf("radar: stopped at cursor %d (%d contracts, %d families, %d swaps, %d reorgs)",
 			fin.Cursor, fin.Stats.Contracts, fin.Families, fin.Swaps, fin.Reorgs)
-		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer scancel()
-		return srv.Shutdown(sctx)
-	}
+	}()
+	return rpc.GracefulServe(serveCtx, srv, 5*time.Second)
 }

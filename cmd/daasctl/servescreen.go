@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,8 +20,10 @@ import (
 // path): compile a snapshot from the pipeline's outputs — or load a
 // precompiled one — install it in the zero-lock engine, and serve the
 // daas_screen/daas_screenBatch/daas_screenDomain JSON-RPC methods
-// until SIGINT/SIGTERM.
-func runServeScreen(client *daas.Client, reg *obs.Registry, listen, domainsPath, snapshotPath string) error {
+// until SIGINT/SIGTERM. The endpoint is the hardened front door: body
+// and batch caps, per-request deadlines, admission-gated shedding, and
+// /healthz + /readyz probes.
+func runServeScreen(client *daas.Client, reg *obs.Registry, listen, domainsPath, snapshotPath string, lim rpc.Limits) error {
 	var snap *screen.Snapshot
 	if snapshotPath != "" {
 		data, err := os.ReadFile(snapshotPath)
@@ -54,23 +55,14 @@ func runServeScreen(client *daas.Client, reg *obs.Registry, listen, domainsPath,
 	eng.Swap(snap)
 	log.Printf("screen: snapshot installed (%d accounts, %d domains)", snap.Len(), snap.DomainCount())
 
-	srv := &http.Server{Addr: listen, Handler: &rpc.Server{Screen: eng, Metrics: reg}}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	handler := &rpc.Server{Screen: eng, Metrics: reg, Limits: lim}
+	srv := handler.HTTPServer(listen)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	log.Printf("screen: serving daas_screen/daas_screenBatch/daas_screenDomain on %s", listen)
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-stop:
-		// Graceful drain: in-flight screening requests finish before the
-		// process goes away.
-		log.Printf("screen: received %s, draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		return srv.Shutdown(ctx)
-	}
+	// Graceful drain on SIGINT/SIGTERM: in-flight screening requests
+	// finish before the process goes away.
+	return rpc.GracefulServe(ctx, srv, 5*time.Second)
 }
 
 // readDomainList loads a newline-delimited domain file (the §8.2

@@ -325,6 +325,14 @@ func (r *Radar) Step() (bool, error) {
 		r.dirty = false
 	}
 	r.m.pendingG.Set(int64(len(r.pending)))
+	// A fully successful step confirms the serving snapshot is current
+	// even when nothing changed; during a source outage this stops
+	// firing and the engine's staleness (snapshotAge on verdicts,
+	// daas_screen_stale_seconds) starts growing while screening keeps
+	// answering from the last good snapshot.
+	if r.cfg.Engine != nil {
+		r.cfg.Engine.MarkFresh()
+	}
 	return advanced, nil
 }
 

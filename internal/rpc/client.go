@@ -62,6 +62,11 @@ type clientMetrics struct {
 // real instruments are latched on first use after assignment.
 var noopClientMetrics clientMetrics
 
+// defaultHTTPClient serves every Client whose HTTPClient is nil. One
+// shared instance (not one per call) keeps the transport's connection
+// pool alive, so keep-alives are actually reused under load.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
 func (c *Client) metrics() *clientMetrics {
 	if c.Metrics == nil {
 		return &noopClientMetrics
@@ -144,7 +149,7 @@ func (c *Client) callOnce(ctx context.Context, method string, body []byte, resul
 func (c *Client) post(ctx context.Context, body []byte) (*http.Response, error) {
 	httpClient := c.HTTPClient
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 30 * time.Second}
+		httpClient = defaultHTTPClient
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(body))
 	if err != nil {
@@ -446,6 +451,11 @@ type ScreenResult struct {
 	Family        string
 	Tainted       bool
 	StaticFlagged bool
+	// SnapshotAgeSeconds is how stale the serving snapshot was when this
+	// verdict was produced: 0 from a healthy server, and the whole
+	// seconds since the last confirmed-fresh snapshot when the server is
+	// answering in degraded mode during an upstream outage.
+	SnapshotAgeSeconds uint64
 }
 
 func fromScreenResultJSON(in screenResultJSON) (ScreenResult, error) {
@@ -456,6 +466,7 @@ func fromScreenResultJSON(in screenResultJSON) (ScreenResult, error) {
 	return ScreenResult{
 		Address: a, Listed: in.Listed, Kind: in.Kind, Reason: in.Reason,
 		Family: in.Family, Tainted: in.Tainted, StaticFlagged: in.StaticFlagged,
+		SnapshotAgeSeconds: in.SnapshotAge,
 	}, nil
 }
 

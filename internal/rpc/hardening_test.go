@@ -1,0 +1,478 @@
+package rpc_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/radar"
+	"repro/internal/rpc"
+	"repro/internal/screen"
+)
+
+// envelope mirrors the JSON-RPC response wire shape for assertions.
+type envelope struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      int64           `json:"id"`
+	Result  json.RawMessage `json:"result"`
+	Error   *struct {
+		Code    int    `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// postRaw sends one raw body and decodes a single-envelope response.
+func postOne(t *testing.T, url string, body string) (*http.Response, envelope) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("response is not a JSON-RPC envelope: %v", err)
+	}
+	return resp, env
+}
+
+// newHardenedScreenServer builds a screening server with the given
+// limits over a one-record snapshot.
+func newHardenedScreenServer(t *testing.T, reg *obs.Registry, lim rpc.Limits) (*rpc.Server, *httptest.Server) {
+	t.Helper()
+	b := screen.NewBuilder()
+	b.Add(screen.Record{Address: screenAddr(1), Kind: screen.KindContract, Reason: screen.ReasonContract})
+	eng := screen.NewEngine(reg)
+	eng.Swap(b.Build())
+	s := &rpc.Server{Screen: eng, Metrics: reg, Limits: lim}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestBodyCap: an oversized body earns HTTP 413 and an invalid-request
+// envelope instead of being buffered whole.
+func TestBodyCap(t *testing.T) {
+	_, ts := newHardenedScreenServer(t, nil, rpc.Limits{MaxBodyBytes: 128})
+	body := fmt.Sprintf(`{"jsonrpc":"2.0","id":1,"method":"daas_screen","params":["%s"]}`,
+		strings.Repeat("ab", 200))
+	resp, env := postOne(t, ts.URL, body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+	if env.Error == nil || env.Error.Code != -32600 {
+		t.Errorf("error = %+v, want code -32600", env.Error)
+	}
+}
+
+// TestBatchCap: a generic JSON-RPC array batch beyond MaxBatch is
+// rejected with a single error envelope before any element runs.
+func TestBatchCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newHardenedScreenServer(t, reg, rpc.Limits{MaxBatch: 2})
+	var reqs []string
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, fmt.Sprintf(`{"jsonrpc":"2.0","id":%d,"method":"daas_screen","params":["0x0101010101010101010101010101010101010101"]}`, i))
+	}
+	resp, env := postOne(t, ts.URL, "["+strings.Join(reqs, ",")+"]")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+	if env.Error == nil || env.Error.Code != -32600 || !strings.Contains(env.Error.Message, "exceeds limit 2") {
+		t.Errorf("error = %+v, want batch-limit invalid-request", env.Error)
+	}
+	// No element was dispatched.
+	if s := reg.Snapshot().Find("daas_rpc_server_requests_total", "daas_screen"); s != nil && s.Counter != 0 {
+		t.Errorf("daas_screen requests = %v, want none", s.Counter)
+	}
+}
+
+// blockingRadar parks Status callers until released, so tests can pin
+// a request in-flight deterministically.
+type blockingRadar struct {
+	started chan struct{} // closed... signalled once per Status entry
+	release chan struct{}
+}
+
+func (b *blockingRadar) Status() radar.Status {
+	b.started <- struct{}{}
+	<-b.release
+	return radar.Status{}
+}
+
+func (b *blockingRadar) Updates(after uint64, limit int) ([]radar.Update, uint64, bool) {
+	return nil, 0, false
+}
+
+// TestOverloadShed: with MaxInFlight=1 and one request parked, the
+// next request is shed immediately with HTTP 503, Retry-After, and a
+// CodeOverloaded envelope — it never queues.
+func TestOverloadShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	rb := &blockingRadar{started: make(chan struct{}, 1), release: make(chan struct{})}
+	s := &rpc.Server{Radar: rb, Metrics: reg, Limits: rpc.Limits{MaxInFlight: 1, RetryAfter: 3 * time.Second}}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL, "application/json",
+			strings.NewReader(`{"jsonrpc":"2.0","id":1,"method":"daas_radarStatus","params":[]}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-rb.started // the slot holder is inside dispatch
+
+	resp, env := postOne(t, ts.URL, `{"jsonrpc":"2.0","id":2,"method":"daas_radarStatus","params":[]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want %q", got, "3")
+	}
+	if env.Error == nil || env.Error.Code != rpc.CodeOverloaded {
+		t.Errorf("error = %+v, want CodeOverloaded", env.Error)
+	}
+	close(rb.release)
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if s := snap.Find("daas_rpc_server_shed_total"); s == nil || s.Counter != 1 {
+		t.Errorf("shed counter = %+v, want 1", s)
+	}
+	if s := snap.Find("daas_rpc_server_inflight"); s == nil || s.Gauge != 0 {
+		t.Errorf("inflight gauge = %+v, want 0 after drain", s)
+	}
+}
+
+// slowRadar burns wall clock per Status call so a batch overruns the
+// request deadline partway through.
+type slowRadar struct{ delay time.Duration }
+
+func (s *slowRadar) Status() radar.Status {
+	time.Sleep(s.delay)
+	return radar.Status{}
+}
+
+func (s *slowRadar) Updates(after uint64, limit int) ([]radar.Update, uint64, bool) {
+	return nil, 0, false
+}
+
+// TestRequestDeadline: once the per-request deadline expires inside a
+// batch, remaining elements are answered with CodeTimeout envelopes
+// instead of holding the admission slot for the full batch.
+func TestRequestDeadline(t *testing.T) {
+	s := &rpc.Server{Radar: &slowRadar{delay: 20 * time.Millisecond}, Limits: rpc.Limits{RequestTimeout: 60 * time.Millisecond}}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const n = 30
+	var reqs []string
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, fmt.Sprintf(`{"jsonrpc":"2.0","id":%d,"method":"daas_radarStatus","params":[]}`, i))
+	}
+	resp, err := http.Post(ts.URL, "application/json", strings.NewReader("["+strings.Join(reqs, ",")+"]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envs []envelope
+	if err := json.NewDecoder(resp.Body).Decode(&envs); err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != n {
+		t.Fatalf("got %d envelopes, want %d", len(envs), n)
+	}
+	var ok, timedOut int
+	for _, e := range envs {
+		switch {
+		case e.Error == nil:
+			ok++
+		case e.Error.Code == rpc.CodeTimeout:
+			timedOut++
+		default:
+			t.Errorf("unexpected error %+v", e.Error)
+		}
+	}
+	if ok == 0 || timedOut == 0 {
+		t.Errorf("ok=%d timedOut=%d, want both nonzero", ok, timedOut)
+	}
+	if last := envs[n-1]; last.Error == nil || last.Error.Code != rpc.CodeTimeout {
+		t.Errorf("last element = %+v, want CodeTimeout", last.Error)
+	}
+}
+
+// panicRadar panics on Status, standing in for any handler bug.
+type panicRadar struct{}
+
+func (panicRadar) Status() radar.Status { panic("radar exploded") }
+
+func (panicRadar) Updates(after uint64, limit int) ([]radar.Update, uint64, bool) {
+	return nil, 0, false
+}
+
+// TestPanicRecovery: a panicking handler yields a codeInternal envelope
+// for that element, increments daas_rpc_server_panics_total, and the
+// server keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := &rpc.Server{Radar: panicRadar{}, Metrics: reg}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, env := postOne(t, ts.URL, `{"jsonrpc":"2.0","id":1,"method":"daas_radarStatus","params":[]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+	if env.Error == nil || env.Error.Code != -32603 || !strings.Contains(env.Error.Message, "internal error") {
+		t.Errorf("error = %+v, want codeInternal", env.Error)
+	}
+	if s := reg.Snapshot().Find("daas_rpc_server_panics_total"); s == nil || s.Counter != 1 {
+		t.Errorf("panics counter = %+v, want 1", s)
+	}
+	// Still alive: an unrelated request round-trips.
+	if _, env := postOne(t, ts.URL, `{"jsonrpc":"2.0","id":2,"method":"daas_radarUpdates","params":[0,0]}`); env.JSONRPC != "2.0" {
+		t.Errorf("post-panic request broken: %+v", env)
+	}
+}
+
+// failingWriter refuses all writes, standing in for a client that hung
+// up mid-response.
+type failingWriter struct{ header http.Header }
+
+func (w *failingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *failingWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+func (w *failingWriter) WriteHeader(int) {}
+
+// TestWriteErrorCounted is the satellite for dropped response writes:
+// a failing ResponseWriter books daas_rpc_server_write_errors_total
+// for both single and batch responses.
+func TestWriteErrorCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, _ := newHardenedScreenServer(t, reg, rpc.Limits{})
+
+	single := httptest.NewRequest(http.MethodPost, "/",
+		strings.NewReader(`{"jsonrpc":"2.0","id":1,"method":"daas_screen","params":["0x0101010101010101010101010101010101010101"]}`))
+	s.ServeHTTP(&failingWriter{}, single)
+
+	batch := httptest.NewRequest(http.MethodPost, "/",
+		strings.NewReader(`[{"jsonrpc":"2.0","id":2,"method":"daas_screen","params":["0x0101010101010101010101010101010101010101"]}]`))
+	s.ServeHTTP(&failingWriter{}, batch)
+
+	if got := reg.Snapshot().Find("daas_rpc_server_write_errors_total"); got == nil || got.Counter != 2 {
+		t.Errorf("write errors = %+v, want 2", got)
+	}
+}
+
+// laggingRadar reports a fixed head/cursor gap.
+type laggingRadar struct{ head, cursor uint64 }
+
+func (l laggingRadar) Status() radar.Status { return radar.Status{Head: l.head, Cursor: l.cursor} }
+
+func (l laggingRadar) Updates(after uint64, limit int) ([]radar.Update, uint64, bool) {
+	return nil, 0, false
+}
+
+// TestHealthEndpoints: /healthz is unconditional liveness; /readyz
+// requires a compiled snapshot and a radar within ReadyMaxLag of the
+// head.
+func TestHealthEndpoints(t *testing.T) {
+	get := func(t *testing.T, url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// No snapshot yet: alive but not ready.
+	eng := screen.NewEngine(nil)
+	s := &rpc.Server{Screen: eng, Limits: rpc.Limits{ReadyMaxLag: 8}}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", code)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "no snapshot") {
+		t.Errorf("readyz = %d %q, want 503 no-snapshot", code, body)
+	}
+	eng.Swap(screen.NewBuilder().Build())
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("readyz after swap = %d, want 200", code)
+	}
+
+	// A radar far behind the head marks the server not-ready.
+	s2 := &rpc.Server{Radar: laggingRadar{head: 1000, cursor: 10}, Limits: rpc.Limits{ReadyMaxLag: 8}}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	if code, body := get(t, ts2.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "lags head") {
+		t.Errorf("lagging readyz = %d %q, want 503 lag reason", code, body)
+	}
+	s3 := &rpc.Server{Radar: laggingRadar{head: 1000, cursor: 996}, Limits: rpc.Limits{ReadyMaxLag: 8}}
+	ts3 := httptest.NewServer(s3)
+	defer ts3.Close()
+	if code, _ := get(t, ts3.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("caught-up readyz = %d, want 200", code)
+	}
+}
+
+// TestSlowLorisEvicted: a client that trickles its body is cut off at
+// the request deadline instead of holding an admission slot forever.
+func TestSlowLorisEvicted(t *testing.T) {
+	s, ts := newHardenedScreenServer(t, nil, rpc.Limits{RequestTimeout: 150 * time.Millisecond})
+	_ = s
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	fmt.Fprintf(conn, "POST / HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n")
+	_, _ = conn.Write([]byte(`{"jsonrpc":`)) // ... and never send the rest
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	n, _ := conn.Read(buf) // response or EOF — either way the server let go
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("server held the slow-loris connection for %v", elapsed)
+	}
+	_ = n
+}
+
+// TestSnapshotAgeStamped: verdicts from a fresh engine carry age 0;
+// once the upstream stops confirming freshness the stamped age grows,
+// and MarkFresh resets it.
+func TestSnapshotAgeStamped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sleeps >1s to cross the whole-second staleness floor")
+	}
+	reg := obs.NewRegistry()
+	b := screen.NewBuilder()
+	b.Add(screen.Record{Address: screenAddr(1), Kind: screen.KindContract, Reason: screen.ReasonContract})
+	eng := screen.NewEngine(reg)
+	eng.Swap(b.Build())
+	ts := httptest.NewServer(&rpc.Server{Screen: eng})
+	defer ts.Close()
+	client := rpc.NewClient(ts.URL)
+
+	got, err := client.Screen(screenAddr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SnapshotAgeSeconds != 0 {
+		t.Errorf("fresh SnapshotAgeSeconds = %d, want 0", got.SnapshotAgeSeconds)
+	}
+
+	time.Sleep(1100 * time.Millisecond) // no MarkFresh: upstream "outage"
+	got, err = client.Screen(screenAddr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SnapshotAgeSeconds < 1 {
+		t.Errorf("stale SnapshotAgeSeconds = %d, want >= 1", got.SnapshotAgeSeconds)
+	}
+	if s := reg.Snapshot().Find("daas_screen_stale_seconds"); s == nil || s.Gauge < 1 {
+		t.Errorf("daas_screen_stale_seconds = %+v, want >= 1", s)
+	}
+
+	eng.MarkFresh()
+	got, err = client.Screen(screenAddr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SnapshotAgeSeconds != 0 {
+		t.Errorf("SnapshotAgeSeconds after MarkFresh = %d, want 0", got.SnapshotAgeSeconds)
+	}
+}
+
+// TestGracefulServe: cancelling the context drains and returns nil.
+func TestGracefulServe(t *testing.T) {
+	b := screen.NewBuilder()
+	b.Add(screen.Record{Address: screenAddr(1), Kind: screen.KindContract, Reason: screen.ReasonContract})
+	eng := screen.NewEngine(nil)
+	eng.Swap(b.Build())
+	s := &rpc.Server{Screen: eng}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srv := s.HTTPServer(addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rpc.GracefulServe(ctx, srv, 2*time.Second) }()
+
+	// Wait for the listener, then verify it serves.
+	url := "http://" + addr
+	var up bool
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			up = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("server never came up")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("GracefulServe = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GracefulServe did not return after cancel")
+	}
+}
+
+// TestRadarDeadlineWhileMutexHeld: the radar daemon serializes Status
+// behind the same mutex as Step, and a catch-up Step can hold it for a
+// long time. A status request must answer -32008 at its deadline
+// instead of hanging on the mutex wait (which a context cannot
+// preempt) until the step finishes.
+func TestRadarDeadlineWhileMutexHeld(t *testing.T) {
+	rb := &blockingRadar{started: make(chan struct{}, 1), release: make(chan struct{})}
+	s := &rpc.Server{Radar: rb, Limits: rpc.Limits{RequestTimeout: 80 * time.Millisecond}}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer close(rb.release) // let the abandoned Status goroutine finish
+
+	start := time.Now()
+	_, env := postOne(t, ts.URL, `{"jsonrpc":"2.0","id":1,"method":"daas_radarStatus","params":[]}`)
+	if env.Error == nil || env.Error.Code != rpc.CodeTimeout {
+		t.Fatalf("want code %d while the radar mutex is held, got %+v", rpc.CodeTimeout, env)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline answer took %v despite an 80ms request timeout", elapsed)
+	}
+	<-rb.started // the call really was in flight when the deadline hit
+}

@@ -1,7 +1,9 @@
 package rpc
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"repro/internal/ethtypes"
@@ -28,13 +30,17 @@ type radarUpdatesJSON struct {
 
 // dispatchRadar answers the daas_radar* methods; handled is false for
 // every other method.
-func (s *Server) dispatchRadar(method string, params json.RawMessage) (any, *rpcError, bool) {
+func (s *Server) dispatchRadar(ctx context.Context, method string, params json.RawMessage) (any, *rpcError, bool) {
 	switch method {
 	case "daas_radarStatus":
 		if s.Radar == nil {
 			return nil, radarUnavailable(), true
 		}
-		return s.Radar.Status(), nil, true
+		st, rpcErr := offMutex(ctx, s, s.Radar.Status)
+		if rpcErr != nil {
+			return nil, rpcErr, true
+		}
+		return st, nil, true
 
 	case "daas_radarUpdates":
 		if s.Radar == nil {
@@ -49,10 +55,47 @@ func (s *Server) dispatchRadar(method string, params json.RawMessage) (any, *rpc
 				return nil, invalidParams("want {after, limit}"), true
 			}
 		}
-		ups, cursor, dropped := s.Radar.Updates(args.After, args.Limit)
-		return radarUpdatesJSON{Updates: ups, Cursor: cursor, Dropped: dropped}, nil, true
+		out, rpcErr := offMutex(ctx, s, func() radarUpdatesJSON {
+			ups, cursor, dropped := s.Radar.Updates(args.After, args.Limit)
+			return radarUpdatesJSON{Updates: ups, Cursor: cursor, Dropped: dropped}
+		})
+		if rpcErr != nil {
+			return nil, rpcErr, true
+		}
+		return out, nil, true
 	}
 	return nil, nil, false
+}
+
+// offMutex runs f on its own goroutine and waits for its result or the
+// request deadline, whichever comes first. The radar daemon serializes
+// Status/Updates behind the same mutex as Step, and a catch-up Step
+// (e.g. the initial sync over thousands of blocks) can hold that mutex
+// for a long time; a plain call would pin the request on a mutex wait
+// the context cannot preempt, stalling past its deadline. On timeout
+// the request answers -32008 and the abandoned goroutine's eventual
+// result is discarded (the channel is buffered, so it never leaks).
+func offMutex[T any](ctx context.Context, s *Server, f func() T) (T, *rpcError) {
+	var zero T
+	res := make(chan T, 1)
+	panics := make(chan any, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics().panics.Inc()
+				panics <- p
+			}
+		}()
+		res <- f()
+	}()
+	select {
+	case v := <-res:
+		return v, nil
+	case p := <-panics:
+		return zero, &rpcError{Code: codeInternal, Message: fmt.Sprintf("internal error: %v", p)}
+	case <-ctx.Done():
+		return zero, deadlineError()
+	}
 }
 
 func radarUnavailable() *rpcError {

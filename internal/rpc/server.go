@@ -2,7 +2,9 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,17 +34,29 @@ type Server struct {
 	// Metrics, when set, records server-side per-method request counts,
 	// errors, and latency (daas_rpc_server_* metric names).
 	Metrics *obs.Registry
+	// Limits bounds body size, batch length, concurrency, and request
+	// deadlines; the zero value applies production defaults.
+	Limits Limits
 
 	metricsOnce sync.Once
 	sm          serverMetrics
+
+	// gate is the admission semaphore, sized lazily from Limits on the
+	// first request.
+	gateOnce sync.Once
+	gate     chan struct{}
 }
 
 // serverMetrics caches the server's instruments; all nil (no-op) when
 // Metrics is unset.
 type serverMetrics struct {
-	requests *obs.CounterVec
-	errors   *obs.CounterVec
-	latency  *obs.HistogramVec
+	requests    *obs.CounterVec
+	errors      *obs.CounterVec
+	latency     *obs.HistogramVec
+	panics      *obs.Counter
+	shed        *obs.Counter
+	writeErrors *obs.Counter
+	inflight    *obs.Gauge
 }
 
 var noopServerMetrics serverMetrics
@@ -53,9 +67,13 @@ func (s *Server) metrics() *serverMetrics {
 	}
 	s.metricsOnce.Do(func() {
 		s.sm = serverMetrics{
-			requests: s.Metrics.CounterVec("daas_rpc_server_requests_total", "JSON-RPC requests served by method", "method"),
-			errors:   s.Metrics.CounterVec("daas_rpc_server_request_errors_total", "JSON-RPC requests answered with an error by method", "method"),
-			latency:  s.Metrics.HistogramVec("daas_rpc_server_request_duration_seconds", "server-side request handling latency by method", obs.DefDurationBuckets, "method"),
+			requests:    s.Metrics.CounterVec("daas_rpc_server_requests_total", "JSON-RPC requests served by method", "method"),
+			errors:      s.Metrics.CounterVec("daas_rpc_server_request_errors_total", "JSON-RPC requests answered with an error by method", "method"),
+			latency:     s.Metrics.HistogramVec("daas_rpc_server_request_duration_seconds", "server-side request handling latency by method", obs.DefDurationBuckets, "method"),
+			panics:      s.Metrics.Counter("daas_rpc_server_panics_total", "handler panics recovered into codeInternal responses"),
+			shed:        s.Metrics.Counter("daas_rpc_server_shed_total", "requests shed by the admission gate with codeOverloaded"),
+			writeErrors: s.Metrics.Counter("daas_rpc_server_write_errors_total", "responses dropped because the client connection failed mid-write"),
+			inflight:    s.Metrics.Gauge("daas_rpc_server_inflight", "requests currently admitted and being handled"),
 		}
 	})
 	return &s.sm
@@ -96,60 +114,152 @@ func NewServer(c *chain.Chain, l *labels.Directory) *Server {
 // JSON array is a spec-compliant batch (JSON-RPC 2.0 §6): every
 // element is dispatched and the responses come back as an array, in
 // request order.
+//
+// The handler is the overload front door: GET /healthz and /readyz
+// bypass the JSON-RPC machinery; everything else passes the admission
+// gate (shed with CodeOverloaded + Retry-After when full), a body-size
+// cap, per-connection read/write deadlines against slow-loris clients,
+// and a per-request context deadline. A panic anywhere in handling is
+// recovered into a codeInternal envelope instead of killing the
+// connection's serve goroutine.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && (r.URL.Path == "/healthz" || r.URL.Path == "/readyz") {
+		s.serveHealth(w, r)
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics().panics.Inc()
+			s.writeStatusResponse(w, http.StatusInternalServerError, response{
+				JSONRPC: "2.0",
+				Error:   &rpcError{Code: codeInternal, Message: fmt.Sprintf("internal error: %v", rec)},
+			})
+		}
+	}()
+
+	release, admitted := s.admit()
+	if !admitted {
+		s.shed(w)
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	if rt := s.Limits.requestTimeout(); rt > 0 {
+		deadline := time.Now().Add(rt)
+		// Bound the network reads/writes too: a client trickling its
+		// body (slow loris) is evicted at the request deadline instead
+		// of holding an admission slot; errors mean the transport does
+		// not support per-request deadlines (e.g. test recorders) and
+		// the context deadline alone applies.
+		rc := http.NewResponseController(w)
+		_ = rc.SetReadDeadline(deadline)
+		_ = rc.SetWriteDeadline(deadline.Add(writeGrace))
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+
+	body, err := readBody(w, r, s.Limits.maxBodyBytes())
 	if err != nil {
-		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeStatusResponse(w, http.StatusRequestEntityTooLarge, response{
+				JSONRPC: "2.0",
+				Error:   &rpcError{Code: codeInvalidRequest, Message: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)},
+			})
+			return
+		}
+		s.writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
 		return
 	}
 	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
-		s.serveBatch(w, trimmed)
+		s.serveBatch(ctx, w, trimmed)
 		return
 	}
 	var req request
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
+		s.writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
 		return
 	}
-	writeResponse(w, s.handle(req))
+	s.writeResponse(w, s.handle(ctx, req))
+}
+
+// readBody drains one request body under the configured cap (0 = no
+// cap). The MaxBytesReader also arms the server to close the
+// connection when the cap trips, so an attacker cannot keep streaming.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	body := r.Body
+	if limit > 0 {
+		body = http.MaxBytesReader(w, body, limit)
+	}
+	return io.ReadAll(body)
 }
 
 // serveBatch answers one JSON array of requests. Per the spec, a batch
 // that fails to parse or is empty earns a single error object, not an
-// array.
-func (s *Server) serveBatch(w http.ResponseWriter, body []byte) {
+// array; one exceeding Limits.MaxBatch is rejected the same way before
+// any element is dispatched. Once the request deadline expires, the
+// remaining elements are answered with CodeTimeout envelopes rather
+// than silently holding the admission slot.
+func (s *Server) serveBatch(ctx context.Context, w http.ResponseWriter, body []byte) {
 	var reqs []request
 	if err := json.Unmarshal(body, &reqs); err != nil {
-		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
+		s.writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeParse, Message: err.Error()}})
 		return
 	}
 	if len(reqs) == 0 {
-		writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeInvalidRequest, Message: "empty batch"}})
+		s.writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{Code: codeInvalidRequest, Message: "empty batch"}})
+		return
+	}
+	if max := s.Limits.maxBatch(); max > 0 && len(reqs) > max {
+		s.writeResponse(w, response{JSONRPC: "2.0", Error: &rpcError{
+			Code: codeInvalidRequest, Message: fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), max),
+		}})
 		return
 	}
 	out := make([]response, len(reqs))
 	for i, req := range reqs {
-		out[i] = s.handle(req)
+		out[i] = s.handle(ctx, req)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		s.metrics().writeErrors.Inc()
+	}
 }
 
 // handle dispatches one request into one response envelope. Every
 // request — batched or not — is booked against the server-side
 // instruments here, so daas_rpc_server_requests_total counts batch
-// items individually.
-func (s *Server) handle(req request) response {
+// items individually. A panicking handler yields codeInternal for that
+// element only, and an expired context yields CodeTimeout without
+// dispatching.
+func (s *Server) handle(ctx context.Context, req request) (resp response) {
 	sm := s.metrics()
 	method := metricMethod(req.Method)
 	sm.requests.With(method).Inc()
 	start := time.Now()
-	resp := response{JSONRPC: "2.0", ID: req.ID}
-	result, rpcErr := s.dispatch(req.Method, req.Params)
+	resp = response{JSONRPC: "2.0", ID: req.ID}
+	defer func() {
+		if rec := recover(); rec != nil {
+			sm.panics.Inc()
+			resp.Result = nil
+			resp.Error = &rpcError{Code: codeInternal, Message: fmt.Sprintf("internal error: %v", rec)}
+		}
+		sm.latency.With(method).ObserveDuration(time.Since(start))
+		if resp.Error != nil {
+			sm.errors.With(method).Inc()
+		}
+	}()
+	if ctx.Err() != nil {
+		resp.Error = deadlineError()
+		return resp
+	}
+	result, rpcErr := s.dispatch(ctx, req.Method, req.Params)
 	if rpcErr != nil {
 		resp.Error = rpcErr
 	} else {
@@ -160,23 +270,35 @@ func (s *Server) handle(req request) response {
 			resp.Result = raw
 		}
 	}
-	sm.latency.With(method).ObserveDuration(time.Since(start))
-	if resp.Error != nil {
-		sm.errors.With(method).Inc()
-	}
 	return resp
 }
 
-func writeResponse(w http.ResponseWriter, resp response) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+func (s *Server) writeResponse(w http.ResponseWriter, resp response) {
+	s.writeStatusResponse(w, http.StatusOK, resp)
 }
 
-func (s *Server) dispatch(method string, params json.RawMessage) (any, *rpcError) {
-	if result, rpcErr, handled := s.dispatchScreen(method, params); handled {
+// writeStatusResponse writes one envelope with the given HTTP status,
+// counting clients that vanished mid-write instead of dropping the
+// error on the floor.
+func (s *Server) writeStatusResponse(w http.ResponseWriter, status int, resp response) {
+	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.metrics().writeErrors.Inc()
+	}
+}
+
+func deadlineError() *rpcError {
+	return &rpcError{Code: codeTimeout, Message: "request deadline exceeded"}
+}
+
+func (s *Server) dispatch(ctx context.Context, method string, params json.RawMessage) (any, *rpcError) {
+	if result, rpcErr, handled := s.dispatchScreen(ctx, method, params); handled {
 		return result, rpcErr
 	}
-	if result, rpcErr, handled := s.dispatchRadar(method, params); handled {
+	if result, rpcErr, handled := s.dispatchRadar(ctx, method, params); handled {
 		return result, rpcErr
 	}
 	if s.Chain == nil && method != "repro_labels" {
@@ -356,12 +478,18 @@ func (s *Server) dispatch(method string, params json.RawMessage) (any, *rpcError
 	}
 }
 
+// screenCtxStride is how many daas_screenBatch lookups run between
+// context-deadline checks: cheap enough to keep the hot loop tight,
+// frequent enough that an expired request releases its admission slot
+// promptly.
+const screenCtxStride = 256
+
 // dispatchScreen answers the daas_screen* methods off the screening
 // engine's current snapshot; handled is false for every other method.
 // daas_screenBatch takes a flat address array in one request — the
 // high-throughput path — while single daas_screen requests also ride
 // the generic JSON-RPC array-batch transport.
-func (s *Server) dispatchScreen(method string, params json.RawMessage) (any, *rpcError, bool) {
+func (s *Server) dispatchScreen(ctx context.Context, method string, params json.RawMessage) (any, *rpcError, bool) {
 	switch method {
 	case "daas_screen":
 		if s.Screen == nil {
@@ -371,7 +499,7 @@ func (s *Server) dispatchScreen(method string, params json.RawMessage) (any, *rp
 		if rpcErr != nil {
 			return nil, rpcErr, true
 		}
-		return s.screenOne(a), nil, true
+		return s.screenOne(a, s.snapshotAge()), nil, true
 
 	case "daas_screenBatch":
 		if s.Screen == nil {
@@ -384,13 +512,17 @@ func (s *Server) dispatchScreen(method string, params json.RawMessage) (any, *rp
 		if len(args) > maxScreenBatch {
 			return nil, invalidParams(fmt.Sprintf("batch of %d exceeds limit %d", len(args), maxScreenBatch)), true
 		}
+		age := s.snapshotAge()
 		out := make([]screenResultJSON, len(args))
 		for i, raw := range args {
+			if i%screenCtxStride == 0 && ctx.Err() != nil {
+				return nil, deadlineError(), true
+			}
 			a, err := ethtypes.HexToAddress(raw)
 			if err != nil {
 				return nil, invalidParams(fmt.Sprintf("address %d: %s", i, err)), true
 			}
-			out[i] = s.screenOne(a)
+			out[i] = s.screenOne(a, age)
 		}
 		return out, nil, true
 
@@ -407,10 +539,22 @@ func (s *Server) dispatchScreen(method string, params json.RawMessage) (any, *rp
 	return nil, nil, false
 }
 
+// snapshotAge is the whole seconds since the engine's snapshot was
+// last confirmed fresh, stamped into every screening verdict. A
+// healthy upstream keeps it at 0 (sub-second freshness rounds down),
+// so the field only appears on the wire while serving degraded.
+func (s *Server) snapshotAge() uint64 {
+	age := s.Screen.Age()
+	if age <= 0 {
+		return 0
+	}
+	return uint64(age / time.Second)
+}
+
 // screenOne books one engine lookup into the wire DTO.
-func (s *Server) screenOne(a ethtypes.Address) screenResultJSON {
+func (s *Server) screenOne(a ethtypes.Address, age uint64) screenResultJSON {
 	rec, ok := s.Screen.Screen(a)
-	out := screenResultJSON{Address: a.Hex(), Listed: ok}
+	out := screenResultJSON{Address: a.Hex(), Listed: ok, SnapshotAge: age}
 	if ok {
 		out.Kind = rec.Kind.String()
 		out.Reason = rec.Reason

@@ -48,6 +48,19 @@ const (
 	codeMethodNotFound = -32601
 	codeInvalidParams  = -32602
 	codeInternal       = -32603
+	codeOverloaded     = -32005
+	codeTimeout        = -32008
+)
+
+// Exported error codes for the server's overload-control contract, so
+// callers can distinguish "back off and retry" from a hard failure.
+const (
+	// CodeOverloaded is returned (with HTTP 503 + Retry-After) when the
+	// admission gate sheds a request instead of queueing it.
+	CodeOverloaded = codeOverloaded
+	// CodeTimeout is returned when the per-request deadline expires
+	// before (or while) the request is dispatched.
+	CodeTimeout = codeTimeout
 )
 
 // Wire DTOs.
@@ -117,7 +130,11 @@ type logEntryJSON struct {
 
 // screenResultJSON is one daas_screen/daas_screenBatch verdict. The
 // record fields are omitted for clean addresses, so a mostly-clean
-// batch response stays compact.
+// batch response stays compact. SnapshotAge is the whole seconds since
+// the serving snapshot was last confirmed fresh (installed, or
+// re-confirmed by a successful radar step); it is 0 — and omitted —
+// while the upstream is healthy, so degraded-mode answers are
+// self-describing without widening the common case.
 type screenResultJSON struct {
 	Address       string `json:"address"`
 	Listed        bool   `json:"listed"`
@@ -126,6 +143,7 @@ type screenResultJSON struct {
 	Family        string `json:"family,omitempty"`
 	Tainted       bool   `json:"tainted,omitempty"`
 	StaticFlagged bool   `json:"staticFlagged,omitempty"`
+	SnapshotAge   uint64 `json:"snapshotAge,omitempty"`
 }
 
 type labelJSON struct {

@@ -25,6 +25,11 @@ type Engine struct {
 	snap atomic.Pointer[Snapshot]
 	// swapAtNanos is the obs.Now() of the last swap, for the age gauge.
 	swapAtNanos atomic.Int64
+	// freshAtNanos is the obs.Now() of the last freshness confirmation:
+	// a swap, or MarkFresh from a healthy upstream step that produced no
+	// dataset change. Age() measures staleness from here, so a quiet but
+	// healthy upstream does not read as degraded.
+	freshAtNanos atomic.Int64
 
 	// Latched instruments; all nil-safe no-ops without a registry.
 	reqListed       *obs.Counter
@@ -36,6 +41,7 @@ type Engine struct {
 	snapRecords     *obs.Gauge
 	snapDomains     *obs.Gauge
 	snapAge         *obs.Gauge
+	stale           *obs.Gauge
 }
 
 // NewEngine returns an engine reporting through reg (nil disables
@@ -52,6 +58,7 @@ func NewEngine(reg *obs.Registry) *Engine {
 		snapRecords:     reg.Gauge("daas_screen_snapshot_records", "listed addresses in the current snapshot"),
 		snapDomains:     reg.Gauge("daas_screen_snapshot_domains", "listed domains in the current snapshot"),
 		snapAge:         reg.Gauge("daas_screen_snapshot_age_seconds", "seconds since the current snapshot was installed (updated on each lookup)"),
+		stale:           reg.Gauge("daas_screen_stale_seconds", "seconds since the snapshot was last confirmed fresh by its upstream (0 while healthy; grows during an outage)"),
 	}
 }
 
@@ -59,11 +66,36 @@ func NewEngine(reg *obs.Registry) *Engine {
 // against the one they loaded.
 func (e *Engine) Swap(s *Snapshot) {
 	e.snap.Store(s)
-	e.swapAtNanos.Store(obs.Now().UnixNano())
+	now := obs.Now().UnixNano()
+	e.swapAtNanos.Store(now)
+	e.freshAtNanos.Store(now)
 	e.swaps.Inc()
 	e.snapRecords.Set(int64(s.Len()))
 	e.snapDomains.Set(int64(s.DomainCount()))
 	e.snapAge.Set(0)
+	e.stale.Set(0)
+}
+
+// MarkFresh records that the upstream (a radar step, a pipeline
+// rebuild) confirmed the current snapshot is up to date even though no
+// swap was needed. Degraded-mode staleness (Age, the
+// daas_screen_stale_seconds gauge, the snapshotAge response field) is
+// measured from the last MarkFresh or Swap.
+func (e *Engine) MarkFresh() {
+	e.freshAtNanos.Store(obs.Now().UnixNano())
+	e.stale.Set(0)
+}
+
+// Age reports how long ago the snapshot was last confirmed fresh, or 0
+// if nothing was ever installed. Under a healthy upstream this hovers
+// near the step cadence; during an outage it grows without bound and
+// the engine keeps serving the last good snapshot.
+func (e *Engine) Age() time.Duration {
+	at := e.freshAtNanos.Load()
+	if at == 0 {
+		return 0
+	}
+	return time.Duration(obs.Now().UnixNano() - at)
 }
 
 // Snapshot returns the currently published snapshot (nil before the
@@ -100,5 +132,8 @@ func (e *Engine) observe(start time.Time, listed bool, hit, miss *obs.Counter) {
 	}
 	if at := e.swapAtNanos.Load(); at != 0 {
 		e.snapAge.Set((start.UnixNano() - at) / 1e9)
+	}
+	if at := e.freshAtNanos.Load(); at != 0 {
+		e.stale.Set((start.UnixNano() - at) / 1e9)
 	}
 }

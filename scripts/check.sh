@@ -67,6 +67,15 @@ go test -count=1 -run 'TestAnalyzeBudgetedPathological' ./internal/evmstatic/
 echo "==> fingerprint fuzz smoke: the static engine is total over the template corpus + 10s of new inputs"
 go test -count=1 -run=NONE -fuzz 'FuzzFingerprints' -fuzztime 10s ./internal/evmstatic/
 
+echo "==> rpc hardening: body/batch caps, shedding, deadlines, panic recovery, health probes under race"
+go test -race -count=1 -run 'TestBodyCap|TestBatchCap|TestOverloadShed|TestRequestDeadline|TestRadarDeadlineWhileMutexHeld|TestPanicRecovery|TestWriteErrorCounted|TestHealthEndpoints|TestSlowLorisEvicted|TestGracefulServe' ./internal/rpc/
+
+echo "==> rpc fuzz smoke: hardened ServeHTTP is total over the malformed corpus + 10s of new inputs"
+go test -count=1 -run=NONE -fuzz 'FuzzServeHTTP' -fuzztime 10s ./internal/rpc/
+
+echo "==> chaos soak: race-checked hardened server under hostile traffic with a mid-run upstream outage"
+go test -race -count=1 -run 'TestChaosSoak' ./internal/loadgen/
+
 # ---- Benchmark artifacts + regression gates ------------------------
 # Each suite is emitted as a daas-bench/v1 JSON artifact and gated
 # against the committed baseline in scripts/bench/. Timing metrics get
@@ -111,6 +120,13 @@ go test -run=NONE -bench 'BenchmarkRadarStream' -benchtime=1x ./internal/loadgen
   | go run ./cmd/benchdiff emit -suite radar -o BENCH_radar.json
 go run ./cmd/benchdiff gate -current BENCH_radar.json \
   -baseline scripts/bench/BENCH_radar.baseline.json -tolerance 5
+
+echo "==> bench: chaos suite -> BENCH_chaos.json"
+go test -run=NONE -bench 'BenchmarkChaos' -benchtime=1x ./internal/loadgen/ \
+  | tee /dev/stderr \
+  | go run ./cmd/benchdiff emit -suite chaos -o BENCH_chaos.json
+go run ./cmd/benchdiff gate -current BENCH_chaos.json \
+  -baseline scripts/bench/BENCH_chaos.baseline.json -tolerance 5
 
 echo "==> reprolint ./..."
 go run ./cmd/reprolint ./...
